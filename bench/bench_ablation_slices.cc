@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Ablation (beyond the paper's figures, supporting its Section 3.2
+ * claim): sensitivity of GradualSleep to the slice count. "Using
+ * fewer slices changes the curve to be more similar to the MaxSleep
+ * behavior. Adding more slices results in a shift towards the
+ * AlwaysActive behavior."
+ *
+ * Evaluated on the real benchmark idle-interval distributions at
+ * p = 0.05 and p = 0.5.
+ *
+ * Arguments: insts=<n> (default 500000), seed=<n>.
+ */
+
+#include <iostream>
+#include <memory>
+
+#include "common/logging.hh"
+#include "common/table.hh"
+#include "energy/breakeven.hh"
+#include "harness/benchmarks.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace lsim;
+    using namespace lsim::harness;
+
+    setInformEnabled(false);
+    SuiteOptions opts;
+    opts.insts = 500'000;
+    opts.parseArgs(argc, argv);
+
+    const SuiteRun suite = runSuite(opts);
+
+    for (double p : {0.05, 0.5}) {
+        energy::ModelParams mp;
+        mp.p = p;
+        mp.alpha = 0.5;
+        mp.k = 0.001;
+        mp.s = 0.01;
+        const double be = energy::breakevenInterval(mp);
+
+        std::cout << "GradualSleep slice-count ablation, p = "
+                  << fixed(p, 2) << " (breakeven = " << fixed(be, 1)
+                  << " cycles)\nSuite-average energy relative to "
+                     "NoOverhead:\n\n";
+
+        Table table({"slices", "GradualSleep", "MaxSleep",
+                     "AlwaysActive"});
+        for (unsigned slices : {1u, 2u, 4u, 8u, 16u, 32u, 64u, 128u,
+                                512u}) {
+            double gs = 0.0, ms = 0.0, aa = 0.0;
+            for (const auto &ws : suite.sims) {
+                sleep::ControllerSet set;
+                set.push_back(
+                    std::make_unique<sleep::GradualSleepController>(
+                        slices));
+                set.push_back(
+                    std::make_unique<sleep::MaxSleepController>());
+                set.push_back(
+                    std::make_unique<sleep::AlwaysActiveController>());
+                set.push_back(
+                    std::make_unique<sleep::NoOverheadController>());
+                auto res = evaluatePolicies(ws.idle, mp,
+                                            std::move(set));
+                const double no = res[3].energy;
+                gs += res[0].energy / no;
+                ms += res[1].energy / no;
+                aa += res[2].energy / no;
+            }
+            const auto n = static_cast<double>(suite.sims.size());
+            table.addRow({std::to_string(slices), fixed(gs / n, 3),
+                          fixed(ms / n, 3), fixed(aa / n, 3)});
+        }
+        table.print(std::cout);
+        std::cout << "\nExpected: slices -> 1 converges to MaxSleep; "
+                     "slices -> large converges to\nAlwaysActive; "
+                     "the breakeven-sized design sits between the "
+                     "extremes.\n\n";
+    }
+    return 0;
+}

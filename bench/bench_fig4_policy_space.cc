@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Reproduces Figures 4b-4d: closed-form policy energies (relative to
+ * the 100%-computation baseline E_base) across the leakage factor p,
+ * for the AlwaysActive / MaxSleep / NoOverhead policies.
+ *
+ *  4b: mean idle interval 10 cycles, usage 10% and 90%;
+ *  4c: mean idle interval 100 cycles, usage 10% and 90%;
+ *  4d: worst case — idle interval 1 cycle, usage 50%.
+ */
+
+#include <iostream>
+
+#include "common/table.hh"
+#include "energy/policy_model.hh"
+
+namespace
+{
+
+using namespace lsim;
+using namespace lsim::energy;
+
+void
+printPlane(const char *title, double idle_interval,
+           std::initializer_list<double> usages)
+{
+    std::cout << title << "\n\n";
+    std::vector<std::string> header{"p"};
+    for (double u : usages) {
+        const std::string tag = " f_U=" + fixed(u, 2);
+        header.push_back("AA" + tag);
+        header.push_back("MS" + tag);
+        header.push_back("NO" + tag);
+    }
+    Table table(header);
+    for (int step = 1; step <= 20; ++step) {
+        const double p = step * 0.05;
+        ModelParams mp;
+        mp.p = p;
+        mp.alpha = 0.5;
+        mp.k = 0.001;
+        mp.s = 0.01;
+        std::vector<std::string> row{fixed(p, 2)};
+        for (double u : usages) {
+            WorkloadPoint w;
+            w.usage = u;
+            w.idle_interval = idle_interval;
+            PolicyModel pm(mp, w);
+            row.push_back(
+                fixed(pm.relativeEnergy(Policy::AlwaysActive), 4));
+            row.push_back(
+                fixed(pm.relativeEnergy(Policy::MaxSleep), 4));
+            row.push_back(
+                fixed(pm.relativeEnergy(Policy::NoOverhead), 4));
+        }
+        table.addRow(row);
+    }
+    table.print(std::cout);
+    std::cout << "\n";
+}
+
+} // namespace
+
+int
+main()
+{
+    printPlane("Figure 4b: relative energy vs p, idle interval = 10 "
+               "cycles (alpha = 0.5)",
+               10.0, {0.10, 0.90});
+    printPlane("Figure 4c: relative energy vs p, idle interval = 100 "
+               "cycles (alpha = 0.5)",
+               100.0, {0.10, 0.90});
+    printPlane("Figure 4d: worst case, idle interval = 1 cycle, "
+               "f_U = 0.5 (alpha = 0.5)",
+               1.0, {0.50});
+    std::cout
+        << "Expected shapes (paper): MaxSleep tracks NoOverhead in "
+           "parallel; AlwaysActive rises\nsteeply with p; at small p "
+           "with short intervals MaxSleep costs more than "
+           "AlwaysActive;\nat 100-cycle intervals MaxSleep nearly "
+           "touches NoOverhead; in 4d the MaxSleep\ntransition "
+           "overhead dominates everything.\n";
+    return 0;
+}

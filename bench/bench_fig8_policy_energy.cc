@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Reproduces Figures 8a and 8b: per-benchmark total energy of the
+ * MaxSleep / GradualSleep / AlwaysActive / NoOverhead policies,
+ * normalized to the 100%-activity baseline, at leakage factors
+ * p = 0.05 and p = 0.50. The primary numbers use alpha = 0.5; the
+ * alpha = 0.25 / 0.75 variants (the paper's range bars) are printed
+ * for MaxSleep as a representative.
+ *
+ * Arguments: insts=<n> (default 1000000), seed=<n>.
+ */
+
+#include <iostream>
+
+#include "common/logging.hh"
+#include "common/table.hh"
+#include "harness/benchmarks.hh"
+
+namespace
+{
+
+using namespace lsim;
+using namespace lsim::harness;
+
+energy::ModelParams
+params(double p, double alpha)
+{
+    energy::ModelParams mp;
+    mp.p = p;
+    mp.alpha = alpha;
+    mp.k = 0.001;
+    mp.s = 0.01;
+    return mp;
+}
+
+void
+printFigure(const SuiteRun &suite, double p)
+{
+    std::cout << "Figure 8" << (p < 0.25 ? 'a' : 'b')
+              << ": normalized energy (to 100% activity), p = "
+              << fixed(p, 2) << ", alpha = 0.5\n\n";
+
+    Table table({"App (FUs)", "MaxSleep", "GradualSleep",
+                 "AlwaysActive", "NoOverhead", "MS a=0.25",
+                 "MS a=0.75"});
+    double sum[4] = {0, 0, 0, 0};
+    for (const auto &ws : suite.sims) {
+        const auto res = evaluatePaperPolicies(ws.idle,
+                                               params(p, 0.5));
+        const auto lo = evaluatePaperPolicies(ws.idle,
+                                              params(p, 0.25));
+        const auto hi = evaluatePaperPolicies(ws.idle,
+                                              params(p, 0.75));
+        for (int i = 0; i < 4; ++i)
+            sum[i] += res[i].relative_to_base;
+        table.addRow({
+            ws.name + " (" + std::to_string(ws.num_fus) + ")",
+            fixed(res[0].relative_to_base, 3),
+            fixed(res[1].relative_to_base, 3),
+            fixed(res[2].relative_to_base, 3),
+            fixed(res[3].relative_to_base, 3),
+            fixed(lo[0].relative_to_base, 3),
+            fixed(hi[0].relative_to_base, 3),
+        });
+    }
+    const auto n = static_cast<double>(suite.sims.size());
+    table.addRow({"Average", fixed(sum[0] / n, 3),
+                  fixed(sum[1] / n, 3), fixed(sum[2] / n, 3),
+                  fixed(sum[3] / n, 3), "", ""});
+    table.print(std::cout);
+
+    const double ms = sum[0] / n, gs = sum[1] / n, aa = sum[2] / n,
+                 no = sum[3] / n;
+    if (p < 0.25) {
+        std::cout << "\nMaxSleep vs AlwaysActive: "
+                  << fixed(100.0 * (ms - aa) / aa, 1)
+                  << "% (paper: +8.3% — MaxSleep wastes energy at "
+                     "low leakage)\n"
+                  << "AlwaysActive vs NoOverhead: "
+                  << fixed(100.0 * (aa - no) / no, 1)
+                  << "% (paper: +5.3%)\n"
+                  << "GradualSleep vs AlwaysActive: "
+                  << fixed(100.0 * (gs - aa) / aa, 1)
+                  << "% (paper: within 2.0%)\n\n";
+    } else {
+        std::cout << "\nMaxSleep savings over AlwaysActive: "
+                  << fixed(100.0 * (aa - ms) / aa, 1)
+                  << "% (paper: 19.2%)\n"
+                  << "Share of the NoOverhead potential captured: "
+                  << fixed(100.0 * (aa - ms) / (aa - no), 1)
+                  << "% (paper: 70.4%)\n"
+                  << "GradualSleep vs MaxSleep: "
+                  << fixed(100.0 * (gs - ms) / ms, 1)
+                  << "% (paper: essentially identical)\n\n";
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    setInformEnabled(false);
+    SuiteOptions opts;
+    opts.insts = 1'000'000;
+    opts.parseArgs(argc, argv);
+
+    const SuiteRun suite = runSuite(opts);
+    printFigure(suite, 0.05);
+    printFigure(suite, 0.50);
+    return 0;
+}

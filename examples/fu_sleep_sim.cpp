@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Full-stack scenario: simulate a benchmark on the out-of-order
+ * core, capture per-FU idle behavior, and report what each sleep
+ * policy would have cost — the paper's Section 5 flow for a single
+ * benchmark.
+ *
+ * Usage: fu_sleep_sim [benchmark] [insts]
+ *        (default: mcf 500000; benchmarks: health mst gcc gzip mcf
+ *         parser twolf vortex vpr)
+ */
+
+#include <cstdlib>
+#include <iostream>
+
+#include "common/table.hh"
+#include "harness/experiment.hh"
+#include "trace/profile.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace lsim;
+    using namespace lsim::harness;
+
+    const std::string name = argc > 1 ? argv[1] : "mcf";
+    const std::uint64_t insts =
+        argc > 2 ? std::strtoull(argv[2], nullptr, 0) : 500000;
+
+    const auto &profile = trace::profileByName(name);
+    std::cout << "simulating " << name << " (" << profile.suite
+              << ", " << profile.paper_fus << " integer FUs, "
+              << insts << " instructions)\n";
+
+    const auto ws =
+        simulateWorkload(profile, profile.paper_fus, insts);
+
+    std::cout << "\nIPC " << fixed(ws.sim.ipc, 3) << " (paper "
+              << fixed(profile.paper_ipc, 3) << "), "
+              << "branch mispredict "
+              << fixed(100 * ws.sim.bpred.dirMispredictRate(), 1)
+              << "%, L1D miss "
+              << fixed(100 * ws.sim.l1d.missRate(), 1)
+              << "%, L2 miss "
+              << fixed(100 * ws.sim.l2.missRate(), 1) << "%\n";
+    std::cout << "FU idle fraction "
+              << fixed(ws.idle.idleFraction(), 3)
+              << ", mean idle interval "
+              << fixed(ws.idle.meanInterval(), 1) << " cycles over "
+              << ws.idle.numIntervals() << " intervals\n\n";
+
+    Table table({"p", "MaxSleep", "GradualSleep", "AlwaysActive",
+                 "NoOverhead", "winner"});
+    for (double p : {0.05, 0.1, 0.2, 0.5, 1.0}) {
+        energy::ModelParams mp;
+        mp.p = p;
+        mp.alpha = 0.5;
+        mp.k = 0.001;
+        mp.s = 0.01;
+        const auto res = evaluatePaperPolicies(ws.idle, mp);
+        std::size_t best = 0;
+        for (std::size_t i = 0; i < 3; ++i)
+            if (res[i].energy < res[best].energy)
+                best = i;
+        table.addRow({fixed(p, 2),
+                      fixed(res[0].relative_to_base, 3),
+                      fixed(res[1].relative_to_base, 3),
+                      fixed(res[2].relative_to_base, 3),
+                      fixed(res[3].relative_to_base, 3),
+                      res[best].name});
+    }
+    table.print(std::cout);
+    return 0;
+}

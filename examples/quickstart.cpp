@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Quickstart: the three layers of the library in ~60 lines.
+ *
+ *  1. Circuit level — characterize a dual-Vt domino gate and the
+ *     generic functional unit built from it.
+ *  2. Analytical level — derive the technology parameters (p, k, s)
+ *     and ask when sleeping pays off.
+ *  3. Policy level — feed a busy/idle pattern through the paper's
+ *     four sleep policies and compare energies.
+ */
+
+#include <iostream>
+
+#include "circuit/fu_circuit.hh"
+#include "energy/breakeven.hh"
+#include "sleep/accumulator.hh"
+
+int
+main()
+{
+    using namespace lsim;
+
+    // 1. Circuit level: a 70 nm dual-Vt domino functional unit.
+    circuit::Technology tech; // the paper's default corner
+    circuit::FunctionalUnitCircuit fu(tech);
+    std::cout << "FU of " << fu.numGates() << " OR8 gates: "
+              << "dynamic " << fu.dynamicEnergy() / 1000 << " pJ, "
+              << "leakage " << fu.leakHi() / 1000
+              << " pJ/cycle awake vs " << fu.leakLo()
+              << " fJ/cycle asleep\n";
+
+    // 2. Analytical level: derive model parameters and the breakeven.
+    auto mp = energy::ModelParams::fromCircuit(fu, /*alpha=*/0.5);
+    std::cout << "leakage factor p = " << mp.p << ", sleep ratio k = "
+              << mp.k << ", overhead s = " << mp.s << "\n";
+    std::cout << "sleeping pays off for idle intervals >= "
+              << energy::breakevenInterval(mp) << " cycles\n";
+
+    // The paper's pessimistic analysis point:
+    mp.p = 0.05;
+    mp.k = 0.001;
+    mp.s = 0.01;
+
+    // 3. Policy level: a workload that alternates 60 busy cycles
+    //    with idle periods of varying length.
+    auto eval = sleep::PolicyEvaluator::paperPolicies(mp);
+    for (Cycle idle : {4u, 12u, 40u, 120u, 8u, 30u, 400u}) {
+        eval.feedRun(true, 60);
+        eval.feedRun(false, idle);
+    }
+
+    std::cout << "\npolicy energies (normalized to E_A), "
+              << eval.totalCycles() << " cycles, idle fraction "
+              << eval.idleStats().idleFraction() << ":\n";
+    for (const auto &r : eval.results()) {
+        std::cout << "  " << r.name << ": " << r.energy
+                  << " (leakage share "
+                  << 100.0 * r.leakage_fraction << "%)\n";
+    }
+    return 0;
+}

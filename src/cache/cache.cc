@@ -1,0 +1,120 @@
+#include "cache/cache.hh"
+
+#include <bit>
+
+#include "common/logging.hh"
+
+namespace lsim::cache
+{
+
+std::uint64_t
+CacheConfig::numSets() const
+{
+    return size_bytes / (static_cast<std::uint64_t>(assoc) * line_bytes);
+}
+
+void
+CacheConfig::validate() const
+{
+    if (size_bytes == 0 || assoc == 0 || line_bytes == 0)
+        fatal("cache %s: zero geometry parameter", name.c_str());
+    if (!std::has_single_bit(static_cast<std::uint64_t>(line_bytes)))
+        fatal("cache %s: line size %u not a power of two",
+              name.c_str(), line_bytes);
+    const std::uint64_t sets = numSets();
+    if (sets == 0 || !std::has_single_bit(sets))
+        fatal("cache %s: set count %llu not a nonzero power of two",
+              name.c_str(), static_cast<unsigned long long>(sets));
+}
+
+Cache::Cache(const CacheConfig &config, Cache *next,
+             Cycle memory_latency)
+    : config_(config), next_(next), memory_latency_(memory_latency)
+{
+    config_.validate();
+    lines_.assign(config_.numSets() * config_.assoc, Line{});
+    set_mask_ = config_.numSets() - 1;
+    line_shift_ = static_cast<unsigned>(
+        std::countr_zero(static_cast<std::uint64_t>(config_.line_bytes)));
+}
+
+std::uint64_t
+Cache::setIndex(Addr addr) const
+{
+    return (addr >> line_shift_) & set_mask_;
+}
+
+Addr
+Cache::tagOf(Addr addr) const
+{
+    return addr >> line_shift_;
+}
+
+Cycle
+Cache::access(Addr addr, bool is_write)
+{
+    ++stats_.accesses;
+    const std::uint64_t set = setIndex(addr);
+    const Addr tag = tagOf(addr);
+    Line *base = &lines_[set * config_.assoc];
+
+    Line *victim = base;
+    for (unsigned way = 0; way < config_.assoc; ++way) {
+        Line &line = base[way];
+        if (line.valid && line.tag == tag) {
+            line.lru = ++lru_clock_;
+            line.dirty = line.dirty || is_write;
+            return config_.hit_latency;
+        }
+        if (!line.valid) {
+            victim = &line;
+        } else if (victim->valid && line.lru < victim->lru) {
+            victim = &line;
+        }
+    }
+
+    // Miss: fill from downstream (write-allocate).
+    ++stats_.misses;
+    Cycle fill = memory_latency_;
+    if (next_)
+        fill = next_->access(addr, false);
+
+    if (victim->valid && victim->dirty) {
+        ++stats_.writebacks;
+        if (next_) {
+            // Writebacks occupy the next level (affecting its
+            // contents) but are buffered, so they add no latency to
+            // the demand fill.
+            const Addr victim_addr =
+                victim->tag << line_shift_;
+            (void)next_->access(victim_addr, true);
+        }
+    }
+
+    victim->valid = true;
+    victim->dirty = is_write;
+    victim->tag = tag;
+    victim->lru = ++lru_clock_;
+    return config_.hit_latency + fill;
+}
+
+bool
+Cache::probe(Addr addr) const
+{
+    const std::uint64_t set = setIndex(addr);
+    const Addr tag = tagOf(addr);
+    const Line *base = &lines_[set * config_.assoc];
+    for (unsigned way = 0; way < config_.assoc; ++way)
+        if (base[way].valid && base[way].tag == tag)
+            return true;
+    return false;
+}
+
+void
+Cache::flush()
+{
+    for (auto &line : lines_)
+        line = Line{};
+}
+
+} // namespace lsim::cache

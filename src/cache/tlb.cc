@@ -1,0 +1,67 @@
+#include "cache/tlb.hh"
+
+#include <bit>
+
+#include "common/logging.hh"
+
+namespace lsim::cache
+{
+
+void
+TlbConfig::validate() const
+{
+    if (entries == 0 || assoc == 0 || entries % assoc != 0)
+        fatal("tlb %s: entries (%u) must be a multiple of assoc (%u)",
+              name.c_str(), entries, assoc);
+    if (!std::has_single_bit(static_cast<std::uint64_t>(entries / assoc)))
+        fatal("tlb %s: set count not a power of two", name.c_str());
+    if (!std::has_single_bit(page_bytes))
+        fatal("tlb %s: page size not a power of two", name.c_str());
+}
+
+Tlb::Tlb(const TlbConfig &config)
+    : config_(config)
+{
+    config_.validate();
+    entries_.assign(config_.entries, Entry{});
+    set_mask_ = config_.entries / config_.assoc - 1;
+    page_shift_ = static_cast<unsigned>(std::countr_zero(config_.page_bytes));
+}
+
+Cycle
+Tlb::access(Addr addr)
+{
+    ++stats_.accesses;
+    const Addr vpn = addr >> page_shift_;
+    const std::uint64_t set = vpn & set_mask_;
+    Entry *base = &entries_[set * config_.assoc];
+
+    Entry *victim = base;
+    for (unsigned way = 0; way < config_.assoc; ++way) {
+        Entry &e = base[way];
+        if (e.valid && e.vpn == vpn) {
+            e.lru = ++lru_clock_;
+            return 0;
+        }
+        if (!e.valid) {
+            victim = &e;
+        } else if (victim->valid && e.lru < victim->lru) {
+            victim = &e;
+        }
+    }
+
+    ++stats_.misses;
+    victim->valid = true;
+    victim->vpn = vpn;
+    victim->lru = ++lru_clock_;
+    return config_.miss_latency;
+}
+
+void
+Tlb::flush()
+{
+    for (auto &e : entries_)
+        e = Entry{};
+}
+
+} // namespace lsim::cache

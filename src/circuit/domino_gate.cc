@@ -1,0 +1,185 @@
+#include "circuit/domino_gate.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace lsim::circuit
+{
+
+namespace
+{
+
+/**
+ * Published Table 1 anchor values (70 nm, Vdd = 1 V, 4 GHz). All
+ * calibration constants below are solved from these anchors at
+ * construction time, so the calibration is self-documenting: change
+ * an anchor and the model tracks it.
+ */
+constexpr FemtoJoule kAnchorDynDual = 22.2;   // dual-Vt dynamic
+constexpr FemtoJoule kAnchorDynLow = 26.7;    // low-Vt dynamic
+constexpr FemtoJoule kAnchorLeakHi = 1.4;     // HI-state leakage/cycle
+constexpr FemtoJoule kAnchorLeakLoLowVt = 1.2;// low-Vt LO leakage
+constexpr FemtoJoule kAnchorSleepTr = 0.14;   // sleep transistor toggle
+constexpr PicoSecond kAnchorEvalDual = 15.0;  // dual-Vt eval delay
+constexpr PicoSecond kAnchorEvalLow = 19.3;   // low-Vt eval delay
+constexpr PicoSecond kAnchorSleepDelay = 16.0;// sleep discharge delay
+
+/** Keeper overdrive ratio squared for given keeper threshold. */
+double
+keeperStrengthFor(const Technology &tech, double vt_keeper)
+{
+    const double ratio = (tech.vdd - vt_keeper) / (tech.vdd - tech.vt_low);
+    return ratio * ratio;
+}
+
+/** Calibration constants solved once from the Table 1 anchors. */
+struct Calibration
+{
+    double beta;        ///< keeper contention energy factor
+    double e_base_fj;   ///< switched energy at Vdd=1V w/o contention
+    double gamma;       ///< keeper contention delay factor
+    double d0_ps;       ///< contention-free eval delay at default corner
+    double ds0_ps;      ///< sleep delay constant (high-Vt normalized)
+    double i0_amps;     ///< leakage current prefactor (eval stack)
+    double w_lo;        ///< LO-state leakage path width ratio
+};
+
+const Calibration &
+calibration()
+{
+    static const Calibration cal = [] {
+        const Technology def{};
+        Calibration c{};
+        // Energy: E_dyn(style) = e_base * vdd^2 * (1 + beta * ks)
+        // with ks the keeper strength; low-Vt keeper has ks = 1.
+        const double ks_dual = keeperStrengthFor(def, def.vt_high);
+        const double r = kAnchorDynLow / kAnchorDynDual;
+        c.beta = (r - 1.0) / (1.0 - r * ks_dual);
+        c.e_base_fj = kAnchorDynDual / (1.0 + c.beta * ks_dual);
+        // Delay: d_eval = d0 * delayFactor(vt_low) * (1 + gamma * ks).
+        const double rd = kAnchorEvalLow / kAnchorEvalDual;
+        c.gamma = (rd - 1.0) / (1.0 - rd * ks_dual);
+        c.d0_ps = kAnchorEvalDual / (1.0 + c.gamma * ks_dual);
+        // Sleep delay through the minimum-size high-Vt NS device.
+        c.ds0_ps = kAnchorSleepDelay / def.delayFactor(def.vt_high);
+        // Leakage: E = W * I0 * leakageScale(vt) * vdd * period.
+        c.i0_amps = (kAnchorLeakHi * 1e-15) /
+            (def.leakageScale(def.vt_low) * def.vdd *
+             def.periodPs() * 1e-12);
+        // LO-state path width, from the low-Vt row where both states
+        // leak through identical-Vt devices.
+        c.w_lo = kAnchorLeakLoLowVt / kAnchorLeakHi;
+        return c;
+    }();
+    return cal;
+}
+
+} // namespace
+
+std::string
+to_string(DominoStyle style)
+{
+    switch (style) {
+      case DominoStyle::LowVt:
+        return "low-Vt";
+      case DominoStyle::DualVt:
+        return "dual-Vt";
+      case DominoStyle::DualVtSleep:
+        return "dual-Vt w/sleep";
+    }
+    panic("unknown DominoStyle %d", static_cast<int>(style));
+}
+
+DominoGate::DominoGate(const Technology &tech, DominoStyle style)
+    : tech_(tech), style_(style)
+{
+    tech_.validate();
+}
+
+double
+DominoGate::keeperStrength() const
+{
+    const double vt_keeper =
+        style_ == DominoStyle::LowVt ? tech_.vt_low : tech_.vt_high;
+    return keeperStrengthFor(tech_, vt_keeper);
+}
+
+FemtoJoule
+DominoGate::dynamicEnergy() const
+{
+    const Calibration &c = calibration();
+    return c.e_base_fj * tech_.vdd * tech_.vdd *
+        (1.0 + c.beta * keeperStrength());
+}
+
+FemtoJoule
+DominoGate::leakHi() const
+{
+    // Dynamic node high: leakage flows through the low-Vt evaluation
+    // stack in every style.
+    const Calibration &c = calibration();
+    return c.i0_amps * tech_.leakageScale(tech_.vt_low) * tech_.vdd *
+        tech_.periodPs() * 1e-12 * 1e15;
+}
+
+FemtoJoule
+DominoGate::leakLo() const
+{
+    // Dynamic node low: the voltage drop is across the precharge /
+    // keeper / output path, which is high-Vt in the dual-Vt styles.
+    const Calibration &c = calibration();
+    const double vt =
+        style_ == DominoStyle::LowVt ? tech_.vt_low : tech_.vt_high;
+    return c.w_lo * c.i0_amps * tech_.leakageScale(vt) * tech_.vdd *
+        tech_.periodPs() * 1e-12 * 1e15;
+}
+
+FemtoJoule
+DominoGate::sleepTransistorEnergy() const
+{
+    if (style_ != DominoStyle::DualVtSleep)
+        return 0.0;
+    // Gate capacitance toggle of the minimally sized NS device.
+    return kAnchorSleepTr * tech_.vdd * tech_.vdd;
+}
+
+PicoSecond
+DominoGate::evalDelay() const
+{
+    const Calibration &c = calibration();
+    return c.d0_ps * tech_.delayFactor(tech_.vt_low) *
+        (1.0 + c.gamma * keeperStrength());
+}
+
+PicoSecond
+DominoGate::sleepDelay() const
+{
+    if (style_ != DominoStyle::DualVtSleep)
+        return 0.0;
+    return calibration().ds0_ps * tech_.delayFactor(tech_.vt_high);
+}
+
+bool
+DominoGate::sleepFitsInCycle() const
+{
+    return style_ == DominoStyle::DualVtSleep &&
+        sleepDelay() <= tech_.periodPs();
+}
+
+GateCharacteristics
+DominoGate::characterize() const
+{
+    GateCharacteristics gc{};
+    gc.style = style_;
+    gc.eval_delay_ps = evalDelay();
+    gc.sleep_delay_ps = sleepDelay();
+    gc.dynamic_fj = dynamicEnergy();
+    gc.leak_lo_fj = leakLo();
+    gc.leak_hi_fj = leakHi();
+    gc.sleep_transistor_fj = sleepTransistorEnergy();
+    gc.has_sleep_mode = style_ == DominoStyle::DualVtSleep;
+    return gc;
+}
+
+} // namespace lsim::circuit

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Analytical model of an 8-input OR (OR8) domino gate in three
+ * circuit styles (Section 2 / Table 1 of the paper):
+ *
+ *  - LowVt:       all transistors low-Vt (fast, leaky everywhere);
+ *  - DualVt:      low-Vt only on the critical evaluation path,
+ *                 high-Vt elsewhere (keeper, precharge, output);
+ *  - DualVtSleep: DualVt plus the NS sleep transistor of Figure 2b
+ *                 that can force the dynamic node into the low
+ *                 leakage state.
+ *
+ * The gate has two leakage states determined by the internal dynamic
+ * node: HI (node precharged high; large leakage through the low-Vt
+ * evaluation stack) and LO (node discharged; remaining leakage only
+ * through high-Vt devices). In the DualVt styles the LO state leaks
+ * ~2000x less than the HI state.
+ */
+
+#ifndef LSIM_CIRCUIT_DOMINO_GATE_HH
+#define LSIM_CIRCUIT_DOMINO_GATE_HH
+
+#include <string>
+
+#include "circuit/technology.hh"
+#include "common/types.hh"
+
+namespace lsim::circuit
+{
+
+/** Domino circuit style (rows of the paper's Table 1). */
+enum class DominoStyle
+{
+    LowVt,       ///< all low-Vt devices
+    DualVt,      ///< dual-Vt, no sleep capability
+    DualVtSleep, ///< dual-Vt with the sleep transistor of Fig. 2b
+};
+
+/** @return human-readable style name. */
+std::string to_string(DominoStyle style);
+
+/**
+ * Characterization record for one gate, mirroring Table 1's columns.
+ * Energies are per gate; leakage energies are per clock cycle.
+ */
+struct GateCharacteristics
+{
+    DominoStyle style;
+    PicoSecond eval_delay_ps;      ///< evaluation propagation delay
+    PicoSecond sleep_delay_ps;     ///< sleep-discharge delay (0 if n/a)
+    FemtoJoule dynamic_fj;         ///< max switching energy per eval
+    FemtoJoule leak_lo_fj;         ///< leakage/cycle, dynamic node LO
+    FemtoJoule leak_hi_fj;         ///< leakage/cycle, dynamic node HI
+    FemtoJoule sleep_transistor_fj;///< energy to toggle sleep device
+    bool has_sleep_mode;           ///< style supports the sleep state
+};
+
+/**
+ * Analytical OR8 domino gate model.
+ *
+ * Calibration: four dimensionless constants (effective switched
+ * capacitance, keeper contention energy/delay factors, and the LO
+ * path width ratio) are fixed so that the default 70 nm Technology
+ * reproduces Table 1 of the paper:
+ *
+ *   style         eval    sleep   dyn    LO lkg    HI lkg   sleep
+ *   low-Vt        19.3 ps   --    26.7   1.2       1.4       --
+ *   dual-Vt       15.0 ps   --    22.2   7.1e-4    1.4       --
+ *   dual-Vt+slp   15.0 ps  16 ps  22.2   7.1e-4    1.4(*)   0.14
+ *
+ * (*) With sleep asserted the HI state is unreachable, so the
+ * effective "Vector HI" leakage of the sleeping gate equals the LO
+ * figure, as Table 1 reports.
+ *
+ * When the Technology is varied away from the default corner the
+ * model scales leakage exponentially with Vt and temperature and
+ * delay with the alpha-power law, allowing technology-sweep
+ * experiments (the paper's leakage factor p sweep).
+ */
+class DominoGate
+{
+  public:
+    /**
+     * @param tech Operating point (validated on construction).
+     * @param style Circuit style.
+     */
+    DominoGate(const Technology &tech, DominoStyle style);
+
+    /** @return full Table-1-style characterization of this gate. */
+    GateCharacteristics characterize() const;
+
+    /** Max dynamic (switching) energy of one evaluation, fJ. */
+    FemtoJoule dynamicEnergy() const;
+
+    /** Leakage energy per cycle with the dynamic node high, fJ. */
+    FemtoJoule leakHi() const;
+
+    /** Leakage energy per cycle with the dynamic node low, fJ. */
+    FemtoJoule leakLo() const;
+
+    /** Energy to toggle the sleep transistor once, fJ (0 if none). */
+    FemtoJoule sleepTransistorEnergy() const;
+
+    /** Evaluation propagation delay, ps. */
+    PicoSecond evalDelay() const;
+
+    /**
+     * Delay to force the dynamic node low through the sleep device,
+     * ps. Returns 0 for styles without a sleep mode.
+     */
+    PicoSecond sleepDelay() const;
+
+    /**
+     * True when the sleep transition (plus signal distribution)
+     * completes within one clock period, i.e. the gate can enter the
+     * sleep state in a single cycle as Section 2 argues.
+     */
+    bool sleepFitsInCycle() const;
+
+    DominoStyle style() const { return style_; }
+    const Technology &technology() const { return tech_; }
+
+  private:
+    /** Keeper overdrive ratio squared (contention strength). */
+    double keeperStrength() const;
+
+    Technology tech_;
+    DominoStyle style_;
+};
+
+} // namespace lsim::circuit
+
+#endif // LSIM_CIRCUIT_DOMINO_GATE_HH

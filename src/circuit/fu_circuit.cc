@@ -1,0 +1,84 @@
+#include "circuit/fu_circuit.hh"
+
+#include "common/logging.hh"
+
+namespace lsim::circuit
+{
+
+FunctionalUnitCircuit::FunctionalUnitCircuit(const Technology &tech)
+    : FunctionalUnitCircuit(tech, Shape{})
+{
+}
+
+FunctionalUnitCircuit::FunctionalUnitCircuit(const Technology &tech,
+                                             const Shape &shape)
+    : gate_(tech, DominoStyle::DualVtSleep), shape_(shape)
+{
+    if (shape_.rows == 0 || shape_.cascade_depth == 0)
+        fatal("FunctionalUnitCircuit: degenerate shape %ux%u",
+              shape_.rows, shape_.cascade_depth);
+}
+
+FemtoJoule
+FunctionalUnitCircuit::dynamicEnergy() const
+{
+    return numGates() * gate_.dynamicEnergy();
+}
+
+FemtoJoule
+FunctionalUnitCircuit::leakHi() const
+{
+    return numGates() * gate_.leakHi();
+}
+
+FemtoJoule
+FunctionalUnitCircuit::leakLo() const
+{
+    return numGates() * gate_.leakLo();
+}
+
+FemtoJoule
+FunctionalUnitCircuit::leakAfterEval(double alpha) const
+{
+    return numGates() *
+        (alpha * gate_.leakLo() + (1.0 - alpha) * gate_.leakHi());
+}
+
+FemtoJoule
+FunctionalUnitCircuit::sleepTransitionEnergy(double alpha) const
+{
+    // Discharging the (1 - alpha) still-charged nodes costs their
+    // dynamic switching energy (they will be precharged again on
+    // wakeup); only the first cascade stage carries a sleep
+    // transistor but the signal distribution spans the unit.
+    const double forced = (1.0 - alpha) * numGates();
+    return forced * gate_.dynamicEnergy() +
+        numGates() * gate_.sleepTransistorEnergy() +
+        shape_.sleep_driver_fj;
+}
+
+FemtoJoule
+FunctionalUnitCircuit::uncontrolledIdleEnergy(Cycle interval,
+                                              double alpha) const
+{
+    return static_cast<double>(interval) * leakAfterEval(alpha);
+}
+
+FemtoJoule
+FunctionalUnitCircuit::sleepIdleEnergy(Cycle interval, double alpha) const
+{
+    return sleepTransitionEnergy(alpha) +
+        static_cast<double>(interval) * leakLo();
+}
+
+Cycle
+FunctionalUnitCircuit::breakevenInterval(double alpha, Cycle limit) const
+{
+    for (Cycle n = 1; n < limit; ++n) {
+        if (sleepIdleEnergy(n, alpha) <= uncontrolledIdleEnergy(n, alpha))
+            return n;
+    }
+    return limit;
+}
+
+} // namespace lsim::circuit

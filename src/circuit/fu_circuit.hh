@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Generic functional-unit circuit: the paper's Section 2.1 approximates
+ * a functional unit by 500 OR8 domino gates arranged as 100 rows of
+ * five cascaded stages, plus the drivers that distribute the Sleep
+ * signal across the unit. This class aggregates per-gate energies to
+ * FU-level energies and implements the Figure 3 experiment
+ * (uncontrolled idle vs sleep mode energy over an idle interval).
+ */
+
+#ifndef LSIM_CIRCUIT_FU_CIRCUIT_HH
+#define LSIM_CIRCUIT_FU_CIRCUIT_HH
+
+#include "circuit/domino_gate.hh"
+#include "circuit/technology.hh"
+#include "common/types.hh"
+
+namespace lsim::circuit
+{
+
+/**
+ * Aggregate circuit model of one integer functional unit built from
+ * identical domino gates with a shared Sleep distribution network.
+ */
+class FunctionalUnitCircuit
+{
+  public:
+    /** Shape of the generic FU (Section 2.1). */
+    struct Shape
+    {
+        unsigned rows = 100;            ///< parallel rows
+        unsigned cascade_depth = 5;     ///< domino stages per row
+        /**
+         * Energy of the sleep-signal distribution buffers per sleep
+         * transition, fJ for the whole FU (~10 OR8 equivalents of
+         * buffer switching for a 100-row distribution tree).
+         * Calibrated so the alpha = 0.1 breakeven of Figure 3 lands
+         * at the paper's reported 17 cycles (the text: "If the
+         * circuit is not idle for at least 17 cycles then more
+         * energy is used than is saved").
+         */
+        FemtoJoule sleep_driver_fj = 222.0;
+    };
+
+    /**
+     * @param tech Operating point.
+     * @param shape FU geometry.
+     */
+    FunctionalUnitCircuit(const Technology &tech, const Shape &shape);
+
+    /** Construct with the paper's default 500-gate geometry. */
+    explicit FunctionalUnitCircuit(const Technology &tech);
+
+    /** Total number of domino gates in the unit. */
+    unsigned numGates() const { return shape_.rows * shape_.cascade_depth; }
+
+    /** Max dynamic energy of one evaluation across the FU, fJ. */
+    FemtoJoule dynamicEnergy() const;
+
+    /** FU leakage per cycle with all dynamic nodes high, fJ. */
+    FemtoJoule leakHi() const;
+
+    /** FU leakage per cycle with all dynamic nodes low, fJ. */
+    FemtoJoule leakLo() const;
+
+    /**
+     * FU leakage per cycle after an evaluation with activity factor
+     * @p alpha: fraction alpha of nodes are in the LO state, the rest
+     * in the HI state.
+     */
+    FemtoJoule leakAfterEval(double alpha) const;
+
+    /**
+     * Energy of one transition into the sleep state when the previous
+     * evaluation had activity factor @p alpha: the (1 - alpha)
+     * fraction of nodes that stayed charged must now discharge (and
+     * be re-precharged on wakeup, which is where the dynamic energy
+     * cost is really paid; the model books it at the transition as
+     * the paper does), plus the sleep transistor toggles and the
+     * Sleep distribution drivers.
+     */
+    FemtoJoule sleepTransitionEnergy(double alpha) const;
+
+    /**
+     * Total energy of an idle period of @p interval cycles with the
+     * clock gated but sleep NOT entered (Figure 3 "uncontrolled
+     * idle"): interval * leakAfterEval(alpha).
+     */
+    FemtoJoule uncontrolledIdleEnergy(Cycle interval, double alpha) const;
+
+    /**
+     * Total energy of an idle period of @p interval cycles spent in
+     * the sleep state, including the transition (Figure 3 "sleep
+     * mode"): sleepTransitionEnergy(alpha) + interval * leakLo().
+     */
+    FemtoJoule sleepIdleEnergy(Cycle interval, double alpha) const;
+
+    /**
+     * Smallest idle interval for which sleeping beats uncontrolled
+     * idle (circuit-level breakeven; ~17 cycles at alpha = 0.1 in the
+     * default technology). Returns the first integer cycle count at
+     * which sleepIdleEnergy <= uncontrolledIdleEnergy, searching up
+     * to @p limit; returns limit if never reached.
+     */
+    Cycle breakevenInterval(double alpha, Cycle limit = 100000) const;
+
+    const DominoGate &gate() const { return gate_; }
+    const Shape &shape() const { return shape_; }
+
+  private:
+    DominoGate gate_;
+    Shape shape_;
+};
+
+} // namespace lsim::circuit
+
+#endif // LSIM_CIRCUIT_FU_CIRCUIT_HH

@@ -1,0 +1,60 @@
+#include "circuit/technology.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace lsim::circuit
+{
+
+namespace
+{
+/** Boltzmann constant over elementary charge, volts per kelvin. */
+constexpr double kOverQ = 8.617333262e-5;
+} // namespace
+
+double
+Technology::thermalVoltage() const
+{
+    return kOverQ * temperature_k;
+}
+
+double
+Technology::leakageScale(double vt) const
+{
+    return std::exp(-vt / (swing_factor * thermalVoltage()));
+}
+
+double
+Technology::delayFactor(double vt) const
+{
+    // Normalized to the default corner's low-Vt drive so that delay
+    // constants calibrated at the default technology are expressed in
+    // picoseconds directly.
+    const Technology def{};
+    const double ref =
+        std::pow(def.vdd - def.vt_low, kAlphaPower) / def.vdd;
+    return ref * vdd / std::pow(vdd - vt, kAlphaPower);
+}
+
+void
+Technology::validate() const
+{
+    if (vdd <= 0.0)
+        fatal("Technology: vdd must be positive (got %g)", vdd);
+    if (vt_low <= 0.0 || vt_high <= vt_low)
+        fatal("Technology: require 0 < vt_low < vt_high "
+              "(got %g, %g)", vt_low, vt_high);
+    if (vt_high >= vdd)
+        fatal("Technology: vt_high (%g) must be below vdd (%g)",
+              vt_high, vdd);
+    if (temperature_k <= 0.0)
+        fatal("Technology: temperature must be positive");
+    if (clock_ghz <= 0.0)
+        fatal("Technology: clock frequency must be positive");
+    if (swing_factor < 1.0 || swing_factor > 3.0)
+        fatal("Technology: swing factor %g outside plausible [1,3]",
+              swing_factor);
+}
+
+} // namespace lsim::circuit

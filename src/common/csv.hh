@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Minimal CSV writer so bench harnesses can optionally dump raw series
+ * for external plotting alongside the ASCII tables.
+ */
+
+#ifndef LSIM_COMMON_CSV_HH
+#define LSIM_COMMON_CSV_HH
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace lsim
+{
+
+/**
+ * Writes rows of cells to a CSV file. Cells containing commas or
+ * quotes are quoted per RFC 4180.
+ */
+class CsvWriter
+{
+  public:
+    /** Open @p path for writing; fatal() on failure. */
+    explicit CsvWriter(const std::string &path);
+
+    /** Write one row. */
+    void writeRow(const std::vector<std::string> &cells);
+
+    /** @return true if the underlying stream is healthy. */
+    bool good() const { return out_.good(); }
+
+  private:
+    static std::string escape(const std::string &cell);
+
+    std::ofstream out_;
+};
+
+} // namespace lsim
+
+#endif // LSIM_COMMON_CSV_HH

@@ -1,0 +1,203 @@
+#include "common/json.hh"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/logging.hh"
+
+namespace lsim
+{
+
+JsonWriter::JsonWriter(std::ostream &os)
+    : os_(os)
+{
+}
+
+void
+JsonWriter::separator()
+{
+    if (!first_.empty()) {
+        if (!first_.back())
+            os_ << ",";
+        first_.back() = false;
+    }
+}
+
+void
+JsonWriter::key(const std::string &name)
+{
+    separator();
+    os_ << "\"" << escape(name) << "\":";
+}
+
+void
+JsonWriter::raw(const std::string &text)
+{
+    os_ << text;
+}
+
+void
+JsonWriter::beginObject()
+{
+    separator();
+    os_ << "{";
+    first_.push_back(true);
+    ++depth_;
+    started_ = true;
+}
+
+void
+JsonWriter::beginObject(const std::string &name)
+{
+    key(name);
+    os_ << "{";
+    first_.push_back(true);
+    ++depth_;
+}
+
+void
+JsonWriter::endObject()
+{
+    if (depth_ == 0)
+        panic("JsonWriter::endObject with no open scope");
+    os_ << "}";
+    first_.pop_back();
+    --depth_;
+}
+
+void
+JsonWriter::beginArray()
+{
+    separator();
+    os_ << "[";
+    first_.push_back(true);
+    ++depth_;
+    started_ = true;
+}
+
+void
+JsonWriter::beginArray(const std::string &name)
+{
+    key(name);
+    os_ << "[";
+    first_.push_back(true);
+    ++depth_;
+}
+
+void
+JsonWriter::endArray()
+{
+    if (depth_ == 0)
+        panic("JsonWriter::endArray with no open scope");
+    os_ << "]";
+    first_.pop_back();
+    --depth_;
+}
+
+void
+JsonWriter::field(const std::string &name, const std::string &v)
+{
+    key(name);
+    os_ << "\"" << escape(v) << "\"";
+}
+
+void
+JsonWriter::field(const std::string &name, const char *v)
+{
+    field(name, std::string(v));
+}
+
+void
+JsonWriter::field(const std::string &name, double v)
+{
+    key(name);
+    raw(number(v));
+}
+
+void
+JsonWriter::field(const std::string &name, std::uint64_t v)
+{
+    key(name);
+    os_ << v;
+}
+
+void
+JsonWriter::field(const std::string &name, unsigned v)
+{
+    field(name, static_cast<std::uint64_t>(v));
+}
+
+void
+JsonWriter::field(const std::string &name, bool v)
+{
+    key(name);
+    os_ << (v ? "true" : "false");
+}
+
+void
+JsonWriter::value(const std::string &v)
+{
+    separator();
+    os_ << "\"" << escape(v) << "\"";
+}
+
+void
+JsonWriter::value(double v)
+{
+    separator();
+    raw(number(v));
+}
+
+void
+JsonWriter::value(std::uint64_t v)
+{
+    separator();
+    os_ << v;
+}
+
+std::string
+JsonWriter::number(double v)
+{
+    if (!std::isfinite(v))
+        return "null"; // JSON has no inf/nan
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.12g", v);
+    return buf;
+}
+
+std::string
+JsonWriter::escape(const std::string &text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (char ch : text) {
+        switch (ch) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          default:
+            if (static_cast<unsigned char>(ch) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", ch);
+                out += buf;
+            } else {
+                out += ch;
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace lsim

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Minimal JSON emission for machine-readable statistics dumps. Only
+ * writing is supported (the simulator consumes no JSON); values are
+ * escaped per RFC 8259.
+ */
+
+#ifndef LSIM_COMMON_JSON_HH
+#define LSIM_COMMON_JSON_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace lsim
+{
+
+/**
+ * Streaming JSON writer with explicit begin/end nesting. Usage:
+ * @code
+ *   JsonWriter w(os);
+ *   w.beginObject();
+ *   w.field("ipc", 1.25);
+ *   w.beginArray("units");
+ *   w.value(0.5);
+ *   w.endArray();
+ *   w.endObject();
+ * @endcode
+ */
+class JsonWriter
+{
+  public:
+    explicit JsonWriter(std::ostream &os);
+
+    /** Open the root or a nested object (named inside objects). */
+    void beginObject();
+    void beginObject(const std::string &key);
+    void endObject();
+
+    /** Open an array (named inside objects). */
+    void beginArray();
+    void beginArray(const std::string &key);
+    void endArray();
+
+    /** Emit a key/value pair inside an object. */
+    void field(const std::string &key, const std::string &value);
+    void field(const std::string &key, const char *value);
+    void field(const std::string &key, double value);
+    void field(const std::string &key, std::uint64_t value);
+    void field(const std::string &key, unsigned value);
+    void field(const std::string &key, bool value);
+
+    /** Emit a bare value inside an array. */
+    void value(const std::string &value);
+    void value(double value);
+    void value(std::uint64_t value);
+
+    /** @return true when all opened scopes have been closed. */
+    bool balanced() const { return depth_ == 0 && started_; }
+
+  private:
+    void separator();
+    void key(const std::string &name);
+    void raw(const std::string &text);
+    static std::string escape(const std::string &text);
+    static std::string number(double value);
+
+    std::ostream &os_;
+    std::vector<bool> first_; ///< per-scope "no element yet" flags
+    int depth_ = 0;
+    bool started_ = false;
+};
+
+} // namespace lsim
+
+#endif // LSIM_COMMON_JSON_HH

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * gem5-style status and error reporting: panic/fatal for errors,
+ * warn/inform for status. panic() indicates an internal simulator bug
+ * and aborts; fatal() indicates a user/configuration error and exits.
+ */
+
+#ifndef LSIM_COMMON_LOGGING_HH
+#define LSIM_COMMON_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace lsim
+{
+
+/**
+ * Report an internal simulator bug and abort(). Use when a condition
+ * that should be impossible regardless of user input has occurred.
+ */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Report an unrecoverable user/configuration error and exit(1).
+ */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Warn about suspicious but non-fatal conditions. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Emit an informational status message. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/**
+ * Enable/disable inform() output (warnings and errors are always
+ * printed). Benches silence informs to keep table output clean.
+ */
+void setInformEnabled(bool enabled);
+
+/** @return true when inform() output is enabled. */
+bool informEnabled();
+
+/** panic() if @p cond is false; message includes @p msg. */
+inline void
+panicIf(bool cond, const char *msg)
+{
+    if (cond)
+        panic("%s", msg);
+}
+
+} // namespace lsim
+
+#endif // LSIM_COMMON_LOGGING_HH

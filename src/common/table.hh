@@ -1,0 +1,55 @@
+/**
+ * @file
+ * ASCII table rendering for bench harness output. Bench binaries print
+ * the same rows/series as the paper's tables and figures; this helper
+ * keeps that output aligned and readable.
+ */
+
+#ifndef LSIM_COMMON_TABLE_HH
+#define LSIM_COMMON_TABLE_HH
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace lsim
+{
+
+/**
+ * A simple column-aligned ASCII table. Usage:
+ * @code
+ *   Table t({"policy", "energy"});
+ *   t.addRow({"MaxSleep", "0.42"});
+ *   t.print(std::cout);
+ * @endcode
+ */
+class Table
+{
+  public:
+    /** Construct with header cells. */
+    explicit Table(std::vector<std::string> header);
+
+    /** Append one row; must have the same arity as the header. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Render with padded columns and a rule under the header. */
+    void print(std::ostream &os) const;
+
+    /** Number of data rows added so far. */
+    std::size_t numRows() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format @p value with @p digits digits after the decimal point. */
+std::string fixed(double value, int digits = 3);
+
+/** Format @p value in scientific notation with @p digits digits. */
+std::string sci(double value, int digits = 2);
+
+} // namespace lsim
+
+#endif // LSIM_COMMON_TABLE_HH

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Fundamental scalar types shared across all lsim subsystems.
+ */
+
+#ifndef LSIM_COMMON_TYPES_HH
+#define LSIM_COMMON_TYPES_HH
+
+#include <cstdint>
+
+namespace lsim
+{
+
+/** Simulated clock cycle count. */
+using Cycle = std::uint64_t;
+
+/** Virtual/physical memory address in the simulated machine. */
+using Addr = std::uint64_t;
+
+/** Energy in femtojoules. All circuit-level energies use this unit. */
+using FemtoJoule = double;
+
+/** Energy in picojoules (used for FU-level aggregates, 1 pJ = 1000 fJ). */
+using PicoJoule = double;
+
+/** Time in picoseconds (circuit-level delays). */
+using PicoSecond = double;
+
+/** Sentinel for "no register". */
+inline constexpr int kNoReg = -1;
+
+} // namespace lsim
+
+#endif // LSIM_COMMON_TYPES_HH

@@ -1,0 +1,177 @@
+#include "cpu/bpred.hh"
+
+#include "common/logging.hh"
+
+namespace lsim::cpu
+{
+
+BranchPredictor::BranchPredictor(const BpredConfig &config)
+    : config_(config)
+{
+    config_.validate();
+    bimodal_.assign(config_.bimodal_entries, 1);
+    gshare_.assign(config_.gshare_entries, 1);
+    chooser_.assign(config_.chooser_entries, 1);
+    hist_mask_ = (1u << config_.hist_bits) - 1;
+    btb_.assign(static_cast<std::size_t>(config_.btb_sets) *
+                config_.btb_assoc, BtbEntry{});
+    ras_.assign(config_.ras_entries, 0);
+}
+
+void
+BranchPredictor::reset()
+{
+    *this = BranchPredictor(config_);
+}
+
+bool
+BranchPredictor::predictDirection(Addr pc, bool actual_taken)
+{
+    const std::size_t bi = (pc >> 2) & (config_.bimodal_entries - 1);
+    const std::size_t gi =
+        ((pc >> 2) ^ history_) & (config_.gshare_entries - 1);
+    const std::size_t ci = (pc >> 2) & (config_.chooser_entries - 1);
+
+    const bool bim_pred = counterTaken(bimodal_[bi]);
+    const bool gsh_pred = counterTaken(gshare_[gi]);
+    const bool use_gshare = counterTaken(chooser_[ci]);
+    const bool pred = use_gshare ? gsh_pred : bim_pred;
+
+    // Train: component counters always, chooser only when the
+    // components disagree (standard combining predictor update).
+    bimodal_[bi] = counterUpdate(bimodal_[bi], actual_taken);
+    gshare_[gi] = counterUpdate(gshare_[gi], actual_taken);
+    if (bim_pred != gsh_pred)
+        chooser_[ci] =
+            counterUpdate(chooser_[ci], gsh_pred == actual_taken);
+    history_ = ((history_ << 1) | (actual_taken ? 1 : 0)) & hist_mask_;
+    return pred;
+}
+
+bool
+BranchPredictor::lookupBtb(Addr pc, Addr &target) const
+{
+    const std::size_t set =
+        (pc >> 2) & (config_.btb_sets - 1);
+    const BtbEntry *base = &btb_[set * config_.btb_assoc];
+    for (unsigned way = 0; way < config_.btb_assoc; ++way) {
+        if (base[way].valid && base[way].pc == pc) {
+            target = base[way].target;
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+BranchPredictor::updateBtb(Addr pc, Addr target)
+{
+    const std::size_t set =
+        (pc >> 2) & (config_.btb_sets - 1);
+    BtbEntry *base = &btb_[set * config_.btb_assoc];
+    BtbEntry *victim = base;
+    for (unsigned way = 0; way < config_.btb_assoc; ++way) {
+        BtbEntry &e = base[way];
+        if (e.valid && e.pc == pc) {
+            e.target = target;
+            e.lru = ++btb_clock_;
+            return;
+        }
+        if (!e.valid) {
+            victim = &e;
+        } else if (victim->valid && e.lru < victim->lru) {
+            victim = &e;
+        }
+    }
+    victim->valid = true;
+    victim->pc = pc;
+    victim->target = target;
+    victim->lru = ++btb_clock_;
+}
+
+BpredResult
+BranchPredictor::predict(const trace::MicroOp &op)
+{
+    using trace::OpClass;
+
+    ++stats_.lookups;
+    BpredResult res;
+
+    switch (op.cls) {
+      case OpClass::Branch: {
+        ++stats_.cond_branches;
+        res.pred_taken = predictDirection(op.pc, op.taken);
+        res.dir_correct = res.pred_taken == op.taken;
+        if (!res.dir_correct) {
+            ++stats_.dir_mispredicts;
+            res.mispredict = true;
+        } else if (res.pred_taken) {
+            Addr target = 0;
+            if (lookupBtb(op.pc, target)) {
+                res.target_known = target == op.target;
+                if (!res.target_known) {
+                    // Stale BTB entry: fetched down the wrong path.
+                    ++stats_.target_mispredicts;
+                    res.mispredict = true;
+                }
+            } else {
+                // Direction right but no target yet: short refetch.
+                res.btb_cold = true;
+                ++stats_.btb_cold_misses;
+            }
+        }
+        if (op.taken)
+            updateBtb(op.pc, op.target);
+        break;
+      }
+      case OpClass::Call: {
+        // Calls are unconditionally taken; target through the BTB.
+        res.pred_taken = true;
+        res.dir_correct = true;
+        Addr target = 0;
+        if (lookupBtb(op.pc, target)) {
+            res.target_known = target == op.target;
+            if (!res.target_known) {
+                ++stats_.target_mispredicts;
+                res.mispredict = true;
+            }
+        } else {
+            res.btb_cold = true;
+            ++stats_.btb_cold_misses;
+        }
+        updateBtb(op.pc, op.target);
+        // Push the return address (the instruction after the call).
+        ras_[ras_top_ % config_.ras_entries] = op.pc + 4;
+        ++ras_top_;
+        ++stats_.ras_pushes;
+        break;
+      }
+      case OpClass::Return: {
+        res.pred_taken = true;
+        res.dir_correct = true;
+        ++stats_.ras_pops;
+        if (ras_top_ > 0) {
+            --ras_top_;
+            const Addr predicted =
+                ras_[ras_top_ % config_.ras_entries];
+            // The generator's return targets are block addresses,
+            // not literal call_pc+4; treat a non-empty pop as target
+            // known only when it matches.
+            res.target_known = predicted == op.target;
+        } else {
+            res.target_known = false;
+        }
+        if (!res.target_known) {
+            ++stats_.target_mispredicts;
+            res.mispredict = true;
+        }
+        break;
+      }
+      default:
+        panic("predict() on non-control op class %d",
+              static_cast<int>(op.cls));
+    }
+    return res;
+}
+
+} // namespace lsim::cpu

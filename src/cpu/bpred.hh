@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Combined branch predictor per Table 2: a bimodal predictor and a
+ * gshare (two-level, global-history) predictor arbitrated by a
+ * chooser table, plus a branch target buffer and a return address
+ * stack. 2-bit saturating counters throughout.
+ *
+ * Operation follows the usual trace-driven discipline: predict() is
+ * called at fetch with the resolved MicroOp, returns the prediction
+ * that the hardware would have made, then trains all structures with
+ * the actual outcome. Speculative history corruption on wrong paths
+ * is not modeled (wrong-path instructions are never fetched in a
+ * trace-driven front end); the configured mispredict penalty absorbs
+ * the difference.
+ */
+
+#ifndef LSIM_CPU_BPRED_HH
+#define LSIM_CPU_BPRED_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "cpu/config.hh"
+#include "trace/op.hh"
+
+namespace lsim::cpu
+{
+
+/** Prediction outcome for one control instruction. */
+struct BpredResult
+{
+    bool pred_taken = false;   ///< predicted direction
+    bool dir_correct = false;  ///< direction matched actual outcome
+    bool target_known = false; ///< BTB/RAS produced the right target
+    /**
+     * Full mispredict: wrong direction, or taken with a wrong
+     * predicted target (RAS mismatch / BTB stale entry). Costs the
+     * configured mispredict penalty.
+     */
+    bool mispredict = false;
+    /**
+     * Direction correct &&taken, but the BTB had no entry: the
+     * front end discovers the target a couple of cycles later
+     * (decode); costs the smaller btb_miss_penalty.
+     */
+    bool btb_cold = false;
+};
+
+/** Aggregate predictor statistics. */
+struct BpredStats
+{
+    std::uint64_t lookups = 0;
+    std::uint64_t cond_branches = 0;
+    std::uint64_t dir_mispredicts = 0;
+    std::uint64_t target_mispredicts = 0;
+    std::uint64_t btb_cold_misses = 0;
+    std::uint64_t ras_pushes = 0;
+    std::uint64_t ras_pops = 0;
+
+    double
+    dirMispredictRate() const
+    {
+        return cond_branches ? static_cast<double>(dir_mispredicts) /
+            static_cast<double>(cond_branches) : 0.0;
+    }
+};
+
+/** The combined predictor. */
+class BranchPredictor
+{
+  public:
+    explicit BranchPredictor(const BpredConfig &config);
+
+    /**
+     * Predict and train on one control instruction (op.taken and
+     * op.target are the resolved outcome).
+     */
+    BpredResult predict(const trace::MicroOp &op);
+
+    const BpredStats &stats() const { return stats_; }
+
+    /** Reset tables, history and statistics. */
+    void reset();
+
+  private:
+    /** 2-bit counter helpers. */
+    static bool counterTaken(std::uint8_t ctr) { return ctr >= 2; }
+    static std::uint8_t
+    counterUpdate(std::uint8_t ctr, bool taken)
+    {
+        if (taken)
+            return ctr < 3 ? ctr + 1 : 3;
+        return ctr > 0 ? ctr - 1 : 0;
+    }
+
+    bool predictDirection(Addr pc, bool actual_taken);
+    bool lookupBtb(Addr pc, Addr &target) const;
+    void updateBtb(Addr pc, Addr target);
+
+    BpredConfig config_;
+    std::vector<std::uint8_t> bimodal_;
+    std::vector<std::uint8_t> gshare_;
+    std::vector<std::uint8_t> chooser_;
+    std::uint32_t history_ = 0;
+    std::uint32_t hist_mask_;
+
+    struct BtbEntry
+    {
+        Addr pc = 0;
+        Addr target = 0;
+        bool valid = false;
+        std::uint64_t lru = 0;
+    };
+    std::vector<BtbEntry> btb_;
+    std::uint64_t btb_clock_ = 0;
+
+    std::vector<Addr> ras_;
+    std::size_t ras_top_ = 0; ///< index of next push slot
+
+    BpredStats stats_;
+};
+
+} // namespace lsim::cpu
+
+#endif // LSIM_CPU_BPRED_HH

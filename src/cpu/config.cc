@@ -1,0 +1,74 @@
+#include "cpu/config.hh"
+
+#include <bit>
+
+#include "common/logging.hh"
+
+namespace lsim::cpu
+{
+
+namespace
+{
+void
+requirePow2(unsigned value, const char *what)
+{
+    if (value == 0 || !std::has_single_bit(value))
+        fatal("CoreConfig: %s (%u) must be a nonzero power of two",
+              what, value);
+}
+} // namespace
+
+void
+BpredConfig::validate() const
+{
+    requirePow2(bimodal_entries, "bimodal entries");
+    requirePow2(gshare_entries, "gshare entries");
+    requirePow2(chooser_entries, "chooser entries");
+    requirePow2(btb_sets, "BTB sets");
+    if (hist_bits == 0 || hist_bits > 20)
+        fatal("CoreConfig: history bits %u outside [1,20]", hist_bits);
+    if (ras_entries == 0)
+        fatal("CoreConfig: RAS must have at least one entry");
+    if (btb_assoc == 0)
+        fatal("CoreConfig: BTB associativity must be nonzero");
+}
+
+void
+CoreConfig::validate() const
+{
+    if (fetch_width == 0 || decode_width == 0 || issue_width == 0 ||
+        commit_width == 0)
+        fatal("CoreConfig: zero pipeline width");
+    if (fetch_queue_entries == 0 || rob_entries == 0 ||
+        int_iq_entries == 0 || fp_iq_entries == 0)
+        fatal("CoreConfig: zero queue capacity");
+    if (int_phys_regs < 32 || fp_phys_regs < 32)
+        fatal("CoreConfig: need at least 32 physical registers per "
+              "file (architectural state)");
+    if (num_int_fus == 0 || num_int_fus > 8)
+        fatal("CoreConfig: integer FU count %u outside [1,8]",
+              num_int_fus);
+    if (num_fp_fus == 0)
+        fatal("CoreConfig: need at least one FP unit");
+    if (dcache_ports == 0)
+        fatal("CoreConfig: need at least one D-cache port");
+    bpred.validate();
+}
+
+CoreConfig
+CoreConfig::withIntFus(unsigned n) const
+{
+    CoreConfig copy = *this;
+    copy.num_int_fus = n;
+    return copy;
+}
+
+CoreConfig
+CoreConfig::withL2Latency(Cycle lat) const
+{
+    CoreConfig copy = *this;
+    copy.mem.l2.hit_latency = lat;
+    return copy;
+}
+
+} // namespace lsim::cpu

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Trace-driven out-of-order core timing model (the paper's Table 2
+ * machine, modeled after the Alpha 21264 as configured in
+ * SimpleScalar).
+ *
+ * Pipeline: fetch (with combined branch prediction, I-cache/ITLB and
+ * taken-branch fetch break) -> rename/dispatch (ROB, physical
+ * registers, issue queues, LSQ) -> out-of-order issue (oldest-first,
+ * round-robin integer FU allocation, conservative memory dependence,
+ * D-cache/DTLB access at execute) -> writeback (wakeup, branch
+ * redirect) -> in-order commit.
+ *
+ * Stages are evaluated commit-first within a cycle so that a result
+ * completing in cycle X can feed a dependent issuing in cycle X
+ * (back-to-back single-cycle dependencies, as real bypass networks
+ * provide).
+ *
+ * The trace is pre-executed, so wrong-path instructions are never
+ * fetched; the cost of misprediction is charged as a fetch stall
+ * from the branch's fetch until its execution plus the configured
+ * redirect penalty.
+ */
+
+#ifndef LSIM_CPU_CORE_HH
+#define LSIM_CPU_CORE_HH
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "cache/hierarchy.hh"
+#include "common/types.hh"
+#include "cpu/bpred.hh"
+#include "cpu/config.hh"
+#include "cpu/fu_pool.hh"
+#include "cpu/issue_queue.hh"
+#include "cpu/lsq.hh"
+#include "cpu/rename.hh"
+#include "cpu/rob.hh"
+#include "trace/generator.hh"
+
+namespace lsim::cpu
+{
+
+/** End-of-run summary. */
+struct SimResult
+{
+    Cycle cycles = 0;
+    std::uint64_t committed = 0;
+    double ipc = 0.0;
+
+    BpredStats bpred;
+    cache::CacheStats l1i;
+    cache::CacheStats l1d;
+    cache::CacheStats l2;
+    cache::TlbStats itlb;
+    cache::TlbStats dtlb;
+
+    /** Per-integer-FU utilization (busy cycles / total cycles). */
+    std::vector<double> fu_utilization;
+
+    /** Mean per-FU idle fraction across the integer units. */
+    double mean_fu_idle_fraction = 0.0;
+};
+
+/** The out-of-order core. Single-shot: construct, run(), read stats. */
+class O3Core
+{
+  public:
+    /**
+     * @param config Machine configuration (validated).
+     * @param gen Dynamic instruction source (not owned; must outlive
+     *        the core).
+     */
+    O3Core(const CoreConfig &config, trace::TraceGenerator &gen);
+
+    /**
+     * Register a sink receiving each integer FU's maximal busy/idle
+     * runs (the energy harness hook). Must be called before run().
+     */
+    void setFuRunSink(FuPool::RunSink sink);
+
+    /**
+     * Simulate until @p max_insts instructions commit.
+     * @return the run summary (also retrievable from accessors).
+     */
+    SimResult run(std::uint64_t max_insts);
+
+    const FuPool &fuPool() const { return fu_pool_; }
+    const cache::MemoryHierarchy &memory() const { return mem_; }
+    const BranchPredictor &branchPredictor() const { return bpred_; }
+    const CoreConfig &config() const { return config_; }
+    Cycle now() const { return now_; }
+
+  private:
+    /** Fetch queue entry: a fetched op plus front-end annotations. */
+    struct FetchedOp
+    {
+        trace::MicroOp op;
+        bool resteer = false; ///< mispredicted; redirect at execute
+    };
+
+    void commitStage();
+    void writebackStage();
+    void issueStage();
+    void renameStage();
+    void fetchStage();
+
+    bool sourcesReady(const RobEntry &entry) const;
+    RenameMap &fileOf(int logical_reg);
+    const RenameMap &fileOf(int logical_reg) const;
+
+    CoreConfig config_;
+    trace::TraceGenerator &gen_;
+    cache::MemoryHierarchy mem_;
+    BranchPredictor bpred_;
+    RenameMap int_map_;
+    RenameMap fp_map_;
+    ReorderBuffer rob_;
+    IssueQueue int_iq_;
+    IssueQueue fp_iq_;
+    LoadStoreQueue lsq_;
+    FuPool fu_pool_;
+
+    std::deque<FetchedOp> fetch_queue_;
+    std::optional<trace::MicroOp> pending_;
+
+    /** Seqs issued but not yet completed (writeback work list). */
+    std::vector<std::uint64_t> inflight_;
+
+    Cycle now_ = 0;
+    std::uint64_t committed_ = 0;
+    bool ran_ = false;
+
+    // Front-end stall state.
+    bool waiting_resteer_ = false;
+    Cycle fetch_resume_cycle_ = 0;
+    Cycle icache_ready_cycle_ = 0;
+    Addr cur_fetch_line_ = ~Addr{0};
+
+    // Per-cycle issue bookkeeping.
+    unsigned fp_issued_ = 0;
+    unsigned dcache_ports_used_ = 0;
+
+    /** Commit-progress watchdog (deadlock detection). */
+    Cycle last_commit_cycle_ = 0;
+    static constexpr Cycle kDeadlockWindow = 200000;
+};
+
+} // namespace lsim::cpu
+
+#endif // LSIM_CPU_CORE_HH

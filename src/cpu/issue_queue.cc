@@ -1,0 +1,24 @@
+#include "cpu/issue_queue.hh"
+
+namespace lsim::cpu
+{
+
+IssueQueue::IssueQueue(unsigned capacity)
+    : capacity_(capacity)
+{
+    if (capacity_ == 0)
+        fatal("IssueQueue: zero capacity");
+    seqs_.reserve(capacity_);
+}
+
+void
+IssueQueue::insert(std::uint64_t seq)
+{
+    if (full())
+        panic("IssueQueue::insert when full");
+    if (!seqs_.empty() && seqs_.back() >= seq)
+        panic("IssueQueue::insert out of program order");
+    seqs_.push_back(seq);
+}
+
+} // namespace lsim::cpu

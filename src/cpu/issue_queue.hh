@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Issue queue: a bounded window of dispatched instructions waiting
+ * for operands and a functional unit, selected oldest-first.
+ * Instructions are referenced by ROB sequence number.
+ */
+
+#ifndef LSIM_CPU_ISSUE_QUEUE_HH
+#define LSIM_CPU_ISSUE_QUEUE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace lsim::cpu
+{
+
+/**
+ * Capacity-bounded, age-ordered collection of waiting instruction
+ * sequence numbers. Insertions arrive in program order, so the
+ * underlying vector stays age-sorted; removal compacts it.
+ */
+class IssueQueue
+{
+  public:
+    explicit IssueQueue(unsigned capacity);
+
+    bool full() const { return seqs_.size() == capacity_; }
+    bool empty() const { return seqs_.empty(); }
+    std::size_t size() const { return seqs_.size(); }
+    unsigned capacity() const { return capacity_; }
+
+    /** Insert @p seq (program order); panics when full. */
+    void insert(std::uint64_t seq);
+
+    /**
+     * Visit waiting instructions oldest-first; @p fn returns true to
+     * issue (remove) the entry, false to leave it. Iteration
+     * continues over the remaining entries either way; @p fn may
+     * stop the scan early by calling the provided stop token.
+     *
+     * @tparam Fn callable (std::uint64_t seq) -> bool.
+     */
+    template <typename Fn>
+    void
+    selectIssue(Fn &&fn)
+    {
+        std::size_t out = 0;
+        bool stopped = false;
+        for (std::size_t i = 0; i < seqs_.size(); ++i) {
+            if (!stopped && fn(seqs_[i], stopped)) {
+                continue; // issued: drop from the queue
+            }
+            seqs_[out++] = seqs_[i];
+        }
+        seqs_.resize(out);
+    }
+
+    /** Drop everything (used only by tests). */
+    void clear() { seqs_.clear(); }
+
+  private:
+    unsigned capacity_;
+    std::vector<std::uint64_t> seqs_;
+};
+
+} // namespace lsim::cpu
+
+#endif // LSIM_CPU_ISSUE_QUEUE_HH

@@ -1,0 +1,98 @@
+#include "cpu/lsq.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace lsim::cpu
+{
+
+LoadStoreQueue::LoadStoreQueue(unsigned load_entries,
+                               unsigned store_entries)
+    : load_cap_(load_entries), store_cap_(store_entries)
+{
+    if (load_cap_ == 0 || store_cap_ == 0)
+        fatal("LoadStoreQueue: zero capacity");
+    entries_.reserve(load_cap_ + store_cap_);
+}
+
+void
+LoadStoreQueue::insert(std::uint64_t seq, Addr addr, bool is_store)
+{
+    if (is_store && !canInsertStore())
+        panic("LoadStoreQueue: store insert when full");
+    if (!is_store && !canInsertLoad())
+        panic("LoadStoreQueue: load insert when full");
+    if (!entries_.empty() && entries_.back().seq >= seq)
+        panic("LoadStoreQueue: insert out of program order");
+
+    LsqEntry e;
+    e.seq = seq;
+    e.addr = addr;
+    e.is_store = is_store;
+    e.addr_ready = false;
+    e.valid = true;
+    entries_.push_back(e);
+    if (is_store)
+        ++num_stores_;
+    else
+        ++num_loads_;
+}
+
+void
+LoadStoreQueue::setAddrReady(std::uint64_t seq)
+{
+    for (auto &e : entries_) {
+        if (e.seq == seq) {
+            e.addr_ready = true;
+            return;
+        }
+    }
+    panic("LoadStoreQueue::setAddrReady: seq %llu not present",
+          static_cast<unsigned long long>(seq));
+}
+
+bool
+LoadStoreQueue::olderStoresReady(std::uint64_t seq) const
+{
+    for (const auto &e : entries_) {
+        if (e.seq >= seq)
+            break;
+        if (e.is_store && !e.addr_ready)
+            return false;
+    }
+    return true;
+}
+
+bool
+LoadStoreQueue::forwardsFromStore(std::uint64_t seq, Addr addr) const
+{
+    const Addr word = addr >> 3;
+    bool forwards = false;
+    for (const auto &e : entries_) {
+        if (e.seq >= seq)
+            break;
+        if (e.is_store && e.addr_ready && (e.addr >> 3) == word)
+            forwards = true; // youngest older store wins; keep scanning
+    }
+    return forwards;
+}
+
+void
+LoadStoreQueue::remove(std::uint64_t seq)
+{
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+        if (it->seq == seq) {
+            if (it->is_store)
+                --num_stores_;
+            else
+                --num_loads_;
+            entries_.erase(it);
+            return;
+        }
+    }
+    panic("LoadStoreQueue::remove: seq %llu not present",
+          static_cast<unsigned long long>(seq));
+}
+
+} // namespace lsim::cpu

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Load and store queues. The LSQ tracks in-flight memory operations
+ * in program order and enforces a conservative memory dependence
+ * discipline: a load may issue only once every older store has
+ * computed its address; a load whose address matches an older
+ * in-flight store's word is satisfied by forwarding (no cache
+ * access). Stores update the data cache at commit.
+ */
+
+#ifndef LSIM_CPU_LSQ_HH
+#define LSIM_CPU_LSQ_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace lsim::cpu
+{
+
+/** One in-flight memory operation. */
+struct LsqEntry
+{
+    std::uint64_t seq = 0;   ///< owning instruction's sequence number
+    Addr addr = 0;
+    bool is_store = false;
+    bool addr_ready = false; ///< address generation completed
+    bool valid = false;
+};
+
+/** Combined load/store queue with separate capacity accounting. */
+class LoadStoreQueue
+{
+  public:
+    LoadStoreQueue(unsigned load_entries, unsigned store_entries);
+
+    /** @return true when a load (store) can be inserted. */
+    bool canInsertLoad() const { return num_loads_ < load_cap_; }
+    bool canInsertStore() const { return num_stores_ < store_cap_; }
+
+    /** Insert a memory op in program order. */
+    void insert(std::uint64_t seq, Addr addr, bool is_store);
+
+    /** Mark address generation done for the entry owned by @p seq. */
+    void setAddrReady(std::uint64_t seq);
+
+    /**
+     * @return true when every store older than @p seq has its
+     * address (conservative load issue condition).
+     */
+    bool olderStoresReady(std::uint64_t seq) const;
+
+    /**
+     * @return true when an older in-flight store to the same word
+     * (8-byte granule) as @p addr exists with a known address —
+     * the load forwards and skips the cache.
+     */
+    bool forwardsFromStore(std::uint64_t seq, Addr addr) const;
+
+    /** Remove the entry of @p seq (commit or squash). */
+    void remove(std::uint64_t seq);
+
+    std::size_t numLoads() const { return num_loads_; }
+    std::size_t numStores() const { return num_stores_; }
+
+  private:
+    unsigned load_cap_;
+    unsigned store_cap_;
+    std::vector<LsqEntry> entries_; ///< program order, compacted
+    std::size_t num_loads_ = 0;
+    std::size_t num_stores_ = 0;
+};
+
+} // namespace lsim::cpu
+
+#endif // LSIM_CPU_LSQ_HH

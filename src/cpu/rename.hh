@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Register renaming: logical-to-physical map, free list, and a
+ * physical-register ready scoreboard for one register file (the core
+ * instantiates one for the integer file and one for the FP file).
+ *
+ * The conventional scheme: rename allocates a fresh physical
+ * register for each destination and remembers the previous mapping;
+ * the previous physical register is freed when the instruction
+ * commits. Trace-driven simulation fetches no wrong-path
+ * instructions, so no checkpoint/rollback machinery is needed — the
+ * timing cost of recovery is charged via the mispredict penalty.
+ */
+
+#ifndef LSIM_CPU_RENAME_HH
+#define LSIM_CPU_RENAME_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace lsim::cpu
+{
+
+/** Sentinel physical register meaning "no register". */
+inline constexpr int kNoPhysReg = -1;
+
+/** Rename state for one register file. */
+class RenameMap
+{
+  public:
+    /**
+     * @param num_logical Logical (architectural) register count.
+     * @param num_physical Physical register count (>= num_logical).
+     */
+    RenameMap(unsigned num_logical, unsigned num_physical);
+
+    /** @return true when a destination can be allocated. */
+    bool hasFreeReg() const { return !free_list_.empty(); }
+
+    /** Number of free physical registers. */
+    std::size_t numFree() const { return free_list_.size(); }
+
+    /**
+     * Look up the current physical mapping of logical register
+     * @p logical (for a source operand).
+     */
+    int lookup(int logical) const;
+
+    /**
+     * Allocate a new physical register for @p logical.
+     * @param[out] prev_phys The displaced mapping, to be freed when
+     *             the allocating instruction commits.
+     * @return the new physical register; panics if none free
+     *         (callers must check hasFreeReg()).
+     */
+    int allocate(int logical, int &prev_phys);
+
+    /** Return @p phys to the free list (at commit of the displacing
+     * instruction). */
+    void release(int phys);
+
+    /** @return true when physical register @p phys holds its value. */
+    bool isReady(int phys) const;
+
+    /** Mark @p phys as holding its value (writeback). */
+    void setReady(int phys);
+
+    unsigned numLogical() const { return num_logical_; }
+    unsigned numPhysical() const { return num_physical_; }
+
+  private:
+    unsigned num_logical_;
+    unsigned num_physical_;
+    std::vector<int> map_;          ///< logical -> physical
+    std::vector<int> free_list_;    ///< LIFO free pool
+    std::vector<bool> ready_;       ///< physical ready bits
+};
+
+} // namespace lsim::cpu
+
+#endif // LSIM_CPU_RENAME_HH

@@ -1,0 +1,76 @@
+#include "cpu/rob.hh"
+
+#include "common/logging.hh"
+
+namespace lsim::cpu
+{
+
+ReorderBuffer::ReorderBuffer(unsigned capacity)
+    : capacity_(capacity)
+{
+    if (capacity_ == 0)
+        fatal("ReorderBuffer: zero capacity");
+    entries_.resize(capacity_);
+}
+
+RobEntry &
+ReorderBuffer::allocate()
+{
+    if (full())
+        panic("ReorderBuffer::allocate when full");
+    const std::size_t slot = (head_ + size_) % capacity_;
+    ++size_;
+    RobEntry &entry = entries_[slot];
+    entry = RobEntry{};
+    entry.seq = next_seq_++;
+    return entry;
+}
+
+RobEntry &
+ReorderBuffer::head()
+{
+    if (empty())
+        panic("ReorderBuffer::head when empty");
+    return entries_[head_];
+}
+
+const RobEntry &
+ReorderBuffer::head() const
+{
+    if (empty())
+        panic("ReorderBuffer::head when empty");
+    return entries_[head_];
+}
+
+void
+ReorderBuffer::popHead()
+{
+    if (empty())
+        panic("ReorderBuffer::popHead when empty");
+    head_ = (head_ + 1) % capacity_;
+    --size_;
+    ++head_seq_;
+}
+
+std::size_t
+ReorderBuffer::slotOf(std::uint64_t seq) const
+{
+    return (head_ + (seq - head_seq_)) % capacity_;
+}
+
+RobEntry &
+ReorderBuffer::bySeq(std::uint64_t seq)
+{
+    if (!contains(seq))
+        panic("ReorderBuffer::bySeq: %llu not in flight",
+              static_cast<unsigned long long>(seq));
+    return entries_[slotOf(seq)];
+}
+
+bool
+ReorderBuffer::contains(std::uint64_t seq) const
+{
+    return seq >= head_seq_ && seq < head_seq_ + size_;
+}
+
+} // namespace lsim::cpu

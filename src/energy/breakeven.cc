@@ -1,0 +1,38 @@
+#include "energy/breakeven.hh"
+
+#include <cmath>
+#include <limits>
+
+#include "common/logging.hh"
+
+namespace lsim::energy
+{
+
+double
+breakevenInterval(const ModelParams &params)
+{
+    params.validate();
+    if (params.p <= 0.0 || params.k >= 1.0 || params.alpha >= 1.0)
+        return std::numeric_limits<double>::infinity();
+    return ((1.0 - params.alpha) + params.s) /
+        (params.p * (1.0 - params.alpha) * (1.0 - params.k));
+}
+
+double
+breakevenIntervalNumeric(const EnergyModel &model)
+{
+    const double e_ui = model.unctrlIdleCycleEnergy();
+    const double e_sl = model.sleepCycleEnergy();
+    const double e_tr = model.transitionEnergy();
+    if (e_ui <= e_sl)
+        return std::numeric_limits<double>::infinity();
+    return e_tr / (e_ui - e_sl);
+}
+
+bool
+sleepPaysOff(const ModelParams &params, double interval)
+{
+    return interval >= breakevenInterval(params);
+}
+
+} // namespace lsim::energy

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Analytical model of the GradualSleep design (Section 3.2,
+ * Figure 5).
+ *
+ * The circuit is divided into n_sl equal slices fed by a shift
+ * register: when Sleep is asserted at the start of an idle period,
+ * slice i enters the sleep state at idle cycle i (1-based). All
+ * slices wake simultaneously when Sleep deasserts. The paper sets
+ * n_sl to the breakeven interval of the technology so that each
+ * cycle 1/N_be of the circuit enters sleep; fewer slices behave like
+ * MaxSleep, more like AlwaysActive.
+ *
+ * For an idle interval of length L, slice i (fraction 1/n_sl of the
+ * unit):
+ *   - if i <= L: pays 1/n_sl of a full sleep transition, leaks
+ *     uncontrolled for (i-1) cycles and asleep for (L-i+1) cycles;
+ *   - if i > L: never sleeps; leaks uncontrolled for all L cycles.
+ */
+
+#ifndef LSIM_ENERGY_GRADUAL_SLEEP_MODEL_HH
+#define LSIM_ENERGY_GRADUAL_SLEEP_MODEL_HH
+
+#include "common/types.hh"
+#include "energy/model.hh"
+#include "energy/params.hh"
+
+namespace lsim::energy
+{
+
+/** Closed-form energy of GradualSleep over a single idle interval. */
+class GradualSleepModel
+{
+  public:
+    /**
+     * @param params Technology/application parameters.
+     * @param num_slices Number of circuit slices; 0 selects the
+     *        paper's default of round(breakeven interval), min 1.
+     */
+    explicit GradualSleepModel(const ModelParams &params,
+                               unsigned num_slices = 0);
+
+    /** Number of slices in effect. */
+    unsigned numSlices() const { return slices_; }
+
+    /**
+     * Normalized (to E_A) energy spent during one idle interval of
+     * @p interval cycles under GradualSleep, including transition
+     * costs — the Figure 5c "Gradual Sleep" curve.
+     */
+    double idleEnergy(Cycle interval) const;
+
+    /** Same quantity under MaxSleep (Figure 5c comparison curve). */
+    double maxSleepIdleEnergy(Cycle interval) const;
+
+    /** Same quantity under AlwaysActive. */
+    double alwaysActiveIdleEnergy(Cycle interval) const;
+
+    /**
+     * Cycle counts (fractional, weighted by slice size) that the
+     * GradualSleep schedule induces over one idle interval; feeding
+     * these to EnergyModel reproduces idleEnergy(). Exposed for the
+     * cycle-level controller tests.
+     */
+    CycleCounts idleCounts(Cycle interval) const;
+
+    const EnergyModel &model() const { return model_; }
+
+  private:
+    EnergyModel model_;
+    unsigned slices_;
+};
+
+} // namespace lsim::energy
+
+#endif // LSIM_ENERGY_GRADUAL_SLEEP_MODEL_HH

@@ -1,0 +1,119 @@
+#include "energy/model.hh"
+
+#include "common/logging.hh"
+
+namespace lsim::energy
+{
+
+CycleCounts &
+CycleCounts::operator+=(const CycleCounts &o)
+{
+    active += o.active;
+    unctrl_idle += o.unctrl_idle;
+    sleep += o.sleep;
+    transitions += o.transitions;
+    return *this;
+}
+
+double
+EnergyBreakdown::total() const
+{
+    return dynamic + active_leak + idle_leak + sleep_leak + transition;
+}
+
+double
+EnergyBreakdown::leakage() const
+{
+    return active_leak + idle_leak + sleep_leak;
+}
+
+double
+EnergyBreakdown::leakageFraction() const
+{
+    const double t = total();
+    return t > 0.0 ? leakage() / t : 0.0;
+}
+
+EnergyBreakdown &
+EnergyBreakdown::operator+=(const EnergyBreakdown &o)
+{
+    dynamic += o.dynamic;
+    active_leak += o.active_leak;
+    idle_leak += o.idle_leak;
+    sleep_leak += o.sleep_leak;
+    transition += o.transition;
+    return *this;
+}
+
+EnergyBreakdown &
+EnergyBreakdown::operator*=(double scale)
+{
+    dynamic *= scale;
+    active_leak *= scale;
+    idle_leak *= scale;
+    sleep_leak *= scale;
+    transition *= scale;
+    return *this;
+}
+
+EnergyModel::EnergyModel(const ModelParams &params)
+    : params_(params)
+{
+    params_.validate();
+}
+
+double
+EnergyModel::activeCycleEnergy() const
+{
+    const auto &mp = params_;
+    const double post_eval = mp.alpha * mp.k + (1.0 - mp.alpha);
+    return 1.0 + (mp.p / mp.alpha) *
+        ((1.0 - mp.duty) + mp.duty * post_eval);
+}
+
+double
+EnergyModel::unctrlIdleCycleEnergy() const
+{
+    const auto &mp = params_;
+    return (mp.p / mp.alpha) * (mp.alpha * mp.k + (1.0 - mp.alpha));
+}
+
+double
+EnergyModel::sleepCycleEnergy() const
+{
+    const auto &mp = params_;
+    return mp.k * mp.p / mp.alpha;
+}
+
+double
+EnergyModel::transitionEnergy() const
+{
+    const auto &mp = params_;
+    return (1.0 - mp.alpha) / mp.alpha + mp.s / mp.alpha;
+}
+
+EnergyBreakdown
+EnergyModel::breakdown(const CycleCounts &counts) const
+{
+    EnergyBreakdown eb;
+    eb.dynamic = counts.active * 1.0;
+    eb.active_leak = counts.active * (activeCycleEnergy() - 1.0);
+    eb.idle_leak = counts.unctrl_idle * unctrlIdleCycleEnergy();
+    eb.sleep_leak = counts.sleep * sleepCycleEnergy();
+    eb.transition = counts.transitions * transitionEnergy();
+    return eb;
+}
+
+double
+EnergyModel::normalizedEnergy(const CycleCounts &counts) const
+{
+    return breakdown(counts).total();
+}
+
+double
+EnergyModel::absoluteEnergyFj(const CycleCounts &counts) const
+{
+    return normalizedEnergy(counts) * params_.activeEnergyFj();
+}
+
+} // namespace lsim::energy

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * The paper's total-energy model, equations (1)-(3) of Section 3.
+ *
+ * Run time is divided into three operating categories:
+ *   N_A   active cycles (the unit evaluates);
+ *   N_UI  uncontrolled idle cycles (clock gated, sleep NOT entered);
+ *   N_S   sleep cycles (dynamic nodes forced to the low-leakage
+ *         state);
+ * plus n_s, the number of transitions into the sleep state.
+ *
+ * Equation (1) in absolute units:
+ *
+ *   E = N_A  * [ alpha*E_D + (1-D)*E_LHI
+ *                + D*(alpha*E_LLO + (1-alpha)*E_LHI) ]
+ *     + N_UI * [ alpha*E_LLO + (1-alpha)*E_LHI ]
+ *     + n_s  * [ (1-alpha)*E_D + E_sleepOH ]
+ *     + N_S  * E_LLO
+ *
+ * Equation (3) divides through by E_A = alpha * E_D. This module
+ * exposes both, plus a per-category breakdown used for the Figure 9b
+ * leakage-vs-total analysis.
+ */
+
+#ifndef LSIM_ENERGY_MODEL_HH
+#define LSIM_ENERGY_MODEL_HH
+
+#include "common/types.hh"
+#include "energy/params.hh"
+
+namespace lsim::energy
+{
+
+/** Operating-category cycle counts consumed by the model. */
+struct CycleCounts
+{
+    double active = 0.0;        ///< N_A
+    double unctrl_idle = 0.0;   ///< N_UI
+    double sleep = 0.0;         ///< N_S
+    double transitions = 0.0;   ///< n_s
+
+    /** Total accounted cycles (transitions are not cycles). */
+    double total() const { return active + unctrl_idle + sleep; }
+
+    CycleCounts &operator+=(const CycleCounts &o);
+};
+
+/**
+ * Energy split by physical source. "Dynamic" covers useful
+ * evaluation switching; "transition" covers the extra discharge +
+ * overhead of entering sleep; the three leakage terms cover
+ * subthreshold current in each operating category.
+ */
+struct EnergyBreakdown
+{
+    double dynamic = 0.0;       ///< N_A * alpha * E_D
+    double active_leak = 0.0;   ///< leakage during active cycles
+    double idle_leak = 0.0;     ///< leakage during uncontrolled idle
+    double sleep_leak = 0.0;    ///< leakage during sleep cycles
+    double transition = 0.0;    ///< sleep-entry discharge + overhead
+
+    /** Sum of every component. */
+    double total() const;
+
+    /**
+     * All leakage energy. Following the paper's Figure 9b accounting,
+     * the transition cost is dynamic (node discharge/precharge), not
+     * leakage.
+     */
+    double leakage() const;
+
+    /** Fraction of total energy that is leakage (0 when total==0). */
+    double leakageFraction() const;
+
+    EnergyBreakdown &operator+=(const EnergyBreakdown &o);
+    EnergyBreakdown &operator*=(double scale);
+};
+
+/**
+ * Evaluator for equations (1)-(3). Stateless apart from the
+ * parameters; cheap to copy.
+ */
+class EnergyModel
+{
+  public:
+    /** @param params Model parameters (validated). */
+    explicit EnergyModel(const ModelParams &params);
+
+    /**
+     * Total energy normalized to E_A = alpha*E_D per equation (3).
+     * One active cycle with zero leakage contributes exactly 1.0.
+     */
+    double normalizedEnergy(const CycleCounts &counts) const;
+
+    /** Total energy in femtojoules per equation (1)/(2). */
+    double absoluteEnergyFj(const CycleCounts &counts) const;
+
+    /** Per-source breakdown in normalized (E_A) units. */
+    EnergyBreakdown breakdown(const CycleCounts &counts) const;
+
+    /**
+     * Normalized leakage energy of one uncontrolled-idle cycle:
+     * p * (alpha*k + 1 - alpha) / alpha. The slope of the Figure 3
+     * "uncontrolled idle" lines in model units.
+     */
+    double unctrlIdleCycleEnergy() const;
+
+    /** Normalized leakage energy of one sleep cycle: k*p/alpha. */
+    double sleepCycleEnergy() const;
+
+    /**
+     * Normalized cost of one transition into sleep:
+     * (1-alpha)/alpha + s/alpha.
+     */
+    double transitionEnergy() const;
+
+    /**
+     * Normalized energy of one active cycle including its leakage:
+     * 1 + (p/alpha) * [(1-D) + D*(alpha*k + 1-alpha)].
+     */
+    double activeCycleEnergy() const;
+
+    const ModelParams &params() const { return params_; }
+
+  private:
+    ModelParams params_;
+};
+
+} // namespace lsim::energy
+
+#endif // LSIM_ENERGY_MODEL_HH

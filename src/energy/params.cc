@@ -1,0 +1,45 @@
+#include "energy/params.hh"
+
+#include "common/logging.hh"
+
+namespace lsim::energy
+{
+
+void
+ModelParams::validate() const
+{
+    if (p < 0.0 || p > 1.0)
+        fatal("ModelParams: leakage factor p=%g outside [0,1]", p);
+    if (k < 0.0 || k > 1.0)
+        fatal("ModelParams: sleep ratio k=%g outside [0,1]", k);
+    if (s < 0.0)
+        fatal("ModelParams: sleep overhead s=%g negative", s);
+    if (alpha <= 0.0 || alpha > 1.0)
+        fatal("ModelParams: activity factor alpha=%g outside (0,1]",
+              alpha);
+    if (duty < 0.0 || duty > 1.0)
+        fatal("ModelParams: duty cycle D=%g outside [0,1]", duty);
+    if (e_dyn_fj <= 0.0)
+        fatal("ModelParams: E_D=%g must be positive", e_dyn_fj);
+}
+
+ModelParams
+ModelParams::fromCircuit(const circuit::FunctionalUnitCircuit &fu,
+                         double alpha, double duty)
+{
+    ModelParams mp;
+    mp.e_dyn_fj = fu.dynamicEnergy();
+    mp.p = fu.leakHi() / fu.dynamicEnergy();
+    mp.k = fu.leakLo() / fu.leakHi();
+    // The overhead term covers the sleep transistors plus the Sleep
+    // distribution drivers; the (1 - alpha) node-discharge cost is
+    // modeled separately by the transition term of equation (3).
+    mp.s = (fu.numGates() * fu.gate().sleepTransistorEnergy() +
+            fu.shape().sleep_driver_fj) / fu.dynamicEnergy();
+    mp.alpha = alpha;
+    mp.duty = duty;
+    mp.validate();
+    return mp;
+}
+
+} // namespace lsim::energy

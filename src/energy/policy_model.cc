@@ -1,0 +1,105 @@
+#include "energy/policy_model.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace lsim::energy
+{
+
+std::string
+to_string(Policy policy)
+{
+    switch (policy) {
+      case Policy::AlwaysActive:
+        return "AlwaysActive";
+      case Policy::MaxSleep:
+        return "MaxSleep";
+      case Policy::NoOverhead:
+        return "NoOverhead";
+    }
+    panic("unknown Policy %d", static_cast<int>(policy));
+}
+
+void
+WorkloadPoint::validate() const
+{
+    if (usage < 0.0 || usage > 1.0)
+        fatal("WorkloadPoint: usage factor %g outside [0,1]", usage);
+    if (idle_interval <= 0.0)
+        fatal("WorkloadPoint: idle interval %g must be positive",
+              idle_interval);
+    if (total_cycles <= 0.0)
+        fatal("WorkloadPoint: total cycles %g must be positive",
+              total_cycles);
+}
+
+PolicyModel::PolicyModel(const ModelParams &params,
+                         const WorkloadPoint &workload)
+    : model_(params), workload_(workload)
+{
+    workload_.validate();
+}
+
+CycleCounts
+PolicyModel::counts(Policy policy) const
+{
+    const double total = workload_.total_cycles;
+    const double active = workload_.usage * total;
+    const double idle = total - active;
+
+    CycleCounts cc;
+    cc.active = active;
+    switch (policy) {
+      case Policy::AlwaysActive:
+        cc.unctrl_idle = idle;
+        break;
+      case Policy::MaxSleep:
+        cc.sleep = idle;
+        // Every transition into sleep implies at least one prior
+        // active cycle, hence the min() (Section 3.1).
+        cc.transitions =
+            std::min(idle / workload_.idle_interval, active);
+        break;
+      case Policy::NoOverhead:
+        cc.sleep = idle;
+        cc.transitions = 0.0;
+        break;
+    }
+    return cc;
+}
+
+double
+PolicyModel::energy(Policy policy) const
+{
+    return model_.normalizedEnergy(counts(policy));
+}
+
+double
+PolicyModel::baseEnergy() const
+{
+    CycleCounts cc;
+    cc.active = workload_.total_cycles;
+    return model_.normalizedEnergy(cc);
+}
+
+double
+PolicyModel::relativeEnergy(Policy policy) const
+{
+    return energy(policy) / baseEnergy();
+}
+
+EnergyBreakdown
+PolicyModel::breakdown(Policy policy) const
+{
+    return model_.breakdown(counts(policy));
+}
+
+double
+PolicyModel::minOfBoundingPolicies() const
+{
+    return std::min(energy(Policy::AlwaysActive),
+                    energy(Policy::MaxSleep));
+}
+
+} // namespace lsim::energy

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Closed-form policy energies, Section 3.1 equations (6)-(9) and
+ * Figures 4b-4d.
+ *
+ * The parameter space is reduced to a usage factor f_U (fraction of
+ * cycles the unit computes) and an average idle interval L_idle. For
+ * a run of T cycles:
+ *
+ *   N_A = f_U * T, and the (1 - f_U) * T idle cycles are split by
+ *   policy:
+ *     AlwaysActive: all idle cycles uncontrolled, no transitions;
+ *     MaxSleep:     all idle cycles asleep,
+ *                   n_s = min((1-f_U)*T / L_idle, N_A);
+ *     NoOverhead:   MaxSleep with the transition cost waived — an
+ *                   unachievable lower bound on energy.
+ *
+ * Energies are reported relative to E_base (eq. 9), the energy if
+ * the unit computed on every one of the T cycles.
+ */
+
+#ifndef LSIM_ENERGY_POLICY_MODEL_HH
+#define LSIM_ENERGY_POLICY_MODEL_HH
+
+#include <string>
+
+#include "energy/model.hh"
+#include "energy/params.hh"
+
+namespace lsim::energy
+{
+
+/** The closed-form-modeled control policies of Section 3.1. */
+enum class Policy
+{
+    AlwaysActive, ///< never assert Sleep; idle cycles leak at HI rate
+    MaxSleep,     ///< assert Sleep on every idle cycle
+    NoOverhead,   ///< MaxSleep minus transition cost (lower bound)
+};
+
+/** @return human-readable policy name as used in the paper. */
+std::string to_string(Policy policy);
+
+/** Workload abstraction for the closed forms. */
+struct WorkloadPoint
+{
+    double usage = 0.5;        ///< f_U: fraction of cycles active
+    double idle_interval = 10; ///< L_idle: mean idle interval, cycles
+    double total_cycles = 1e6; ///< T (only scales absolute energy)
+
+    /** Validate ranges; fatal() on out-of-domain values. */
+    void validate() const;
+};
+
+/**
+ * Evaluates equations (6)-(9) for a (technology, workload) pair.
+ */
+class PolicyModel
+{
+  public:
+    PolicyModel(const ModelParams &params, const WorkloadPoint &workload);
+
+    /** Cycle counts the given policy induces on this workload. */
+    CycleCounts counts(Policy policy) const;
+
+    /** Normalized (to E_A) total energy of @p policy, eq. (6)-(8). */
+    double energy(Policy policy) const;
+
+    /** E_base of eq. (9): energy at 100% usage, same alpha. */
+    double baseEnergy() const;
+
+    /** energy(policy) / baseEnergy() — the Figure 4b-4d y-axis. */
+    double relativeEnergy(Policy policy) const;
+
+    /** Per-source breakdown for @p policy in E_A units. */
+    EnergyBreakdown breakdown(Policy policy) const;
+
+    /**
+     * The min(MaxSleep, AlwaysActive) combination Section 3.2 calls
+     * "the best combination of the two policies".
+     */
+    double minOfBoundingPolicies() const;
+
+    const EnergyModel &model() const { return model_; }
+    const WorkloadPoint &workload() const { return workload_; }
+
+  private:
+    EnergyModel model_;
+    WorkloadPoint workload_;
+};
+
+} // namespace lsim::energy
+
+#endif // LSIM_ENERGY_POLICY_MODEL_HH

@@ -1,0 +1,123 @@
+#include "harness/benchmarks.hh"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace lsim::harness
+{
+
+void
+SuiteOptions::parseArgs(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (std::strncmp(arg, "insts=", 6) == 0) {
+            insts = std::strtoull(arg + 6, nullptr, 0);
+            if (insts == 0)
+                fatal("bad insts= argument '%s'", arg);
+        } else if (std::strncmp(arg, "seed=", 5) == 0) {
+            seed = std::strtoull(arg + 5, nullptr, 0);
+        } else {
+            warn("ignoring unrecognized argument '%s'", arg);
+        }
+    }
+}
+
+const WorkloadSim &
+SuiteRun::byName(const std::string &name) const
+{
+    for (const auto &ws : sims)
+        if (ws.name == name)
+            return ws;
+    fatal("no benchmark named '%s' in suite run", name.c_str());
+}
+
+stats::Log2Histogram
+SuiteRun::combinedIdleHistogram() const
+{
+    stats::Log2Histogram combined(8192);
+    for (const auto &ws : sims)
+        combined.merge(ws.idle_hist);
+    // Average so each benchmark contributes equally; the per-sim
+    // histograms are fractions of each FU's time summed over FUs.
+    if (!sims.empty()) {
+        stats::Log2Histogram avg(8192);
+        for (std::size_t b = 0; b < combined.numBuckets(); ++b) {
+            const double w = combined.bucketWeight(b) /
+                static_cast<double>(sims.size());
+            if (w > 0.0)
+                avg.sample(combined.bucketLow(b), w);
+        }
+        return avg;
+    }
+    return combined;
+}
+
+double
+SuiteRun::meanIdleFraction() const
+{
+    if (sims.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (const auto &ws : sims)
+        sum += ws.idle.idleFraction();
+    return sum / static_cast<double>(sims.size());
+}
+
+SuiteRun
+runSuite(const SuiteOptions &opts)
+{
+    SuiteRun run;
+    for (const auto &profile : trace::table3Profiles()) {
+        const unsigned fus =
+            opts.use_paper_fus ? profile.paper_fus : 4;
+        inform("simulating %s (%u FUs, %llu insts)",
+               profile.name.c_str(), fus,
+               static_cast<unsigned long long>(opts.insts));
+        run.sims.push_back(simulateWorkload(profile, fus, opts.insts,
+                                            opts.base, opts.seed));
+    }
+    return run;
+}
+
+SuitePolicyAverages
+averagePolicies(const SuiteRun &suite,
+                const energy::ModelParams &params)
+{
+    SuitePolicyAverages avg;
+    bool first = true;
+    for (const auto &ws : suite.sims) {
+        const auto results = evaluatePaperPolicies(ws.idle, params);
+        double no_overhead = 0.0;
+        for (const auto &r : results)
+            if (r.name == "NoOverhead")
+                no_overhead = r.energy;
+        if (no_overhead <= 0.0)
+            fatal("NoOverhead energy nonpositive for %s",
+                  ws.name.c_str());
+        if (first) {
+            for (const auto &r : results) {
+                avg.names.push_back(r.name);
+                avg.rel_to_nooverhead.push_back(0.0);
+                avg.leakage_fraction.push_back(0.0);
+            }
+            first = false;
+        }
+        for (std::size_t i = 0; i < results.size(); ++i) {
+            avg.rel_to_nooverhead[i] +=
+                results[i].energy / no_overhead;
+            avg.leakage_fraction[i] +=
+                results[i].leakage_fraction;
+        }
+    }
+    const auto n = static_cast<double>(suite.sims.size());
+    for (std::size_t i = 0; i < avg.names.size(); ++i) {
+        avg.rel_to_nooverhead[i] /= n;
+        avg.leakage_fraction[i] /= n;
+    }
+    return avg;
+}
+
+} // namespace lsim::harness

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Benchmark-suite driver shared by the bench binaries: runs the nine
+ * Table 3 workloads through the timing model and exposes the results
+ * plus suite-level aggregation helpers used by Figures 7-9.
+ */
+
+#ifndef LSIM_HARNESS_BENCHMARKS_HH
+#define LSIM_HARNESS_BENCHMARKS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.hh"
+
+namespace lsim::harness
+{
+
+/** Options for a suite run. */
+struct SuiteOptions
+{
+    /** Committed instructions per benchmark. */
+    std::uint64_t insts = 2'000'000;
+
+    /** Trace generator seed. */
+    std::uint64_t seed = 1;
+
+    /**
+     * Use the paper's per-benchmark FU counts (Table 3 last column)
+     * rather than re-deriving them (the Table 3 bench re-derives).
+     */
+    bool use_paper_fus = true;
+
+    /** Base machine configuration. */
+    cpu::CoreConfig base;
+
+    /**
+     * Parse "insts=<n>" / "seed=<n>" command-line overrides
+     * (each bench forwards its argv here).
+     */
+    void parseArgs(int argc, char **argv);
+};
+
+/** Results of simulating the whole suite. */
+struct SuiteRun
+{
+    std::vector<WorkloadSim> sims; ///< one per benchmark, paper order
+
+    /** Find a benchmark's sim by name; fatal() if absent. */
+    const WorkloadSim &byName(const std::string &name) const;
+
+    /**
+     * Suite-combined idle histogram: per-benchmark histograms are
+     * already per-FU-fraction weighted; the combination averages
+     * them so every benchmark weighs equally (Figure 7 rule).
+     */
+    stats::Log2Histogram combinedIdleHistogram() const;
+
+    /**
+     * Fraction of FU-time idle across the suite (the paper reports
+     * 46.8% at a 12-cycle L2).
+     */
+    double meanIdleFraction() const;
+};
+
+/** Run the suite (one timing simulation per benchmark). */
+SuiteRun runSuite(const SuiteOptions &opts);
+
+/**
+ * Average, over the suite, of each policy's energy relative to the
+ * NoOverhead policy at technology point @p params (Figure 9a), and
+ * of its leakage-to-total ratio (Figure 9b). Policies appear in
+ * makePaperControllers order: MaxSleep, GradualSleep, AlwaysActive,
+ * NoOverhead.
+ */
+struct SuitePolicyAverages
+{
+    std::vector<std::string> names;
+    std::vector<double> rel_to_nooverhead;
+    std::vector<double> leakage_fraction;
+};
+
+SuitePolicyAverages
+averagePolicies(const SuiteRun &suite, const energy::ModelParams &params);
+
+} // namespace lsim::harness
+
+#endif // LSIM_HARNESS_BENCHMARKS_HH

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Machine-readable reporting: serialize simulation and policy
+ * results as JSON so external tooling (plotting scripts, regression
+ * trackers) can consume bench output without parsing tables.
+ */
+
+#ifndef LSIM_HARNESS_REPORT_HH
+#define LSIM_HARNESS_REPORT_HH
+
+#include <ostream>
+#include <vector>
+
+#include "common/json.hh"
+#include "harness/experiment.hh"
+
+namespace lsim::harness
+{
+
+/** Write one benchmark simulation (timing + idle stats) as JSON. */
+void writeSimJson(JsonWriter &w, const WorkloadSim &sim);
+
+/** Write a policy evaluation result set as a JSON array. */
+void writePoliciesJson(JsonWriter &w,
+                       const std::vector<sleep::PolicyResult> &results);
+
+/**
+ * Write a complete experiment record: the simulation plus policy
+ * results at the given technology point, as one JSON object on
+ * @p os.
+ */
+void writeExperimentJson(std::ostream &os, const WorkloadSim &sim,
+                         const energy::ModelParams &params,
+                         const std::vector<sleep::PolicyResult> &res);
+
+} // namespace lsim::harness
+
+#endif // LSIM_HARNESS_REPORT_HH

@@ -1,0 +1,92 @@
+#include "trace/op.hh"
+
+#include "common/logging.hh"
+
+namespace lsim::trace
+{
+
+std::string
+to_string(OpClass cls)
+{
+    switch (cls) {
+      case OpClass::IntAlu:
+        return "IntAlu";
+      case OpClass::IntMult:
+        return "IntMult";
+      case OpClass::Load:
+        return "Load";
+      case OpClass::Store:
+        return "Store";
+      case OpClass::Branch:
+        return "Branch";
+      case OpClass::Call:
+        return "Call";
+      case OpClass::Return:
+        return "Return";
+      case OpClass::FpAlu:
+        return "FpAlu";
+      case OpClass::FpMult:
+        return "FpMult";
+    }
+    panic("unknown OpClass %d", static_cast<int>(cls));
+}
+
+bool
+isIntClass(OpClass cls)
+{
+    switch (cls) {
+      case OpClass::IntAlu:
+      case OpClass::IntMult:
+      case OpClass::Load:
+      case OpClass::Store:
+      case OpClass::Branch:
+      case OpClass::Call:
+      case OpClass::Return:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+isMemClass(OpClass cls)
+{
+    return cls == OpClass::Load || cls == OpClass::Store;
+}
+
+bool
+isControlClass(OpClass cls)
+{
+    return cls == OpClass::Branch || cls == OpClass::Call ||
+        cls == OpClass::Return;
+}
+
+bool
+isFpClass(OpClass cls)
+{
+    return cls == OpClass::FpAlu || cls == OpClass::FpMult;
+}
+
+Cycle
+execLatency(OpClass cls)
+{
+    switch (cls) {
+      case OpClass::IntAlu:
+      case OpClass::Branch:
+      case OpClass::Call:
+      case OpClass::Return:
+        return 1;
+      case OpClass::IntMult:
+        return 7;
+      case OpClass::Load:
+      case OpClass::Store:
+        return 1; // address generation; cache latency added separately
+      case OpClass::FpAlu:
+        return 4;
+      case OpClass::FpMult:
+        return 4;
+    }
+    panic("unknown OpClass %d", static_cast<int>(cls));
+}
+
+} // namespace lsim::trace

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Dynamic micro-operation record produced by the workload generator
+ * and consumed by the timing model. The trace is "pre-executed":
+ * branch outcomes and memory addresses are already resolved, and the
+ * timing model's job is to discover how fast the machine could have
+ * run it (standard trace-driven simulation).
+ */
+
+#ifndef LSIM_TRACE_OP_HH
+#define LSIM_TRACE_OP_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+
+namespace lsim::trace
+{
+
+/** Operation classes, a condensed Alpha-like mix. */
+enum class OpClass : std::uint8_t
+{
+    IntAlu,   ///< single-cycle integer ALU op
+    IntMult,  ///< integer multiply (long latency, pipelined)
+    Load,     ///< memory load (agen on an integer ALU + D-cache)
+    Store,    ///< memory store (agen on an integer ALU)
+    Branch,   ///< conditional branch (executes on an integer ALU)
+    Call,     ///< subroutine call (pushes RAS, integer ALU)
+    Return,   ///< subroutine return (pops RAS, integer ALU)
+    FpAlu,    ///< floating point add/sub/cmp
+    FpMult,   ///< floating point multiply/divide
+};
+
+/** Number of distinct op classes. */
+inline constexpr unsigned kNumOpClasses = 9;
+
+/** @return mnemonic for an op class. */
+std::string to_string(OpClass cls);
+
+/** @return true for classes executed by the integer functional units
+ * (including load/store address generation, as in SimpleScalar). */
+bool isIntClass(OpClass cls);
+
+/** @return true for loads and stores. */
+bool isMemClass(OpClass cls);
+
+/** @return true for control transfer classes. */
+bool isControlClass(OpClass cls);
+
+/** @return true for floating point classes. */
+bool isFpClass(OpClass cls);
+
+/** Logical register count per file (int and fp each). */
+inline constexpr int kNumLogicalRegs = 32;
+
+/** One dynamic instruction. */
+struct MicroOp
+{
+    Addr pc = 0;             ///< instruction address
+    OpClass cls = OpClass::IntAlu;
+    std::int16_t dst = kNoReg;  ///< destination logical register
+    std::int16_t src1 = kNoReg; ///< first source logical register
+    std::int16_t src2 = kNoReg; ///< second source logical register
+    Addr mem_addr = 0;       ///< effective address (mem classes)
+    bool taken = false;      ///< resolved direction (control classes)
+    Addr target = 0;         ///< resolved target (control classes)
+
+    bool isInt() const { return isIntClass(cls); }
+    bool isMem() const { return isMemClass(cls); }
+    bool isControl() const { return isControlClass(cls); }
+    bool isFp() const { return isFpClass(cls); }
+    bool isLoad() const { return cls == OpClass::Load; }
+    bool isStore() const { return cls == OpClass::Store; }
+};
+
+/** Execution latency in cycles of each op class (post-issue). */
+Cycle execLatency(OpClass cls);
+
+} // namespace lsim::trace
+
+#endif // LSIM_TRACE_OP_HH

@@ -1,0 +1,334 @@
+#include "trace/profile.hh"
+
+#include "common/logging.hh"
+
+namespace lsim::trace
+{
+
+void
+WorkloadProfile::validate() const
+{
+    const double mix =
+        frac_load + frac_store + frac_branch + frac_mult + frac_fp;
+    if (mix > 1.0)
+        fatal("profile %s: instruction mix sums to %g > 1",
+              name.c_str(), mix);
+    if (frac_load < 0 || frac_store < 0 || frac_branch < 0 ||
+        frac_mult < 0 || frac_fp < 0)
+        fatal("profile %s: negative mix fraction", name.c_str());
+    if (dep_density < 0.0 || dep_density > 1.0)
+        fatal("profile %s: dep_density %g outside [0,1]",
+              name.c_str(), dep_density);
+    if (dep_distance_p <= 0.0 || dep_distance_p > 1.0)
+        fatal("profile %s: dep_distance_p %g outside (0,1]",
+              name.c_str(), dep_distance_p);
+    if (num_blocks < 4)
+        fatal("profile %s: need at least 4 blocks", name.c_str());
+    if (frac_branch <= 0.0 || frac_branch >= 0.5)
+        fatal("profile %s: frac_branch %g outside (0,0.5)",
+              name.c_str(), frac_branch);
+    if (branch_bias_strong < 0.0 || branch_bias_strong > 1.0 ||
+        noisy_taken_prob < 0.0 || noisy_taken_prob > 1.0 ||
+        call_fraction < 0.0 || call_fraction > 0.5)
+        fatal("profile %s: control parameters out of range",
+              name.c_str());
+    if (working_set < 4096)
+        fatal("profile %s: working set below one page", name.c_str());
+    if (local_frac < 0.0 || stream_frac < 0.0 || irregular_frac < 0.0 ||
+        local_frac + stream_frac + irregular_frac > 1.0)
+        fatal("profile %s: memory site fractions invalid",
+              name.c_str());
+    if (strong_taken_bias <= 0.5 || strong_taken_bias >= 1.0)
+        fatal("profile %s: strong_taken_bias %g outside (0.5,1)",
+              name.c_str(), strong_taken_bias);
+    if (mean_loop_iters < 2.0)
+        fatal("profile %s: mean_loop_iters %g < 2",
+              name.c_str(), mean_loop_iters);
+}
+
+namespace
+{
+
+std::vector<WorkloadProfile>
+buildProfiles()
+{
+    std::vector<WorkloadProfile> out;
+
+    // Olden health: pointer-chasing over linked lists of patients;
+    // tiny code, almost no ILP, large random data footprint.
+    {
+        WorkloadProfile p;
+        p.name = "health";
+        p.suite = "Olden";
+        p.frac_load = 0.34;
+        p.frac_store = 0.09;
+        p.frac_branch = 0.17;
+        p.frac_mult = 0.00;
+        p.dep_density = 0.62;
+        p.dep_distance_p = 0.28;
+        p.num_blocks = 220;
+        p.branch_bias_strong = 0.85;
+        p.noisy_taken_prob = 0.45;
+        p.call_fraction = 0.06;
+        p.working_set = Addr{24} << 20;
+        p.local_frac = 0.50;
+        p.stream_frac = 0.02;
+        p.irregular_frac = 0.13;
+        p.mean_loop_iters = 15.0;
+        p.paper_max_ipc = 0.560;
+        p.paper_ipc = 0.554;
+        p.paper_fus = 2;
+        p.window = "80M-140M";
+        out.push_back(p);
+    }
+
+    // Olden mst: minimum spanning tree; hash lookups mixed with
+    // regular traversal, moderate ILP.
+    {
+        WorkloadProfile p;
+        p.name = "mst";
+        p.suite = "Olden";
+        p.frac_load = 0.28;
+        p.frac_store = 0.08;
+        p.frac_branch = 0.16;
+        p.frac_mult = 0.01;
+        p.dep_density = 0.30;
+        p.dep_distance_p = 0.10;
+        p.num_blocks = 300;
+        p.branch_bias_strong = 0.96;
+        p.noisy_taken_prob = 0.40;
+        p.call_fraction = 0.05;
+        p.working_set = Addr{2} << 20;
+        p.local_frac = 0.55;
+        p.stream_frac = 0.03;
+        p.irregular_frac = 0.012;
+        p.mean_loop_iters = 40.0;
+        p.paper_max_ipc = 1.748;
+        p.paper_ipc = 1.748;
+        p.paper_fus = 4;
+        p.window = "entire pgm 14M";
+        out.push_back(p);
+    }
+
+    // SPEC95 gcc: very large static code footprint, branchy,
+    // moderate data locality.
+    {
+        WorkloadProfile p;
+        p.name = "gcc";
+        p.suite = "SPEC95 INT";
+        p.frac_load = 0.26;
+        p.frac_store = 0.12;
+        p.frac_branch = 0.18;
+        p.frac_mult = 0.00;
+        p.dep_density = 0.40;
+        p.dep_distance_p = 0.13;
+        p.num_blocks = 9000;
+        p.branch_bias_strong = 0.96;
+        p.noisy_taken_prob = 0.42;
+        p.call_fraction = 0.06;
+        p.working_set = Addr{4} << 20;
+        p.local_frac = 0.60;
+        p.stream_frac = 0.01;
+        p.irregular_frac = 0.012;
+        p.mean_loop_iters = 20.0;
+        p.paper_max_ipc = 1.622;
+        p.paper_ipc = 1.619;
+        p.paper_fus = 2;
+        p.window = "1650M-1750M";
+        out.push_back(p);
+    }
+
+    // SPEC2K gzip: compression loops, small hot code, L2-resident
+    // window buffer swept with strides, high ILP.
+    {
+        WorkloadProfile p;
+        p.name = "gzip";
+        p.suite = "SPEC2K INT";
+        p.frac_load = 0.22;
+        p.frac_store = 0.09;
+        p.frac_branch = 0.15;
+        p.frac_mult = 0.00;
+        p.dep_density = 0.50;
+        p.dep_distance_p = 0.22;
+        p.num_blocks = 450;
+        p.branch_bias_strong = 0.93;
+        p.noisy_taken_prob = 0.35;
+        p.call_fraction = 0.03;
+        p.working_set = Addr{512} << 10;
+        p.local_frac = 0.55;
+        p.stream_frac = 0.03;
+        p.irregular_frac = 0.01;
+        p.strong_taken_bias = 0.98;
+        p.mean_loop_iters = 60.0;
+        p.paper_max_ipc = 2.120;
+        p.paper_ipc = 2.120;
+        p.paper_fus = 4;
+        p.window = "2000M-2050M";
+        out.push_back(p);
+    }
+
+    // SPEC2K mcf: network simplex; dominated by dependent loads that
+    // miss in L2 (paper-era footprint ~100 MB).
+    {
+        WorkloadProfile p;
+        p.name = "mcf";
+        p.suite = "SPEC2K INT";
+        p.frac_load = 0.33;
+        p.frac_store = 0.09;
+        p.frac_branch = 0.17;
+        p.frac_mult = 0.00;
+        p.dep_density = 0.50;
+        p.dep_distance_p = 0.18;
+        p.num_blocks = 260;
+        p.branch_bias_strong = 0.90;
+        p.noisy_taken_prob = 0.48;
+        p.call_fraction = 0.03;
+        p.working_set = Addr{48} << 20;
+        p.local_frac = 0.45;
+        p.stream_frac = 0.03;
+        p.irregular_frac = 0.17;
+        p.mean_loop_iters = 20.0;
+        p.paper_max_ipc = 0.523;
+        p.paper_ipc = 0.503;
+        p.paper_fus = 2;
+        p.window = "1000M-1050M";
+        out.push_back(p);
+    }
+
+    // SPEC2K parser: dictionary lookups, recursive parsing; medium
+    // everything with noticeable branch noise.
+    {
+        WorkloadProfile p;
+        p.name = "parser";
+        p.suite = "SPEC2K INT";
+        p.frac_load = 0.25;
+        p.frac_store = 0.10;
+        p.frac_branch = 0.17;
+        p.frac_mult = 0.00;
+        p.dep_density = 0.44;
+        p.dep_distance_p = 0.15;
+        p.num_blocks = 1800;
+        p.branch_bias_strong = 0.93;
+        p.noisy_taken_prob = 0.42;
+        p.call_fraction = 0.07;
+        p.working_set = Addr{1} << 20;
+        p.local_frac = 0.60;
+        p.stream_frac = 0.02;
+        p.irregular_frac = 0.02;
+        p.paper_max_ipc = 1.692;
+        p.paper_ipc = 1.692;
+        p.paper_fus = 4;
+        p.window = "2000M-2100M";
+        out.push_back(p);
+    }
+
+    // SPEC2K twolf: place-and-route; fp-tinged integer code with
+    // moderately random cell data accesses.
+    {
+        WorkloadProfile p;
+        p.name = "twolf";
+        p.suite = "SPEC2K INT";
+        p.frac_load = 0.24;
+        p.frac_store = 0.08;
+        p.frac_branch = 0.16;
+        p.frac_mult = 0.02;
+        p.frac_fp = 0.02;
+        p.dep_density = 0.50;
+        p.dep_distance_p = 0.20;
+        p.num_blocks = 1400;
+        p.branch_bias_strong = 0.94;
+        p.noisy_taken_prob = 0.45;
+        p.call_fraction = 0.05;
+        p.working_set = Addr{2} << 20;
+        p.local_frac = 0.55;
+        p.stream_frac = 0.03;
+        p.irregular_frac = 0.025;
+        p.mean_loop_iters = 35.0;
+        p.paper_max_ipc = 1.542;
+        p.paper_ipc = 1.475;
+        p.paper_fus = 3;
+        p.window = "1000M-1100M";
+        out.push_back(p);
+    }
+
+    // SPEC2K vortex: object database; big code, very predictable
+    // control, high ILP.
+    {
+        WorkloadProfile p;
+        p.name = "vortex";
+        p.suite = "SPEC2K INT";
+        p.frac_load = 0.24;
+        p.frac_store = 0.13;
+        p.frac_branch = 0.14;
+        p.frac_mult = 0.00;
+        p.dep_density = 0.32;
+        p.dep_distance_p = 0.10;
+        p.num_blocks = 5000;
+        p.branch_bias_strong = 0.98;
+        p.noisy_taken_prob = 0.30;
+        p.call_fraction = 0.08;
+        p.working_set = Addr{2} << 20;
+        p.local_frac = 0.60;
+        p.stream_frac = 0.01;
+        p.irregular_frac = 0.008;
+        p.strong_taken_bias = 0.99;
+        p.mean_loop_iters = 100.0;
+        p.paper_max_ipc = 2.387;
+        p.paper_ipc = 2.387;
+        p.paper_fus = 4;
+        p.window = "2000M-2100M";
+        out.push_back(p);
+    }
+
+    // SPEC2K vpr: FPGA place & route; moderate ILP with some branch
+    // noise from simulated annealing accept/reject.
+    {
+        WorkloadProfile p;
+        p.name = "vpr";
+        p.suite = "SPEC2K INT";
+        p.frac_load = 0.26;
+        p.frac_store = 0.09;
+        p.frac_branch = 0.16;
+        p.frac_mult = 0.01;
+        p.frac_fp = 0.03;
+        p.dep_density = 0.54;
+        p.dep_distance_p = 0.22;
+        p.num_blocks = 1100;
+        p.branch_bias_strong = 0.92;
+        p.noisy_taken_prob = 0.47;
+        p.call_fraction = 0.05;
+        p.working_set = Addr{1} << 20;
+        p.local_frac = 0.55;
+        p.stream_frac = 0.03;
+        p.irregular_frac = 0.04;
+        p.paper_max_ipc = 1.481;
+        p.paper_ipc = 1.431;
+        p.paper_fus = 3;
+        p.window = "2000M-2100M";
+        out.push_back(p);
+    }
+
+    for (auto &p : out)
+        p.validate();
+    return out;
+}
+
+} // namespace
+
+const std::vector<WorkloadProfile> &
+table3Profiles()
+{
+    static const std::vector<WorkloadProfile> profiles = buildProfiles();
+    return profiles;
+}
+
+const WorkloadProfile &
+profileByName(const std::string &name)
+{
+    for (const auto &p : table3Profiles())
+        if (p.name == name)
+            return p;
+    fatal("unknown workload profile '%s'", name.c_str());
+}
+
+} // namespace lsim::trace

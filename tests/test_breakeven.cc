@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Unit and property tests for the breakeven interval (equations 4-5,
+ * Figure 4a).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "energy/breakeven.hh"
+
+namespace
+{
+
+using lsim::energy::EnergyModel;
+using lsim::energy::ModelParams;
+using lsim::energy::breakevenInterval;
+using lsim::energy::breakevenIntervalNumeric;
+using lsim::energy::sleepPaysOff;
+
+ModelParams
+params(double p, double alpha, double k = 0.001, double s = 0.01)
+{
+    ModelParams mp;
+    mp.p = p;
+    mp.alpha = alpha;
+    mp.k = k;
+    mp.s = s;
+    return mp;
+}
+
+TEST(Breakeven, PaperOperatingPoints)
+{
+    // Figure 4a: at p = 0.05 the breakeven is ~20 cycles and nearly
+    // independent of alpha; at p = 0.5 it is ~2 cycles.
+    EXPECT_NEAR(breakevenInterval(params(0.05, 0.1)), 20.2, 0.3);
+    EXPECT_NEAR(breakevenInterval(params(0.05, 0.5)), 20.4, 0.3);
+    EXPECT_NEAR(breakevenInterval(params(0.05, 0.9)), 22.0, 0.3);
+    EXPECT_NEAR(breakevenInterval(params(0.50, 0.5)), 2.04, 0.05);
+}
+
+TEST(Breakeven, ScalesInverselyWithLeakage)
+{
+    // "as leakage becomes a larger component of the energy, the
+    // break even interval decreases, approximately as 1/p."
+    const double be1 = breakevenInterval(params(0.1, 0.5));
+    const double be2 = breakevenInterval(params(0.2, 0.5));
+    const double be4 = breakevenInterval(params(0.4, 0.5));
+    EXPECT_NEAR(be1 / be2, 2.0, 1e-9);
+    EXPECT_NEAR(be1 / be4, 4.0, 1e-9);
+}
+
+TEST(Breakeven, InfiniteWhenSleepCannotWin)
+{
+    EXPECT_TRUE(std::isinf(breakevenInterval(params(0.0, 0.5))));
+    // k = 1: sleeping leaks as much as idling.
+    EXPECT_TRUE(std::isinf(
+        breakevenInterval(params(0.5, 0.5, 1.0))));
+}
+
+TEST(Breakeven, SleepPaysOffPredicate)
+{
+    const ModelParams mp = params(0.05, 0.5);
+    const double be = breakevenInterval(mp);
+    EXPECT_FALSE(sleepPaysOff(mp, be - 1.0));
+    EXPECT_TRUE(sleepPaysOff(mp, be));
+    EXPECT_TRUE(sleepPaysOff(mp, be + 100.0));
+}
+
+/**
+ * The closed form (eq. 5) must agree exactly with the direct
+ * numerical solve of eq. 4 built from the model's per-cycle terms —
+ * this cross-validates the algebra the paper omits.
+ */
+class BreakevenCrossCheckTest
+    : public ::testing::TestWithParam<
+          std::tuple<double, double, double, double>>
+{
+};
+
+TEST_P(BreakevenCrossCheckTest, ClosedFormEqualsNumericSolve)
+{
+    auto [p, alpha, k, s] = GetParam();
+    const ModelParams mp = params(p, alpha, k, s);
+    const double closed = breakevenInterval(mp);
+    const double numeric = breakevenIntervalNumeric(EnergyModel(mp));
+    EXPECT_NEAR(closed, numeric, 1e-9 * closed);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, BreakevenCrossCheckTest,
+    ::testing::Combine(
+        ::testing::Values(0.01, 0.05, 0.2, 0.5, 1.0),  // p
+        ::testing::Values(0.1, 0.25, 0.5, 0.75, 0.9),  // alpha
+        ::testing::Values(0.0005, 0.001, 0.01),        // k
+        ::testing::Values(0.001, 0.01, 0.05)));        // s
+
+} // namespace

@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Unit tests for the set-associative cache model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/cache.hh"
+
+namespace
+{
+
+using lsim::Addr;
+using lsim::Cycle;
+using lsim::cache::Cache;
+using lsim::cache::CacheConfig;
+
+CacheConfig
+smallConfig()
+{
+    // 4 sets x 2 ways x 64 B lines = 512 B.
+    CacheConfig cfg;
+    cfg.name = "test";
+    cfg.size_bytes = 512;
+    cfg.assoc = 2;
+    cfg.line_bytes = 64;
+    cfg.hit_latency = 2;
+    return cfg;
+}
+
+TEST(CacheConfig, GeometryDerivation)
+{
+    EXPECT_EQ(smallConfig().numSets(), 4u);
+    CacheConfig l2;
+    l2.size_bytes = 2 * 1024 * 1024;
+    l2.assoc = 8;
+    l2.line_bytes = 128;
+    EXPECT_EQ(l2.numSets(), 2048u);
+}
+
+TEST(CacheConfigDeath, Validation)
+{
+    CacheConfig bad = smallConfig();
+    bad.line_bytes = 48;
+    EXPECT_EXIT(bad.validate(), ::testing::ExitedWithCode(1),
+                "power of two");
+    CacheConfig bad2 = smallConfig();
+    bad2.size_bytes = 0;
+    EXPECT_EXIT(bad2.validate(), ::testing::ExitedWithCode(1),
+                "zero geometry");
+    CacheConfig bad3 = smallConfig();
+    bad3.size_bytes = 384; // 3 sets
+    EXPECT_EXIT(bad3.validate(), ::testing::ExitedWithCode(1),
+                "set count");
+}
+
+TEST(Cache, ColdMissThenHit)
+{
+    Cache c(smallConfig(), nullptr, 80);
+    EXPECT_EQ(c.access(0x1000, false), 2u + 80u);
+    EXPECT_EQ(c.access(0x1000, false), 2u);
+    EXPECT_EQ(c.access(0x103f, false), 2u); // same line
+    EXPECT_EQ(c.stats().accesses, 3u);
+    EXPECT_EQ(c.stats().misses, 1u);
+}
+
+TEST(Cache, LruEviction)
+{
+    Cache c(smallConfig(), nullptr, 80);
+    // Three lines mapping to set 0 (stride = sets*line = 256).
+    c.access(0x0000, false);
+    c.access(0x0100, false);
+    c.access(0x0000, false); // refresh LRU of first line
+    c.access(0x0200, false); // evicts 0x0100
+    EXPECT_TRUE(c.probe(0x0000));
+    EXPECT_FALSE(c.probe(0x0100));
+    EXPECT_TRUE(c.probe(0x0200));
+}
+
+TEST(Cache, WritebackOnDirtyEviction)
+{
+    CacheConfig l2cfg = smallConfig();
+    l2cfg.name = "l2";
+    l2cfg.size_bytes = 4096;
+    Cache l2(l2cfg, nullptr, 80);
+    Cache l1(smallConfig(), &l2, 0);
+
+    l1.access(0x0000, true); // dirty
+    l1.access(0x0100, false);
+    l1.access(0x0200, false); // evicts dirty 0x0000 -> writeback
+    EXPECT_EQ(l1.stats().writebacks, 1u);
+    // The writeback installed the line downstream.
+    EXPECT_TRUE(l2.probe(0x0000));
+}
+
+TEST(Cache, CleanEvictionNoWriteback)
+{
+    Cache c(smallConfig(), nullptr, 80);
+    c.access(0x0000, false);
+    c.access(0x0100, false);
+    c.access(0x0200, false);
+    EXPECT_EQ(c.stats().writebacks, 0u);
+}
+
+TEST(Cache, HierarchicalLatency)
+{
+    CacheConfig l2cfg;
+    l2cfg.name = "l2";
+    l2cfg.size_bytes = 4096;
+    l2cfg.assoc = 2;
+    l2cfg.line_bytes = 64;
+    l2cfg.hit_latency = 12;
+    Cache l2(l2cfg, nullptr, 80);
+    Cache l1(smallConfig(), &l2, 0);
+
+    // Cold: L1 (2) + L2 (12) + memory (80).
+    EXPECT_EQ(l1.access(0x4000, false), 94u);
+    // L1 hit.
+    EXPECT_EQ(l1.access(0x4000, false), 2u);
+    // Evict from L1, still in L2: 2 + 12.
+    l1.access(0x4100, false);
+    l1.access(0x4200, false);
+    EXPECT_FALSE(l1.probe(0x4000));
+    EXPECT_EQ(l1.access(0x4000, false), 14u);
+}
+
+TEST(Cache, WriteAllocates)
+{
+    Cache c(smallConfig(), nullptr, 80);
+    c.access(0x2000, true);
+    EXPECT_TRUE(c.probe(0x2000));
+    EXPECT_EQ(c.stats().misses, 1u);
+}
+
+TEST(Cache, FlushInvalidatesAll)
+{
+    Cache c(smallConfig(), nullptr, 80);
+    c.access(0x0000, true);
+    c.access(0x1000, false);
+    c.flush();
+    EXPECT_FALSE(c.probe(0x0000));
+    EXPECT_FALSE(c.probe(0x1000));
+    // No writeback of flushed dirty data is modeled (tests/sim reset).
+}
+
+TEST(Cache, MissRateStat)
+{
+    Cache c(smallConfig(), nullptr, 80);
+    c.access(0x0000, false);
+    c.access(0x0000, false);
+    c.access(0x0000, false);
+    c.access(0x0000, false);
+    EXPECT_DOUBLE_EQ(c.stats().missRate(), 0.25);
+}
+
+/** Parameterized geometry sweep: a linear sweep of exactly
+ * `size` bytes fits and then hits on re-traversal. */
+class CacheGeometryTest
+    : public ::testing::TestWithParam<std::tuple<unsigned, unsigned>>
+{
+};
+
+TEST_P(CacheGeometryTest, WorkingSetExactlyFits)
+{
+    auto [assoc, line] = GetParam();
+    CacheConfig cfg;
+    cfg.size_bytes = 8192;
+    cfg.assoc = assoc;
+    cfg.line_bytes = line;
+    cfg.hit_latency = 1;
+    Cache c(cfg, nullptr, 50);
+    for (Addr a = 0; a < 8192; a += line)
+        c.access(a, false);
+    const auto cold_misses = c.stats().misses;
+    EXPECT_EQ(cold_misses, 8192u / line);
+    for (Addr a = 0; a < 8192; a += line)
+        c.access(a, false);
+    EXPECT_EQ(c.stats().misses, cold_misses); // all hits
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, CacheGeometryTest,
+    ::testing::Combine(::testing::Values(1u, 2u, 4u, 8u),
+                       ::testing::Values(32u, 64u, 128u)));
+
+} // namespace

@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Unit tests for the equation (1)-(3) energy model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "energy/model.hh"
+
+namespace
+{
+
+using lsim::energy::CycleCounts;
+using lsim::energy::EnergyBreakdown;
+using lsim::energy::EnergyModel;
+using lsim::energy::ModelParams;
+
+ModelParams
+paperDefaults()
+{
+    // Section 3.1 / Table 4 analysis values.
+    ModelParams mp;
+    mp.p = 0.05;
+    mp.k = 0.001;
+    mp.s = 0.01;
+    mp.alpha = 0.5;
+    mp.duty = 0.5;
+    return mp;
+}
+
+TEST(EnergyModel, PureComputeWithoutLeakageIsUnity)
+{
+    ModelParams mp = paperDefaults();
+    mp.p = 0.0; // no leakage at all
+    EnergyModel m(mp);
+    CycleCounts cc;
+    cc.active = 1000;
+    EXPECT_DOUBLE_EQ(m.normalizedEnergy(cc), 1000.0);
+}
+
+TEST(EnergyModel, ActiveCycleTermMatchesClosedForm)
+{
+    const ModelParams mp = paperDefaults();
+    EnergyModel m(mp);
+    // 1 + (p/alpha) * [(1-D) + D*(alpha*k + 1-alpha)]
+    const double expected = 1.0 + (0.05 / 0.5) *
+        (0.5 + 0.5 * (0.5 * 0.001 + 0.5));
+    EXPECT_NEAR(m.activeCycleEnergy(), expected, 1e-12);
+}
+
+TEST(EnergyModel, UncontrolledIdleTermMatchesClosedForm)
+{
+    const ModelParams mp = paperDefaults();
+    EnergyModel m(mp);
+    const double expected = (0.05 / 0.5) * (0.5 * 0.001 + 0.5);
+    EXPECT_NEAR(m.unctrlIdleCycleEnergy(), expected, 1e-12);
+}
+
+TEST(EnergyModel, SleepAndTransitionTerms)
+{
+    const ModelParams mp = paperDefaults();
+    EnergyModel m(mp);
+    EXPECT_NEAR(m.sleepCycleEnergy(), 0.001 * 0.05 / 0.5, 1e-15);
+    EXPECT_NEAR(m.transitionEnergy(), 0.5 / 0.5 + 0.01 / 0.5, 1e-12);
+}
+
+TEST(EnergyModel, BreakdownSumsToTotal)
+{
+    EnergyModel m(paperDefaults());
+    CycleCounts cc;
+    cc.active = 500;
+    cc.unctrl_idle = 300;
+    cc.sleep = 200;
+    cc.transitions = 40;
+    const EnergyBreakdown eb = m.breakdown(cc);
+    EXPECT_NEAR(eb.total(), m.normalizedEnergy(cc), 1e-9);
+    EXPECT_NEAR(eb.leakage(),
+                eb.active_leak + eb.idle_leak + eb.sleep_leak, 1e-12);
+    EXPECT_GT(eb.leakageFraction(), 0.0);
+    EXPECT_LT(eb.leakageFraction(), 1.0);
+}
+
+TEST(EnergyModel, AbsoluteEnergyScalesWithEA)
+{
+    ModelParams mp = paperDefaults();
+    mp.e_dyn_fj = 2000.0;
+    EnergyModel m(mp);
+    CycleCounts cc;
+    cc.active = 10;
+    // E_A = alpha * E_D = 1000 fJ per unit of normalized energy.
+    EXPECT_NEAR(m.absoluteEnergyFj(cc),
+                m.normalizedEnergy(cc) * 1000.0, 1e-6);
+}
+
+TEST(EnergyModel, SleepingIsCheaperThanUncontrolledIdle)
+{
+    EnergyModel m(paperDefaults());
+    EXPECT_LT(m.sleepCycleEnergy(), m.unctrlIdleCycleEnergy());
+}
+
+TEST(EnergyModel, CountsAddCommutatively)
+{
+    EnergyModel m(paperDefaults());
+    CycleCounts a, b;
+    a.active = 10;
+    a.sleep = 5;
+    b.unctrl_idle = 7;
+    b.transitions = 2;
+    CycleCounts ab = a;
+    ab += b;
+    EXPECT_NEAR(m.normalizedEnergy(ab),
+                m.normalizedEnergy(a) + m.normalizedEnergy(b), 1e-9);
+    EXPECT_DOUBLE_EQ(ab.total(), 22.0);
+}
+
+TEST(EnergyModel, BreakdownOperators)
+{
+    EnergyModel m(paperDefaults());
+    CycleCounts cc;
+    cc.active = 100;
+    cc.unctrl_idle = 50;
+    EnergyBreakdown eb = m.breakdown(cc);
+    EnergyBreakdown sum = eb;
+    sum += eb;
+    EXPECT_NEAR(sum.total(), 2.0 * eb.total(), 1e-9);
+    sum *= 0.5;
+    EXPECT_NEAR(sum.total(), eb.total(), 1e-9);
+}
+
+TEST(EnergyModel, LeakageFractionZeroWhenEmpty)
+{
+    EnergyBreakdown eb;
+    EXPECT_DOUBLE_EQ(eb.leakageFraction(), 0.0);
+}
+
+TEST(EnergyModel, HigherAlphaCheapensTransition)
+{
+    // More nodes already in the low leakage state -> less discharge.
+    ModelParams lo = paperDefaults();
+    lo.alpha = 0.25;
+    ModelParams hi = paperDefaults();
+    hi.alpha = 0.75;
+    EXPECT_GT(EnergyModel(lo).transitionEnergy(),
+              EnergyModel(hi).transitionEnergy());
+}
+
+TEST(EnergyModelDeath, Validation)
+{
+    ModelParams mp = paperDefaults();
+    mp.p = 1.5;
+    EXPECT_EXIT(EnergyModel m(mp), ::testing::ExitedWithCode(1),
+                "leakage factor");
+
+    ModelParams mp2 = paperDefaults();
+    mp2.alpha = 0.0;
+    EXPECT_EXIT(EnergyModel m2(mp2), ::testing::ExitedWithCode(1),
+                "activity factor");
+
+    ModelParams mp3 = paperDefaults();
+    mp3.duty = 1.5;
+    EXPECT_EXIT(EnergyModel m3(mp3), ::testing::ExitedWithCode(1),
+                "duty");
+
+    ModelParams mp4 = paperDefaults();
+    mp4.e_dyn_fj = -1.0;
+    EXPECT_EXIT(EnergyModel m4(mp4), ::testing::ExitedWithCode(1),
+                "positive");
+}
+
+/** Property sweep: energy is monotone in each count. */
+class EnergyMonotonicityTest
+    : public ::testing::TestWithParam<std::tuple<double, double>>
+{
+};
+
+TEST_P(EnergyMonotonicityTest, MonotoneInCounts)
+{
+    auto [p, alpha] = GetParam();
+    ModelParams mp = paperDefaults();
+    mp.p = p;
+    mp.alpha = alpha;
+    EnergyModel m(mp);
+    CycleCounts base;
+    base.active = 100;
+    base.unctrl_idle = 100;
+    base.sleep = 100;
+    base.transitions = 10;
+    const double e0 = m.normalizedEnergy(base);
+    for (auto bump : {&CycleCounts::active, &CycleCounts::unctrl_idle,
+                      &CycleCounts::sleep, &CycleCounts::transitions}) {
+        CycleCounts more = base;
+        more.*bump += 1.0;
+        EXPECT_GE(m.normalizedEnergy(more), e0);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, EnergyMonotonicityTest,
+    ::testing::Combine(::testing::Values(0.01, 0.05, 0.5, 1.0),
+                       ::testing::Values(0.25, 0.5, 0.75)));
+
+} // namespace

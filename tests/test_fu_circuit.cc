@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Unit tests for the 500-gate generic functional unit circuit
+ * (Section 2.1, Figure 3).
+ */
+
+#include <gtest/gtest.h>
+
+#include "circuit/fu_circuit.hh"
+
+namespace
+{
+
+using lsim::Cycle;
+using lsim::circuit::FunctionalUnitCircuit;
+using lsim::circuit::Technology;
+
+TEST(FuCircuit, PaperGeometry)
+{
+    FunctionalUnitCircuit fu{Technology{}};
+    EXPECT_EQ(fu.numGates(), 500u);
+    // 500 gates x 22.2 fJ.
+    EXPECT_NEAR(fu.dynamicEnergy(), 11100.0, 1.0);
+    EXPECT_NEAR(fu.leakHi(), 700.0, 1.0);       // 500 x 1.4
+    EXPECT_NEAR(fu.leakLo(), 0.355, 0.01);      // 500 x 7.1e-4
+}
+
+TEST(FuCircuit, BreakevenSeventeenCyclesAtLowActivity)
+{
+    // "If the circuit is not idle for at least 17 cycles then more
+    // energy is used than is saved" (alpha = 0.1).
+    FunctionalUnitCircuit fu{Technology{}};
+    EXPECT_EQ(fu.breakevenInterval(0.1), 17u);
+}
+
+TEST(FuCircuit, BreakevenInsensitiveToActivity)
+{
+    // "the time to break even is relatively insensitive across this
+    // range of activity factor."
+    FunctionalUnitCircuit fu{Technology{}};
+    const Cycle be_lo = fu.breakevenInterval(0.1);
+    const Cycle be_mid = fu.breakevenInterval(0.5);
+    const Cycle be_hi = fu.breakevenInterval(0.9);
+    EXPECT_NEAR(static_cast<double>(be_mid),
+                static_cast<double>(be_lo), 4.0);
+    EXPECT_NEAR(static_cast<double>(be_hi),
+                static_cast<double>(be_lo), 6.0);
+}
+
+TEST(FuCircuit, UncontrolledIdleLinesPassThroughOrigin)
+{
+    FunctionalUnitCircuit fu{Technology{}};
+    EXPECT_DOUBLE_EQ(fu.uncontrolledIdleEnergy(0, 0.5), 0.0);
+    const double one = fu.uncontrolledIdleEnergy(1, 0.5);
+    EXPECT_NEAR(fu.uncontrolledIdleEnergy(10, 0.5), 10.0 * one, 1e-9);
+}
+
+TEST(FuCircuit, SleepCurveRisesThenPlateaus)
+{
+    // Figure 3: sleep curves jump at the transition then stay nearly
+    // flat; uncontrolled idle grows linearly and crosses them.
+    FunctionalUnitCircuit fu{Technology{}};
+    const double jump = fu.sleepIdleEnergy(1, 0.1);
+    const double later = fu.sleepIdleEnergy(25, 0.1);
+    EXPECT_GT(jump, 10000.0); // ~10.3 pJ in fJ
+    EXPECT_LT(later - jump, 0.01 * jump);
+}
+
+TEST(FuCircuit, TransitionCostDecreasesWithActivity)
+{
+    // More nodes already discharged -> cheaper transition.
+    FunctionalUnitCircuit fu{Technology{}};
+    EXPECT_GT(fu.sleepTransitionEnergy(0.1),
+              fu.sleepTransitionEnergy(0.5));
+    EXPECT_GT(fu.sleepTransitionEnergy(0.5),
+              fu.sleepTransitionEnergy(0.9));
+}
+
+TEST(FuCircuit, UncontrolledLeakDecreasesWithActivity)
+{
+    // Both sides shrink roughly with (1 - alpha) — the reason the
+    // breakeven is insensitive to alpha.
+    FunctionalUnitCircuit fu{Technology{}};
+    EXPECT_GT(fu.leakAfterEval(0.1), fu.leakAfterEval(0.5));
+    EXPECT_GT(fu.leakAfterEval(0.5), fu.leakAfterEval(0.9));
+}
+
+TEST(FuCircuit, SleepBeatsUncontrolledBeyondBreakeven)
+{
+    FunctionalUnitCircuit fu{Technology{}};
+    for (double alpha : {0.1, 0.5, 0.9}) {
+        const Cycle be = fu.breakevenInterval(alpha);
+        EXPECT_GT(fu.sleepIdleEnergy(be - 1, alpha),
+                  fu.uncontrolledIdleEnergy(be - 1, alpha));
+        EXPECT_LE(fu.sleepIdleEnergy(be, alpha),
+                  fu.uncontrolledIdleEnergy(be, alpha));
+    }
+}
+
+TEST(FuCircuit, CustomShape)
+{
+    FunctionalUnitCircuit::Shape shape;
+    shape.rows = 10;
+    shape.cascade_depth = 2;
+    shape.sleep_driver_fj = 0.0;
+    FunctionalUnitCircuit fu(Technology{}, shape);
+    EXPECT_EQ(fu.numGates(), 20u);
+}
+
+TEST(FuCircuitDeath, DegenerateShape)
+{
+    FunctionalUnitCircuit::Shape shape;
+    shape.rows = 0;
+    EXPECT_EXIT(FunctionalUnitCircuit(Technology{}, shape),
+                ::testing::ExitedWithCode(1), "degenerate");
+}
+
+} // namespace

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Unit tests for the round-robin functional unit pool and its
+ * busy/idle run tracking.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cpu/fu_pool.hh"
+
+namespace
+{
+
+using lsim::Cycle;
+using lsim::cpu::FuPool;
+
+TEST(FuPool, RoundRobinRotation)
+{
+    FuPool pool(3);
+    pool.beginCycle();
+    EXPECT_EQ(pool.allocate(), 0);
+    EXPECT_EQ(pool.allocate(), 1);
+    EXPECT_EQ(pool.allocate(), 2);
+    EXPECT_EQ(pool.allocate(), -1); // all busy
+    pool.endCycle();
+    // Pointer persists across cycles: next allocation starts at 0
+    // again (wrapped past 2).
+    pool.beginCycle();
+    EXPECT_EQ(pool.allocate(), 0);
+    pool.endCycle();
+}
+
+TEST(FuPool, RotationSpreadsSingleOpAcrossUnits)
+{
+    FuPool pool(2);
+    std::vector<int> got;
+    for (int c = 0; c < 4; ++c) {
+        pool.beginCycle();
+        got.push_back(pool.allocate());
+        pool.endCycle();
+    }
+    EXPECT_EQ(got, (std::vector<int>{0, 1, 0, 1}));
+}
+
+TEST(FuPool, BusyCounting)
+{
+    FuPool pool(2);
+    for (int c = 0; c < 5; ++c) {
+        pool.beginCycle();
+        pool.allocate();
+        if (c < 2)
+            pool.allocate();
+        pool.endCycle();
+    }
+    pool.finish();
+    EXPECT_EQ(pool.cycles(), 5u);
+    // Round-robin spreads the single op over both units.
+    EXPECT_EQ(pool.busyCycles(0) + pool.busyCycles(1), 7u);
+}
+
+TEST(FuPool, RunSinkReceivesMaximalRuns)
+{
+    FuPool pool(1);
+    struct Run
+    {
+        unsigned fu;
+        bool busy;
+        Cycle len;
+    };
+    std::vector<Run> runs;
+    pool.setRunSink([&](unsigned fu, bool busy, Cycle len) {
+        runs.push_back({fu, busy, len});
+    });
+    // Pattern: B B I I I B
+    const bool pattern[] = {true, true, false, false, false, true};
+    for (bool busy : pattern) {
+        pool.beginCycle();
+        if (busy)
+            pool.allocate();
+        pool.endCycle();
+    }
+    pool.finish();
+    ASSERT_EQ(runs.size(), 3u);
+    EXPECT_TRUE(runs[0].busy);
+    EXPECT_EQ(runs[0].len, 2u);
+    EXPECT_FALSE(runs[1].busy);
+    EXPECT_EQ(runs[1].len, 3u);
+    EXPECT_TRUE(runs[2].busy);
+    EXPECT_EQ(runs[2].len, 1u);
+}
+
+TEST(FuPool, IdleStatsMatchPattern)
+{
+    FuPool pool(1);
+    const bool pattern[] = {false, false, true, false, true, true};
+    for (bool busy : pattern) {
+        pool.beginCycle();
+        if (busy)
+            pool.allocate();
+        pool.endCycle();
+    }
+    pool.finish();
+    const auto &stats = pool.idleStats(0);
+    EXPECT_EQ(stats.numIntervals(), 2u);
+    EXPECT_EQ(stats.idleCycles(), 3u);
+    EXPECT_DOUBLE_EQ(stats.idleFraction(), 0.5);
+    EXPECT_DOUBLE_EQ(pool.utilization(0), 0.5);
+}
+
+TEST(FuPoolDeath, Protocol)
+{
+    FuPool pool(1);
+    EXPECT_DEATH(pool.allocate(), "outside a cycle");
+    EXPECT_DEATH(pool.endCycle(), "without beginCycle");
+    pool.beginCycle();
+    EXPECT_DEATH(pool.beginCycle(), "without endCycle");
+}
+
+TEST(FuPoolDeath, BadConfig)
+{
+    EXPECT_EXIT(FuPool(0), ::testing::ExitedWithCode(1),
+                "unit count");
+    EXPECT_EXIT(FuPool(9), ::testing::ExitedWithCode(1),
+                "unit count");
+}
+
+TEST(FuPoolDeath, BadUnitIndex)
+{
+    FuPool pool(2);
+    EXPECT_DEATH((void)pool.busyCycles(2), "bad unit");
+    EXPECT_DEATH((void)pool.idleStats(5), "bad unit");
+}
+
+} // namespace

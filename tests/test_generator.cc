@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Unit and statistical tests for the synthetic workload generator.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "trace/generator.hh"
+#include "trace/profile.hh"
+
+namespace
+{
+
+using lsim::Addr;
+using lsim::kNoReg;
+using lsim::trace::MicroOp;
+using lsim::trace::OpClass;
+using lsim::trace::TraceGenerator;
+using lsim::trace::WorkloadProfile;
+using lsim::trace::kCodeBase;
+using lsim::trace::kNumLogicalRegs;
+using lsim::trace::profileByName;
+
+WorkloadProfile
+simpleProfile()
+{
+    WorkloadProfile p;
+    p.name = "unit-test";
+    p.suite = "test";
+    p.num_blocks = 64;
+    return p;
+}
+
+TEST(Generator, DeterministicForSameSeed)
+{
+    TraceGenerator a(simpleProfile(), 99);
+    TraceGenerator b(simpleProfile(), 99);
+    for (int i = 0; i < 5000; ++i) {
+        const MicroOp oa = a.next();
+        const MicroOp ob = b.next();
+        ASSERT_EQ(oa.pc, ob.pc);
+        ASSERT_EQ(oa.cls, ob.cls);
+        ASSERT_EQ(oa.mem_addr, ob.mem_addr);
+        ASSERT_EQ(oa.taken, ob.taken);
+    }
+}
+
+TEST(Generator, DifferentSeedsDiverge)
+{
+    TraceGenerator a(simpleProfile(), 1);
+    TraceGenerator b(simpleProfile(), 2);
+    int same = 0;
+    for (int i = 0; i < 1000; ++i)
+        if (a.next().pc == b.next().pc)
+            ++same;
+    EXPECT_LT(same, 1000);
+}
+
+TEST(Generator, MixFractionsApproximated)
+{
+    WorkloadProfile p = simpleProfile();
+    p.frac_load = 0.30;
+    p.frac_store = 0.10;
+    p.frac_branch = 0.20;
+    p.num_blocks = 256;
+    TraceGenerator gen(p, 7);
+    std::map<OpClass, int> counts;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i)
+        ++counts[gen.next().cls];
+    const double load_frac =
+        static_cast<double>(counts[OpClass::Load]) / n;
+    const double store_frac =
+        static_cast<double>(counts[OpClass::Store]) / n;
+    const double ctrl_frac = static_cast<double>(
+        counts[OpClass::Branch] + counts[OpClass::Call] +
+        counts[OpClass::Return]) / n;
+    EXPECT_NEAR(load_frac, 0.30, 0.04);
+    EXPECT_NEAR(store_frac, 0.10, 0.03);
+    EXPECT_NEAR(ctrl_frac, 0.20, 0.05);
+}
+
+TEST(Generator, RegistersWithinConvention)
+{
+    TraceGenerator gen(simpleProfile(), 3);
+    for (int i = 0; i < 20000; ++i) {
+        const MicroOp op = gen.next();
+        if (op.dst != kNoReg) {
+            if (op.isFp()) {
+                EXPECT_GE(op.dst, kNumLogicalRegs);
+                EXPECT_LT(op.dst, 2 * kNumLogicalRegs);
+            } else {
+                EXPECT_GE(op.dst, 0);
+                EXPECT_LT(op.dst, kNumLogicalRegs);
+            }
+        }
+        if (op.isStore()) {
+            EXPECT_EQ(op.dst, kNoReg);
+        }
+        if (op.isControl()) {
+            EXPECT_EQ(op.dst, kNoReg);
+            EXPECT_NE(op.src1, kNoReg);
+        }
+    }
+}
+
+TEST(Generator, ControlOpsHaveValidTargets)
+{
+    TraceGenerator gen(simpleProfile(), 5);
+    for (int i = 0; i < 50000; ++i) {
+        const MicroOp op = gen.next();
+        if (op.isControl() && op.taken) {
+            EXPECT_GE(op.target, kCodeBase);
+            EXPECT_LT(op.target, kCodeBase + gen.codeFootprint());
+        }
+    }
+}
+
+TEST(Generator, CallsAndReturnsBalance)
+{
+    WorkloadProfile p = simpleProfile();
+    p.call_fraction = 0.10;
+    TraceGenerator gen(p, 11);
+    std::int64_t depth = 0;
+    std::int64_t max_depth = 0;
+    int calls = 0, rets = 0;
+    for (int i = 0; i < 100000; ++i) {
+        const MicroOp op = gen.next();
+        if (op.cls == OpClass::Call) {
+            ++depth;
+            ++calls;
+        } else if (op.cls == OpClass::Return) {
+            --depth;
+            ++rets;
+        }
+        max_depth = std::max(max_depth, depth);
+    }
+    EXPECT_GT(calls, 0);
+    // Every return matches some call (depth never goes negative by
+    // more than the generator's empty-stack fallback allows).
+    EXPECT_GE(depth, -1);
+    EXPECT_NEAR(calls, rets, calls * 0.05 + 10);
+}
+
+TEST(Generator, PcsFallInsideCodeFootprint)
+{
+    TraceGenerator gen(simpleProfile(), 13);
+    for (int i = 0; i < 20000; ++i) {
+        const MicroOp op = gen.next();
+        EXPECT_GE(op.pc, kCodeBase);
+        EXPECT_LT(op.pc, kCodeBase + gen.codeFootprint());
+    }
+}
+
+TEST(Generator, MemAddressesInDataOrStackRegions)
+{
+    TraceGenerator gen(simpleProfile(), 17);
+    for (int i = 0; i < 20000; ++i) {
+        const MicroOp op = gen.next();
+        if (op.isMem()) {
+            const bool in_data =
+                op.mem_addr >= lsim::trace::kDataBase &&
+                op.mem_addr < lsim::trace::kDataBase +
+                    2 * gen.profile().working_set;
+            const bool in_stack =
+                op.mem_addr >= lsim::trace::kStackBase &&
+                op.mem_addr < lsim::trace::kStackBase + 32 * 1024;
+            EXPECT_TRUE(in_data || in_stack)
+                << std::hex << op.mem_addr;
+        }
+    }
+}
+
+TEST(Generator, BranchFractionTracksProfile)
+{
+    for (const char *name : {"gcc", "gzip", "mcf"}) {
+        const auto &p = profileByName(name);
+        TraceGenerator gen(p, 1);
+        int ctrl = 0;
+        const int n = 100000;
+        for (int i = 0; i < n; ++i)
+            if (gen.next().isControl())
+                ++ctrl;
+        EXPECT_NEAR(static_cast<double>(ctrl) / n, p.frac_branch,
+                    0.05)
+            << name;
+    }
+}
+
+TEST(Generator, IcountAdvances)
+{
+    TraceGenerator gen(simpleProfile(), 19);
+    EXPECT_EQ(gen.icount(), 0u);
+    gen.next();
+    gen.next();
+    EXPECT_EQ(gen.icount(), 2u);
+    EXPECT_GT(gen.numStaticInsts(), 0u);
+}
+
+TEST(Generator, LoopStructureRevisitsBlocks)
+{
+    // Loop nests revisit the same pc many times within a window.
+    TraceGenerator gen(simpleProfile(), 23);
+    std::map<Addr, int> pc_counts;
+    for (int i = 0; i < 50000; ++i)
+        ++pc_counts[gen.next().pc];
+    int max_count = 0;
+    for (const auto &[pc, count] : pc_counts)
+        max_count = std::max(max_count, count);
+    EXPECT_GT(max_count, 10);
+}
+
+} // namespace

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Unit and property tests for the GradualSleep analytical model
+ * (Section 3.2, Figure 5c).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "energy/breakeven.hh"
+#include "energy/gradual_sleep_model.hh"
+
+namespace
+{
+
+using lsim::Cycle;
+using lsim::energy::GradualSleepModel;
+using lsim::energy::ModelParams;
+using lsim::energy::breakevenInterval;
+
+ModelParams
+params(double p = 0.05, double alpha = 0.5)
+{
+    ModelParams mp;
+    mp.p = p;
+    mp.alpha = alpha;
+    mp.k = 0.001;
+    mp.s = 0.01;
+    return mp;
+}
+
+TEST(GradualSleep, DefaultSliceCountIsBreakeven)
+{
+    const ModelParams mp = params();
+    GradualSleepModel gs(mp);
+    EXPECT_EQ(gs.numSlices(),
+              static_cast<unsigned>(
+                  std::llround(breakevenInterval(mp))));
+}
+
+TEST(GradualSleep, CountsConserveCycles)
+{
+    GradualSleepModel gs(params(), 20);
+    for (Cycle len : {0u, 1u, 5u, 19u, 20u, 21u, 100u}) {
+        const auto cc = gs.idleCounts(len);
+        EXPECT_NEAR(cc.unctrl_idle + cc.sleep,
+                    static_cast<double>(len), 1e-9)
+            << "interval " << len;
+        EXPECT_DOUBLE_EQ(cc.active, 0.0);
+    }
+}
+
+TEST(GradualSleep, TransitionsProportionalToSleepingSlices)
+{
+    GradualSleepModel gs(params(), 10);
+    EXPECT_NEAR(gs.idleCounts(3).transitions, 0.3, 1e-12);
+    EXPECT_NEAR(gs.idleCounts(10).transitions, 1.0, 1e-12);
+    EXPECT_NEAR(gs.idleCounts(50).transitions, 1.0, 1e-12);
+}
+
+TEST(GradualSleep, SingleSliceEqualsMaxSleep)
+{
+    GradualSleepModel gs(params(), 1);
+    for (Cycle len : {1u, 2u, 10u, 100u}) {
+        EXPECT_NEAR(gs.idleEnergy(len), gs.maxSleepIdleEnergy(len),
+                    1e-9);
+    }
+}
+
+TEST(GradualSleep, ManySlicesApproachAlwaysActive)
+{
+    GradualSleepModel gs(params(), 100000);
+    for (Cycle len : {1u, 10u, 100u}) {
+        EXPECT_NEAR(gs.idleEnergy(len),
+                    gs.alwaysActiveIdleEnergy(len),
+                    0.05 * gs.alwaysActiveIdleEnergy(len) + 1e-3);
+    }
+}
+
+TEST(GradualSleep, Figure5cShape)
+{
+    // p = 0.05, alpha = 0.5, slices = breakeven (Section 3.2):
+    // GradualSleep beats MaxSleep for short intervals, beats
+    // AlwaysActive for long ones, and exceeds both near breakeven.
+    const ModelParams mp = params();
+    GradualSleepModel gs(mp);
+    const auto be =
+        static_cast<Cycle>(std::llround(breakevenInterval(mp)));
+
+    EXPECT_LT(gs.idleEnergy(1), gs.maxSleepIdleEnergy(1));
+    EXPECT_LT(gs.idleEnergy(100), gs.alwaysActiveIdleEnergy(100));
+    EXPECT_GT(gs.idleEnergy(be), gs.maxSleepIdleEnergy(be));
+    EXPECT_GT(gs.idleEnergy(be), gs.alwaysActiveIdleEnergy(be));
+}
+
+TEST(GradualSleep, HedgesAgainstWorstCaseAlternation)
+{
+    // Figure 4d's pathology: 1-cycle idle intervals. GradualSleep's
+    // cost per interval is a 1/n fraction of MaxSleep's transition.
+    const ModelParams mp = params(0.5);
+    GradualSleepModel gs(mp, 2);
+    EXPECT_LT(gs.idleEnergy(1), gs.maxSleepIdleEnergy(1));
+}
+
+TEST(GradualSleep, EnergyMonotoneInInterval)
+{
+    GradualSleepModel gs(params(), 20);
+    double prev = 0.0;
+    for (Cycle len = 1; len <= 200; ++len) {
+        const double e = gs.idleEnergy(len);
+        EXPECT_GE(e, prev);
+        prev = e;
+    }
+}
+
+TEST(GradualSleep, DegenerateTechnologyFallsBackToOneSlice)
+{
+    ModelParams mp = params();
+    mp.p = 0.0; // sleep never pays off; breakeven infinite
+    GradualSleepModel gs(mp);
+    EXPECT_EQ(gs.numSlices(), 1u);
+}
+
+/**
+ * Cross-validation against an explicit per-cycle shift-register
+ * simulation of the sliced circuit.
+ */
+class GradualSleepSimTest
+    : public ::testing::TestWithParam<std::tuple<unsigned, Cycle>>
+{
+};
+
+TEST_P(GradualSleepSimTest, ClosedFormMatchesShiftRegisterSim)
+{
+    auto [slices, len] = GetParam();
+    GradualSleepModel gs(params(), slices);
+    const auto cc = gs.idleCounts(len);
+
+    // Simulate: at idle cycle t (1-based), slices 1..min(t, n) are
+    // asleep; slice i transitions at cycle i.
+    double sim_sleep = 0.0, sim_ui = 0.0, sim_trans = 0.0;
+    const double n = slices;
+    for (Cycle t = 1; t <= len; ++t) {
+        const double asleep = std::min<double>(t, n);
+        sim_sleep += asleep / n;
+        sim_ui += (n - asleep) / n;
+        if (t <= slices)
+            sim_trans += 1.0 / n;
+    }
+    EXPECT_NEAR(cc.sleep, sim_sleep, 1e-9);
+    EXPECT_NEAR(cc.unctrl_idle, sim_ui, 1e-9);
+    EXPECT_NEAR(cc.transitions, sim_trans, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, GradualSleepSimTest,
+    ::testing::Combine(::testing::Values(1u, 2u, 5u, 20u, 64u),
+                       ::testing::Values<Cycle>(1, 3, 19, 20, 21, 64,
+                                                100, 1000)));
+
+} // namespace

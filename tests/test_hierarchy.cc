@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Unit tests for the Table 2 memory hierarchy wiring.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/hierarchy.hh"
+
+namespace
+{
+
+using lsim::cache::HierarchyConfig;
+using lsim::cache::MemoryHierarchy;
+
+TEST(Hierarchy, Table2Defaults)
+{
+    const HierarchyConfig cfg;
+    EXPECT_EQ(cfg.l1i.size_bytes, 64u * 1024);
+    EXPECT_EQ(cfg.l1i.assoc, 4u);
+    EXPECT_EQ(cfg.l1i.line_bytes, 64u);
+    EXPECT_EQ(cfg.l1i.hit_latency, 2u);
+    EXPECT_EQ(cfg.l2.size_bytes, 2u * 1024 * 1024);
+    EXPECT_EQ(cfg.l2.assoc, 8u);
+    EXPECT_EQ(cfg.l2.line_bytes, 128u);
+    EXPECT_EQ(cfg.l2.hit_latency, 12u);
+    EXPECT_EQ(cfg.itlb.entries, 256u);
+    EXPECT_EQ(cfg.dtlb.entries, 512u);
+    EXPECT_EQ(cfg.memory_latency, 80u);
+}
+
+TEST(Hierarchy, FetchLatencyComposition)
+{
+    MemoryHierarchy mem;
+    // Cold fetch: ITLB miss (30) + L1I (2) + L2 (12) + mem (80).
+    EXPECT_EQ(mem.fetch(0x400000), 30u + 94u);
+    // Warm fetch: pure L1I hit.
+    EXPECT_EQ(mem.fetch(0x400000), 2u);
+}
+
+TEST(Hierarchy, DataLatencyComposition)
+{
+    MemoryHierarchy mem;
+    EXPECT_EQ(mem.data(0x10000000, false), 30u + 94u);
+    EXPECT_EQ(mem.data(0x10000000, false), 2u);
+    // Same L2 line (128 B) but different L1 line (64 B): the L2
+    // access hits.
+    EXPECT_EQ(mem.data(0x10000040, false), 2u + 12u);
+}
+
+TEST(Hierarchy, SplitL1SharedL2)
+{
+    MemoryHierarchy mem;
+    (void)mem.fetch(0x400000);
+    // A data access to the same line: misses L1D but hits the
+    // unified L2 that the instruction fetch filled.
+    EXPECT_EQ(mem.data(0x400000, false), 30u + 2u + 12u);
+}
+
+TEST(Hierarchy, FlushAllRestoresColdState)
+{
+    MemoryHierarchy mem;
+    (void)mem.data(0x2000, false);
+    mem.flushAll();
+    EXPECT_EQ(mem.data(0x2000, false), 30u + 94u);
+}
+
+TEST(Hierarchy, ConfigurableL2Latency)
+{
+    HierarchyConfig cfg;
+    cfg.l2.hit_latency = 32; // the paper's Figure 7 variant
+    MemoryHierarchy mem(cfg);
+    (void)mem.data(0x8000, false); // fill L1D + L2
+    // Adjacent L1 line within the same 128 B L2 line: L1 miss,
+    // L2 hit at the slower latency.
+    EXPECT_EQ(mem.data(0x8040, false), 2u + 32u);
+}
+
+} // namespace

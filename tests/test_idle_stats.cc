@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Unit tests for the idle-interval recorder (Figure 7 statistics).
+ */
+
+#include <gtest/gtest.h>
+
+#include "sleep/idle_stats.hh"
+
+namespace
+{
+
+using lsim::sleep::IdleIntervalRecorder;
+
+TEST(IdleStats, TickStreamBasics)
+{
+    IdleIntervalRecorder r;
+    // busy busy idle idle idle busy idle idle
+    for (bool b : {true, true, false, false, false, true, false,
+                   false})
+        r.tick(b);
+    r.finish();
+    EXPECT_EQ(r.totalCycles(), 8u);
+    EXPECT_EQ(r.idleCycles(), 5u);
+    EXPECT_EQ(r.numIntervals(), 2u);
+    EXPECT_DOUBLE_EQ(r.meanInterval(), 2.5);
+    EXPECT_DOUBLE_EQ(r.idleFraction(), 5.0 / 8.0);
+}
+
+TEST(IdleStats, HistogramWeightedByCycles)
+{
+    IdleIntervalRecorder r;
+    r.idleRun(3);
+    r.activeRun(1);
+    r.idleRun(8);
+    r.activeRun(1);
+    r.finish();
+    const auto &h = r.histogram();
+    // 3 cycles in bucket [2,4), 8 cycles in bucket [8,16).
+    EXPECT_DOUBLE_EQ(h.bucketWeight(1), 3.0);
+    EXPECT_DOUBLE_EQ(h.bucketWeight(3), 8.0);
+    EXPECT_DOUBLE_EQ(h.totalWeight(), 11.0);
+}
+
+TEST(IdleStats, OpenRunCountedInIdleCycles)
+{
+    IdleIntervalRecorder r;
+    r.idleRun(4);
+    // Not yet finished: interval open but cycles counted.
+    EXPECT_EQ(r.idleCycles(), 4u);
+    EXPECT_EQ(r.numIntervals(), 0u);
+    r.finish();
+    EXPECT_EQ(r.numIntervals(), 1u);
+}
+
+TEST(IdleStats, RunsMergeAcrossCalls)
+{
+    IdleIntervalRecorder r;
+    r.idleRun(2);
+    r.idleRun(3); // same interval continues
+    r.activeRun(1);
+    r.finish();
+    EXPECT_EQ(r.numIntervals(), 1u);
+    EXPECT_DOUBLE_EQ(r.meanInterval(), 5.0);
+}
+
+TEST(IdleStats, BulkIdleRunsMatchesLoop)
+{
+    IdleIntervalRecorder bulk, loop;
+    bulk.idleRuns(6, 100);
+    for (int i = 0; i < 100; ++i) {
+        loop.idleRun(6);
+        loop.activeRun(0); // close the interval without cycles
+    }
+    // activeRun(0) is a no-op, so close manually via alternation:
+    loop.reset();
+    for (int i = 0; i < 100; ++i) {
+        loop.idleRun(6);
+        loop.activeRun(1);
+    }
+    bulk.finish();
+    loop.finish();
+    EXPECT_EQ(bulk.numIntervals(), loop.numIntervals());
+    EXPECT_DOUBLE_EQ(bulk.meanInterval(), loop.meanInterval());
+    EXPECT_DOUBLE_EQ(bulk.histogram().totalWeight(),
+                     loop.histogram().totalWeight());
+}
+
+TEST(IdleStats, ClampAccumulatesLongIntervals)
+{
+    IdleIntervalRecorder r(8192);
+    r.idleRun(10000);
+    r.activeRun(1);
+    r.idleRun(20000);
+    r.activeRun(1);
+    r.finish();
+    const auto &h = r.histogram();
+    EXPECT_DOUBLE_EQ(h.bucketWeight(h.numBuckets() - 1), 30000.0);
+}
+
+TEST(IdleStats, ResetRestoresEmpty)
+{
+    IdleIntervalRecorder r;
+    r.idleRun(5);
+    r.finish();
+    r.reset();
+    EXPECT_EQ(r.totalCycles(), 0u);
+    EXPECT_EQ(r.numIntervals(), 0u);
+    EXPECT_DOUBLE_EQ(r.idleFraction(), 0.0);
+}
+
+TEST(IdleStats, TickAfterFinishStartsFresh)
+{
+    IdleIntervalRecorder r;
+    r.idleRun(3);
+    r.finish();
+    r.idleRun(2);
+    r.finish();
+    EXPECT_EQ(r.numIntervals(), 2u);
+}
+
+} // namespace

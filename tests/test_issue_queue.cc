@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Unit tests for the age-ordered issue queue.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cpu/issue_queue.hh"
+
+namespace
+{
+
+using lsim::cpu::IssueQueue;
+
+TEST(IssueQueue, InsertAndCapacity)
+{
+    IssueQueue iq(3);
+    EXPECT_TRUE(iq.empty());
+    iq.insert(1);
+    iq.insert(2);
+    iq.insert(3);
+    EXPECT_TRUE(iq.full());
+    EXPECT_EQ(iq.size(), 3u);
+}
+
+TEST(IssueQueue, SelectIssueRemovesChosen)
+{
+    IssueQueue iq(8);
+    for (std::uint64_t s : {1, 2, 3, 4, 5})
+        iq.insert(s);
+    // Issue the even seqs.
+    iq.selectIssue([](std::uint64_t seq, bool &) {
+        return seq % 2 == 0;
+    });
+    EXPECT_EQ(iq.size(), 3u);
+    std::vector<std::uint64_t> rest;
+    iq.selectIssue([&](std::uint64_t seq, bool &) {
+        rest.push_back(seq);
+        return false;
+    });
+    EXPECT_EQ(rest, (std::vector<std::uint64_t>{1, 3, 5}));
+}
+
+TEST(IssueQueue, VisitsOldestFirst)
+{
+    IssueQueue iq(8);
+    for (std::uint64_t s : {10, 20, 30})
+        iq.insert(s);
+    std::vector<std::uint64_t> order;
+    iq.selectIssue([&](std::uint64_t seq, bool &) {
+        order.push_back(seq);
+        return false;
+    });
+    EXPECT_EQ(order, (std::vector<std::uint64_t>{10, 20, 30}));
+}
+
+TEST(IssueQueue, StopTokenHaltsScan)
+{
+    IssueQueue iq(8);
+    for (std::uint64_t s : {1, 2, 3, 4})
+        iq.insert(s);
+    int visited = 0;
+    iq.selectIssue([&](std::uint64_t, bool &stop) {
+        ++visited;
+        if (visited == 2)
+            stop = true;
+        return true; // issue everything we see
+    });
+    EXPECT_EQ(visited, 2);
+    // The two visited entries issued; the rest remain.
+    EXPECT_EQ(iq.size(), 2u);
+}
+
+TEST(IssueQueue, InsertAfterIssueKeepsOrder)
+{
+    IssueQueue iq(4);
+    iq.insert(1);
+    iq.insert(2);
+    iq.selectIssue([](std::uint64_t seq, bool &) {
+        return seq == 1;
+    });
+    iq.insert(3);
+    std::vector<std::uint64_t> order;
+    iq.selectIssue([&](std::uint64_t seq, bool &) {
+        order.push_back(seq);
+        return false;
+    });
+    EXPECT_EQ(order, (std::vector<std::uint64_t>{2, 3}));
+}
+
+TEST(IssueQueueDeath, Misuse)
+{
+    EXPECT_EXIT(IssueQueue(0), ::testing::ExitedWithCode(1),
+                "capacity");
+    IssueQueue iq(1);
+    iq.insert(5);
+    EXPECT_DEATH(iq.insert(6), "full");
+    IssueQueue iq2(4);
+    iq2.insert(5);
+    EXPECT_DEATH(iq2.insert(5), "program order");
+}
+
+} // namespace

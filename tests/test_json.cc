@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Unit tests for the JSON writer and the harness report emitters.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/json.hh"
+#include "harness/report.hh"
+
+namespace
+{
+
+using lsim::JsonWriter;
+
+TEST(Json, ObjectWithFields)
+{
+    std::ostringstream os;
+    JsonWriter w(os);
+    w.beginObject();
+    w.field("name", "alu0");
+    w.field("ipc", 1.5);
+    w.field("cycles", std::uint64_t{42});
+    w.field("enabled", true);
+    w.endObject();
+    EXPECT_TRUE(w.balanced());
+    EXPECT_EQ(os.str(),
+              "{\"name\":\"alu0\",\"ipc\":1.5,\"cycles\":42,"
+              "\"enabled\":true}");
+}
+
+TEST(Json, NestedStructures)
+{
+    std::ostringstream os;
+    JsonWriter w(os);
+    w.beginObject();
+    w.beginArray("units");
+    w.value(0.5);
+    w.value(std::uint64_t{7});
+    w.beginObject();
+    w.field("x", 1.0);
+    w.endObject();
+    w.endArray();
+    w.beginObject("inner");
+    w.endObject();
+    w.endObject();
+    EXPECT_TRUE(w.balanced());
+    EXPECT_EQ(os.str(),
+              "{\"units\":[0.5,7,{\"x\":1}],\"inner\":{}}");
+}
+
+TEST(Json, EscapesSpecialCharacters)
+{
+    std::ostringstream os;
+    JsonWriter w(os);
+    w.beginObject();
+    w.field("s", "a\"b\\c\nd");
+    w.endObject();
+    EXPECT_EQ(os.str(), "{\"s\":\"a\\\"b\\\\c\\nd\"}");
+}
+
+TEST(Json, NonFiniteBecomesNull)
+{
+    std::ostringstream os;
+    JsonWriter w(os);
+    w.beginObject();
+    w.field("inf", std::numeric_limits<double>::infinity());
+    w.endObject();
+    EXPECT_EQ(os.str(), "{\"inf\":null}");
+}
+
+TEST(JsonDeath, UnbalancedEnd)
+{
+    std::ostringstream os;
+    JsonWriter w(os);
+    EXPECT_DEATH(w.endObject(), "no open scope");
+}
+
+TEST(JsonReport, ExperimentRecordIsWellFormedish)
+{
+    // Build a tiny experiment and check the emitted JSON contains
+    // the expected keys and balanced braces (no JSON parser
+    // dependency offline, so check structure textually).
+    lsim::harness::IdleProfile ip;
+    ip.addRun(true, 100);
+    ip.addRun(false, 20);
+    lsim::energy::ModelParams mp;
+    const auto res = lsim::harness::evaluatePaperPolicies(ip, mp);
+
+    lsim::harness::WorkloadSim ws;
+    ws.name = "synthetic";
+    ws.num_fus = 1;
+    ws.idle = ip;
+    ws.sim.cycles = 120;
+    ws.sim.committed = 300;
+    ws.sim.ipc = 2.5;
+    ws.sim.fu_utilization = {0.8};
+
+    std::ostringstream os;
+    lsim::harness::writeExperimentJson(os, ws, mp, res);
+    const std::string out = os.str();
+
+    for (const char *key :
+         {"\"technology\"", "\"simulation\"", "\"policies\"",
+          "\"MaxSleep\"", "\"GradualSleep\"", "\"AlwaysActive\"",
+          "\"NoOverhead\"", "\"idle_histogram\"", "\"breakdown\""})
+        EXPECT_NE(out.find(key), std::string::npos) << key;
+
+    int depth = 0;
+    bool in_string = false;
+    char prev = 0;
+    for (char ch : out) {
+        if (ch == '"' && prev != '\\')
+            in_string = !in_string;
+        if (!in_string) {
+            if (ch == '{' || ch == '[')
+                ++depth;
+            if (ch == '}' || ch == ']')
+                --depth;
+        }
+        prev = ch;
+    }
+    EXPECT_EQ(depth, 0);
+}
+
+} // namespace

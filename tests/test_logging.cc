@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Unit tests for the gem5-style logging helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+
+namespace
+{
+
+TEST(LoggingDeath, PanicAborts)
+{
+    EXPECT_DEATH(lsim::panic("boom %d", 42), "boom 42");
+}
+
+TEST(LoggingDeath, FatalExitsWithOne)
+{
+    EXPECT_EXIT(lsim::fatal("config error %s", "xyz"),
+                ::testing::ExitedWithCode(1), "config error xyz");
+}
+
+TEST(LoggingDeath, PanicIfTriggersOnTrue)
+{
+    EXPECT_DEATH(lsim::panicIf(true, "bad"), "bad");
+}
+
+TEST(Logging, PanicIfPassesOnFalse)
+{
+    lsim::panicIf(false, "should not trigger");
+}
+
+TEST(Logging, InformToggle)
+{
+    lsim::setInformEnabled(false);
+    EXPECT_FALSE(lsim::informEnabled());
+    lsim::inform("silenced");
+    lsim::setInformEnabled(true);
+    EXPECT_TRUE(lsim::informEnabled());
+}
+
+} // namespace

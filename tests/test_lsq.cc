@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Unit tests for the load/store queue.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cpu/lsq.hh"
+
+namespace
+{
+
+using lsim::cpu::LoadStoreQueue;
+
+TEST(Lsq, CapacityAccounting)
+{
+    LoadStoreQueue lsq(2, 1);
+    EXPECT_TRUE(lsq.canInsertLoad());
+    EXPECT_TRUE(lsq.canInsertStore());
+    lsq.insert(1, 0x100, false);
+    lsq.insert(2, 0x200, false);
+    EXPECT_FALSE(lsq.canInsertLoad());
+    EXPECT_TRUE(lsq.canInsertStore());
+    lsq.insert(3, 0x300, true);
+    EXPECT_FALSE(lsq.canInsertStore());
+    lsq.remove(1);
+    EXPECT_TRUE(lsq.canInsertLoad());
+    EXPECT_EQ(lsq.numLoads(), 1u);
+    EXPECT_EQ(lsq.numStores(), 1u);
+}
+
+TEST(Lsq, OlderStoresGateLoads)
+{
+    LoadStoreQueue lsq(8, 8);
+    lsq.insert(1, 0x100, true);  // store, address unknown
+    lsq.insert(2, 0x200, false); // load
+    EXPECT_FALSE(lsq.olderStoresReady(2));
+    lsq.setAddrReady(1);
+    EXPECT_TRUE(lsq.olderStoresReady(2));
+}
+
+TEST(Lsq, YoungerStoresDoNotGate)
+{
+    LoadStoreQueue lsq(8, 8);
+    lsq.insert(1, 0x100, false); // load
+    lsq.insert(2, 0x200, true);  // younger store
+    EXPECT_TRUE(lsq.olderStoresReady(1));
+}
+
+TEST(Lsq, ForwardingSameWord)
+{
+    LoadStoreQueue lsq(8, 8);
+    lsq.insert(1, 0x100, true);
+    lsq.insert(2, 0x104, false); // same 8-byte word as 0x100
+    lsq.insert(3, 0x108, false); // different word
+    EXPECT_FALSE(lsq.forwardsFromStore(2, 0x104)); // addr not ready
+    lsq.setAddrReady(1);
+    EXPECT_TRUE(lsq.forwardsFromStore(2, 0x104));
+    EXPECT_FALSE(lsq.forwardsFromStore(3, 0x108));
+}
+
+TEST(Lsq, ForwardingOnlyFromOlder)
+{
+    LoadStoreQueue lsq(8, 8);
+    lsq.insert(1, 0x100, false); // load first
+    lsq.insert(2, 0x100, true);  // younger store, same word
+    lsq.setAddrReady(2);
+    EXPECT_FALSE(lsq.forwardsFromStore(1, 0x100));
+}
+
+TEST(Lsq, RemoveMiddleEntry)
+{
+    LoadStoreQueue lsq(8, 8);
+    lsq.insert(1, 0x100, true);
+    lsq.insert(2, 0x200, false);
+    lsq.insert(3, 0x300, true);
+    lsq.remove(2);
+    EXPECT_EQ(lsq.numLoads(), 0u);
+    EXPECT_EQ(lsq.numStores(), 2u);
+    // Ordering of the remaining stores is preserved.
+    EXPECT_FALSE(lsq.olderStoresReady(3));
+    lsq.setAddrReady(1);
+    EXPECT_TRUE(lsq.olderStoresReady(3));
+}
+
+TEST(LsqDeath, Misuse)
+{
+    EXPECT_EXIT(LoadStoreQueue(0, 8), ::testing::ExitedWithCode(1),
+                "capacity");
+    LoadStoreQueue lsq(1, 1);
+    lsq.insert(1, 0x100, false);
+    EXPECT_DEATH(lsq.insert(2, 0x200, false), "full");
+    EXPECT_DEATH(lsq.insert(1, 0x200, true), "program order");
+    EXPECT_DEATH(lsq.setAddrReady(99), "not present");
+    EXPECT_DEATH(lsq.remove(99), "not present");
+}
+
+} // namespace

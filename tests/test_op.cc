@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Unit tests for the micro-op classification helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "trace/op.hh"
+
+namespace
+{
+
+using lsim::trace::MicroOp;
+using lsim::trace::OpClass;
+using lsim::trace::execLatency;
+using lsim::trace::isControlClass;
+using lsim::trace::isFpClass;
+using lsim::trace::isIntClass;
+using lsim::trace::isMemClass;
+
+TEST(OpClass, IntegerClassesIncludeMemAndControl)
+{
+    // SimpleScalar convention: loads/stores generate addresses on
+    // the integer ALUs; branches execute there too.
+    for (auto cls : {OpClass::IntAlu, OpClass::IntMult, OpClass::Load,
+                     OpClass::Store, OpClass::Branch, OpClass::Call,
+                     OpClass::Return})
+        EXPECT_TRUE(isIntClass(cls)) << to_string(cls);
+    EXPECT_FALSE(isIntClass(OpClass::FpAlu));
+    EXPECT_FALSE(isIntClass(OpClass::FpMult));
+}
+
+TEST(OpClass, PartitionsAreConsistent)
+{
+    for (unsigned i = 0; i < lsim::trace::kNumOpClasses; ++i) {
+        const auto cls = static_cast<OpClass>(i);
+        // FP and integer classes partition the space.
+        EXPECT_NE(isIntClass(cls), isFpClass(cls)) << to_string(cls);
+        // Memory and control classes are integer classes.
+        if (isMemClass(cls) || isControlClass(cls)) {
+            EXPECT_TRUE(isIntClass(cls)) << to_string(cls);
+        }
+        // Nothing is both memory and control.
+        EXPECT_FALSE(isMemClass(cls) && isControlClass(cls));
+    }
+}
+
+TEST(OpClass, Latencies)
+{
+    EXPECT_EQ(execLatency(OpClass::IntAlu), 1u);
+    EXPECT_EQ(execLatency(OpClass::IntMult), 7u);
+    EXPECT_EQ(execLatency(OpClass::Load), 1u); // agen only
+    EXPECT_EQ(execLatency(OpClass::Store), 1u);
+    EXPECT_EQ(execLatency(OpClass::Branch), 1u);
+    EXPECT_EQ(execLatency(OpClass::FpAlu), 4u);
+}
+
+TEST(OpClass, Names)
+{
+    EXPECT_EQ(to_string(OpClass::IntAlu), "IntAlu");
+    EXPECT_EQ(to_string(OpClass::Load), "Load");
+    EXPECT_EQ(to_string(OpClass::Return), "Return");
+    EXPECT_EQ(to_string(OpClass::FpMult), "FpMult");
+}
+
+TEST(MicroOp, ConvenienceAccessors)
+{
+    MicroOp op;
+    op.cls = OpClass::Load;
+    EXPECT_TRUE(op.isInt());
+    EXPECT_TRUE(op.isMem());
+    EXPECT_TRUE(op.isLoad());
+    EXPECT_FALSE(op.isStore());
+    EXPECT_FALSE(op.isControl());
+    EXPECT_FALSE(op.isFp());
+    op.cls = OpClass::Call;
+    EXPECT_TRUE(op.isControl());
+    op.cls = OpClass::FpAlu;
+    EXPECT_TRUE(op.isFp());
+    EXPECT_FALSE(op.isInt());
+}
+
+} // namespace

@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Unit and property tests for the closed-form policy model
+ * (equations 6-9, Figures 4b-4d).
+ */
+
+#include <gtest/gtest.h>
+
+#include "energy/breakeven.hh"
+#include "energy/policy_model.hh"
+
+namespace
+{
+
+using lsim::energy::ModelParams;
+using lsim::energy::Policy;
+using lsim::energy::PolicyModel;
+using lsim::energy::WorkloadPoint;
+using lsim::energy::breakevenInterval;
+
+ModelParams
+params(double p, double alpha = 0.5)
+{
+    ModelParams mp;
+    mp.p = p;
+    mp.alpha = alpha;
+    mp.k = 0.001;
+    mp.s = 0.01;
+    return mp;
+}
+
+WorkloadPoint
+workload(double usage, double interval)
+{
+    WorkloadPoint w;
+    w.usage = usage;
+    w.idle_interval = interval;
+    w.total_cycles = 1e6;
+    return w;
+}
+
+TEST(PolicyModel, CountsPartitionTotalCycles)
+{
+    PolicyModel pm(params(0.5), workload(0.3, 10));
+    for (auto pol : {Policy::AlwaysActive, Policy::MaxSleep,
+                     Policy::NoOverhead}) {
+        const auto cc = pm.counts(pol);
+        EXPECT_DOUBLE_EQ(cc.total(), 1e6);
+        EXPECT_DOUBLE_EQ(cc.active, 0.3e6);
+    }
+}
+
+TEST(PolicyModel, AlwaysActiveHasNoSleepState)
+{
+    PolicyModel pm(params(0.5), workload(0.3, 10));
+    const auto cc = pm.counts(Policy::AlwaysActive);
+    EXPECT_DOUBLE_EQ(cc.sleep, 0.0);
+    EXPECT_DOUBLE_EQ(cc.transitions, 0.0);
+    EXPECT_DOUBLE_EQ(cc.unctrl_idle, 0.7e6);
+}
+
+TEST(PolicyModel, MaxSleepTransitionCount)
+{
+    PolicyModel pm(params(0.5), workload(0.3, 10));
+    const auto cc = pm.counts(Policy::MaxSleep);
+    EXPECT_DOUBLE_EQ(cc.unctrl_idle, 0.0);
+    EXPECT_DOUBLE_EQ(cc.sleep, 0.7e6);
+    EXPECT_DOUBLE_EQ(cc.transitions, 0.7e6 / 10);
+}
+
+TEST(PolicyModel, TransitionsCappedByActiveCycles)
+{
+    // Every transition implies a prior active cycle (the min() in
+    // Section 3.1).
+    PolicyModel pm(params(0.5), workload(0.05, 1.0));
+    const auto cc = pm.counts(Policy::MaxSleep);
+    EXPECT_DOUBLE_EQ(cc.transitions, 0.05e6);
+}
+
+TEST(PolicyModel, NoOverheadIsLowerBound)
+{
+    for (double p : {0.01, 0.05, 0.2, 0.5, 1.0}) {
+        for (double L : {1.0, 10.0, 100.0}) {
+            PolicyModel pm(params(p), workload(0.5, L));
+            const double no = pm.energy(Policy::NoOverhead);
+            EXPECT_LE(no, pm.energy(Policy::MaxSleep));
+            EXPECT_LE(no, pm.energy(Policy::AlwaysActive));
+        }
+    }
+}
+
+TEST(PolicyModel, CrossoverAtBreakeven)
+{
+    // MaxSleep wins exactly when the idle interval exceeds the
+    // breakeven interval.
+    const ModelParams mp = params(0.05);
+    const double be = breakevenInterval(mp);
+    PolicyModel shorter(mp, workload(0.5, be * 0.5));
+    EXPECT_GT(shorter.energy(Policy::MaxSleep),
+              shorter.energy(Policy::AlwaysActive));
+    PolicyModel longer(mp, workload(0.5, be * 2.0));
+    EXPECT_LT(longer.energy(Policy::MaxSleep),
+              longer.energy(Policy::AlwaysActive));
+}
+
+TEST(PolicyModel, HighLeakageFavorsMaxSleepAtTenCycles)
+{
+    // Figure 4b: with L_idle = 10 and large p, MaxSleep beats
+    // AlwaysActive; at small p the ordering flips.
+    PolicyModel high(params(0.5), workload(0.1, 10));
+    EXPECT_LT(high.energy(Policy::MaxSleep),
+              high.energy(Policy::AlwaysActive));
+    PolicyModel low(params(0.01), workload(0.1, 10));
+    EXPECT_GT(low.energy(Policy::MaxSleep),
+              low.energy(Policy::AlwaysActive));
+}
+
+TEST(PolicyModel, LongIdleMakesMaxSleepNearOptimal)
+{
+    // Figure 4c: at L_idle = 100 and 10% usage, MaxSleep is nearly
+    // identical to NoOverhead.
+    PolicyModel pm(params(0.5), workload(0.1, 100));
+    const double ms = pm.energy(Policy::MaxSleep);
+    const double no = pm.energy(Policy::NoOverhead);
+    EXPECT_LT((ms - no) / no, 0.06);
+}
+
+TEST(PolicyModel, RelativeEnergyBelowOneForIdleWorkloads)
+{
+    // A unit that idles most of the time must spend less than the
+    // 100%-compute baseline under every policy.
+    for (auto pol : {Policy::AlwaysActive, Policy::MaxSleep,
+                     Policy::NoOverhead}) {
+        PolicyModel pm(params(0.3), workload(0.1, 20));
+        EXPECT_LT(pm.relativeEnergy(pol), 1.0);
+    }
+}
+
+TEST(PolicyModel, MinOfBoundingPolicies)
+{
+    PolicyModel pm(params(0.05), workload(0.5, 5));
+    EXPECT_DOUBLE_EQ(pm.minOfBoundingPolicies(),
+                     std::min(pm.energy(Policy::AlwaysActive),
+                              pm.energy(Policy::MaxSleep)));
+}
+
+TEST(PolicyModel, BreakdownConsistentWithEnergy)
+{
+    PolicyModel pm(params(0.5), workload(0.4, 8));
+    for (auto pol : {Policy::AlwaysActive, Policy::MaxSleep,
+                     Policy::NoOverhead}) {
+        EXPECT_NEAR(pm.breakdown(pol).total(), pm.energy(pol), 1e-6);
+    }
+}
+
+TEST(PolicyModel, PolicyNames)
+{
+    EXPECT_EQ(to_string(Policy::AlwaysActive), "AlwaysActive");
+    EXPECT_EQ(to_string(Policy::MaxSleep), "MaxSleep");
+    EXPECT_EQ(to_string(Policy::NoOverhead), "NoOverhead");
+}
+
+TEST(PolicyModelDeath, WorkloadValidation)
+{
+    WorkloadPoint w;
+    w.usage = 1.5;
+    EXPECT_EXIT(PolicyModel(params(0.5), w),
+                ::testing::ExitedWithCode(1), "usage factor");
+    WorkloadPoint w2;
+    w2.idle_interval = 0.0;
+    EXPECT_EXIT(PolicyModel(params(0.5), w2),
+                ::testing::ExitedWithCode(1), "idle interval");
+    WorkloadPoint w3;
+    w3.total_cycles = 0.0;
+    EXPECT_EXIT(PolicyModel(params(0.5), w3),
+                ::testing::ExitedWithCode(1), "total cycles");
+}
+
+/**
+ * Property sweep over the Figure 4 parameter plane: energies are
+ * positive, ordered (NoOverhead least), and AlwaysActive is
+ * monotone increasing in p.
+ */
+class PolicyPlaneTest
+    : public ::testing::TestWithParam<std::tuple<double, double>>
+{
+};
+
+TEST_P(PolicyPlaneTest, InvariantsHold)
+{
+    auto [usage, interval] = GetParam();
+    double prev_aa = 0.0;
+    for (double p = 0.05; p <= 1.0; p += 0.05) {
+        PolicyModel pm(params(p), workload(usage, interval));
+        const double aa = pm.energy(Policy::AlwaysActive);
+        const double ms = pm.energy(Policy::MaxSleep);
+        const double no = pm.energy(Policy::NoOverhead);
+        EXPECT_GT(no, 0.0);
+        EXPECT_LE(no, ms);
+        EXPECT_LE(no, aa);
+        EXPECT_GE(aa, prev_aa); // monotone in p
+        prev_aa = aa;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Fig4Plane, PolicyPlaneTest,
+    ::testing::Combine(::testing::Values(0.1, 0.5, 0.9),
+                       ::testing::Values(1.0, 10.0, 100.0)));
+
+} // namespace

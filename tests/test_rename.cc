@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Unit tests for register renaming.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cpu/rename.hh"
+
+namespace
+{
+
+using lsim::cpu::RenameMap;
+using lsim::cpu::kNoPhysReg;
+
+TEST(Rename, InitialIdentityMapping)
+{
+    RenameMap m(32, 96);
+    for (int r = 0; r < 32; ++r) {
+        EXPECT_EQ(m.lookup(r), r);
+        EXPECT_TRUE(m.isReady(m.lookup(r)));
+    }
+    EXPECT_EQ(m.numFree(), 64u);
+}
+
+TEST(Rename, AllocateTracksPrevious)
+{
+    RenameMap m(32, 96);
+    int prev = kNoPhysReg;
+    const int phys = m.allocate(5, prev);
+    EXPECT_EQ(prev, 5);
+    EXPECT_NE(phys, 5);
+    EXPECT_EQ(m.lookup(5), phys);
+    EXPECT_FALSE(m.isReady(phys));
+    m.setReady(phys);
+    EXPECT_TRUE(m.isReady(phys));
+}
+
+TEST(Rename, CommitReleaseCycle)
+{
+    RenameMap m(32, 34);
+    // Only 2 rename registers: exhaust, then release.
+    int prev1 = kNoPhysReg, prev2 = kNoPhysReg;
+    (void)m.allocate(0, prev1);
+    (void)m.allocate(1, prev2);
+    EXPECT_FALSE(m.hasFreeReg());
+    m.release(prev1); // commit of the first instruction
+    EXPECT_TRUE(m.hasFreeReg());
+    int prev3 = kNoPhysReg;
+    const int phys3 = m.allocate(2, prev3);
+    EXPECT_EQ(phys3, prev1); // recycled
+}
+
+TEST(Rename, SerialRenamesOfSameLogicalChain)
+{
+    RenameMap m(32, 96);
+    int prev_a = kNoPhysReg, prev_b = kNoPhysReg;
+    const int a = m.allocate(7, prev_a);
+    const int b = m.allocate(7, prev_b);
+    EXPECT_EQ(prev_b, a); // second rename displaces the first
+    EXPECT_EQ(m.lookup(7), b);
+}
+
+TEST(Rename, NoPhysRegAlwaysReady)
+{
+    RenameMap m(32, 96);
+    EXPECT_TRUE(m.isReady(kNoPhysReg));
+}
+
+TEST(RenameDeath, Misuse)
+{
+    EXPECT_EXIT(RenameMap(32, 16), ::testing::ExitedWithCode(1),
+                "physical");
+
+    RenameMap m(32, 33);
+    int prev = kNoPhysReg;
+    (void)m.allocate(0, prev);
+    EXPECT_DEATH((void)m.allocate(1, prev), "empty free list");
+
+    RenameMap m2(32, 96);
+    EXPECT_DEATH((void)m2.lookup(32), "bad logical");
+    EXPECT_DEATH((void)m2.lookup(-1), "bad logical");
+    EXPECT_DEATH(m2.setReady(96), "bad physical");
+    EXPECT_DEATH(m2.release(200), "bad physical");
+}
+
+TEST(RenameDeath, OverRelease)
+{
+    // The free list starts full; releasing without a prior allocate
+    // overflows it.
+    RenameMap m(32, 34);
+    EXPECT_DEATH(m.release(33), "free list overflow");
+}
+
+} // namespace

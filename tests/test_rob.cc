@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Unit tests for the reorder buffer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cpu/rob.hh"
+
+namespace
+{
+
+using lsim::cpu::InstState;
+using lsim::cpu::ReorderBuffer;
+using lsim::cpu::RobEntry;
+
+TEST(Rob, AllocateAssignsIncreasingSeq)
+{
+    ReorderBuffer rob(8);
+    const auto s1 = rob.allocate().seq;
+    const auto s2 = rob.allocate().seq;
+    EXPECT_EQ(s2, s1 + 1);
+    EXPECT_EQ(rob.size(), 2u);
+}
+
+TEST(Rob, HeadIsOldest)
+{
+    ReorderBuffer rob(8);
+    const auto s1 = rob.allocate().seq;
+    rob.allocate();
+    EXPECT_EQ(rob.head().seq, s1);
+    rob.popHead();
+    EXPECT_EQ(rob.head().seq, s1 + 1);
+}
+
+TEST(Rob, BySeqAndContains)
+{
+    ReorderBuffer rob(8);
+    const auto s1 = rob.allocate().seq;
+    const auto s2 = rob.allocate().seq;
+    rob.bySeq(s2).state = InstState::Complete;
+    EXPECT_EQ(rob.bySeq(s2).state, InstState::Complete);
+    EXPECT_EQ(rob.bySeq(s1).state, InstState::Dispatched);
+    EXPECT_TRUE(rob.contains(s1));
+    rob.popHead();
+    EXPECT_FALSE(rob.contains(s1));
+    EXPECT_TRUE(rob.contains(s2));
+}
+
+TEST(Rob, ForEachVisitsOldestFirst)
+{
+    ReorderBuffer rob(4);
+    rob.allocate();
+    rob.allocate();
+    rob.allocate();
+    std::uint64_t prev = 0;
+    rob.forEach([&](RobEntry &e) {
+        EXPECT_GT(e.seq, prev);
+        prev = e.seq;
+    });
+}
+
+TEST(Rob, FullAndEmpty)
+{
+    ReorderBuffer rob(2);
+    EXPECT_TRUE(rob.empty());
+    rob.allocate();
+    rob.allocate();
+    EXPECT_TRUE(rob.full());
+    rob.popHead();
+    EXPECT_FALSE(rob.full());
+}
+
+TEST(RobDeath, Misuse)
+{
+    ReorderBuffer rob(1);
+    EXPECT_DEATH(rob.head(), "empty");
+    EXPECT_DEATH(rob.popHead(), "empty");
+    rob.allocate();
+    EXPECT_DEATH(rob.allocate(), "full");
+    EXPECT_DEATH(rob.bySeq(999), "not in flight");
+}
+
+/** Wraparound across many allocate/pop cycles at varied capacity. */
+class RobWrapTest : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(RobWrapTest, SeqStableAcrossWraparound)
+{
+    const unsigned cap = GetParam();
+    ReorderBuffer rob(cap);
+    std::uint64_t expected_head = 1;
+    for (int round = 0; round < 100; ++round) {
+        // Fill half, drain a quarter, repeatedly.
+        while (!rob.full())
+            rob.allocate();
+        for (unsigned i = 0; i < (cap + 1) / 2; ++i) {
+            ASSERT_EQ(rob.head().seq, expected_head);
+            ASSERT_TRUE(rob.contains(expected_head));
+            rob.popHead();
+            ++expected_head;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Capacities, RobWrapTest,
+                         ::testing::Values(1u, 2u, 3u, 8u, 128u));
+
+} // namespace

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Unit tests for circuit/technology: subthreshold leakage scaling and
+ * the alpha-power delay model.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/technology.hh"
+
+namespace
+{
+
+using lsim::circuit::Technology;
+
+TEST(Technology, DefaultsValidate)
+{
+    Technology t;
+    t.validate();
+    EXPECT_DOUBLE_EQ(t.periodPs(), 250.0);
+}
+
+TEST(Technology, ThermalVoltageAtRoomTemp)
+{
+    Technology t;
+    t.temperature_k = 300.0;
+    EXPECT_NEAR(t.thermalVoltage(), 0.02585, 2e-4);
+}
+
+TEST(Technology, LeakageScaleExponential)
+{
+    Technology t;
+    const double s1 = t.leakageScale(0.2);
+    const double s2 = t.leakageScale(0.3);
+    const double s3 = t.leakageScale(0.4);
+    // Equal Vt steps give equal ratios.
+    EXPECT_NEAR(s1 / s2, s2 / s3, 1e-9 * s1 / s2);
+    EXPECT_GT(s1, s2);
+    EXPECT_GT(s2, s3);
+}
+
+TEST(Technology, LeakageGrowsWithTemperature)
+{
+    Technology cold, hot;
+    cold.temperature_k = 300.0;
+    hot.temperature_k = 400.0;
+    EXPECT_GT(hot.leakageScale(0.3), cold.leakageScale(0.3));
+}
+
+TEST(Technology, DelayFactorNormalizedAtDefaultCorner)
+{
+    Technology t;
+    EXPECT_NEAR(t.delayFactor(t.vt_low), 1.0, 1e-12);
+    // Higher threshold means slower device.
+    EXPECT_GT(t.delayFactor(t.vt_high), t.delayFactor(t.vt_low));
+}
+
+TEST(Technology, LowerVddIsSlower)
+{
+    Technology nominal, drooped;
+    drooped.vdd = 0.8;
+    EXPECT_GT(drooped.delayFactor(nominal.vt_low),
+              nominal.delayFactor(nominal.vt_low));
+}
+
+TEST(TechnologyDeath, Validation)
+{
+    Technology t;
+    t.vdd = -1.0;
+    EXPECT_EXIT(t.validate(), ::testing::ExitedWithCode(1),
+                "vdd must be positive");
+
+    Technology t2;
+    t2.vt_high = t2.vt_low; // not strictly greater
+    EXPECT_EXIT(t2.validate(), ::testing::ExitedWithCode(1),
+                "vt_low < vt_high");
+
+    Technology t3;
+    t3.vt_high = t3.vdd + 0.1;
+    EXPECT_EXIT(t3.validate(), ::testing::ExitedWithCode(1),
+                "below vdd");
+
+    Technology t4;
+    t4.clock_ghz = 0.0;
+    EXPECT_EXIT(t4.validate(), ::testing::ExitedWithCode(1),
+                "clock frequency");
+
+    Technology t5;
+    t5.swing_factor = 5.0;
+    EXPECT_EXIT(t5.validate(), ::testing::ExitedWithCode(1),
+                "swing factor");
+}
+
+} // namespace

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Unit tests for the TLB model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/tlb.hh"
+
+namespace
+{
+
+using lsim::Addr;
+using lsim::cache::Tlb;
+using lsim::cache::TlbConfig;
+
+TlbConfig
+smallConfig()
+{
+    TlbConfig cfg;
+    cfg.name = "test";
+    cfg.entries = 8;
+    cfg.assoc = 2;
+    cfg.page_bytes = 8 * 1024;
+    cfg.miss_latency = 30;
+    return cfg;
+}
+
+TEST(Tlb, MissThenHit)
+{
+    Tlb t(smallConfig());
+    EXPECT_EQ(t.access(0x10000), 30u);
+    EXPECT_EQ(t.access(0x10000), 0u);
+    EXPECT_EQ(t.access(0x10000 + 8191), 0u); // same page
+    EXPECT_EQ(t.access(0x10000 + 8192), 30u); // next page
+    EXPECT_EQ(t.stats().accesses, 4u);
+    EXPECT_EQ(t.stats().misses, 2u);
+}
+
+TEST(Tlb, LruWithinSet)
+{
+    Tlb t(smallConfig());
+    // 4 sets; pages with the same (vpn % 4) collide.
+    const Addr page = 8 * 1024;
+    const Addr set_stride = 4 * page;
+    t.access(0 * set_stride); // way 0
+    t.access(1 * set_stride); // way 1
+    t.access(0 * set_stride); // refresh
+    t.access(2 * set_stride); // evicts 1*set_stride
+    EXPECT_EQ(t.access(0 * set_stride), 0u);
+    EXPECT_EQ(t.access(1 * set_stride), 30u);
+}
+
+TEST(Tlb, FlushDropsTranslations)
+{
+    Tlb t(smallConfig());
+    t.access(0x4000);
+    t.flush();
+    EXPECT_EQ(t.access(0x4000), 30u);
+}
+
+TEST(Tlb, MissRate)
+{
+    Tlb t(smallConfig());
+    t.access(0x0);
+    t.access(0x0);
+    EXPECT_DOUBLE_EQ(t.stats().missRate(), 0.5);
+}
+
+TEST(TlbDeath, Validation)
+{
+    TlbConfig bad = smallConfig();
+    bad.entries = 6; // 3 sets
+    EXPECT_EXIT(bad.validate(), ::testing::ExitedWithCode(1),
+                "power of two");
+    TlbConfig bad2 = smallConfig();
+    bad2.assoc = 3;
+    EXPECT_EXIT(bad2.validate(), ::testing::ExitedWithCode(1),
+                "multiple");
+    TlbConfig bad3 = smallConfig();
+    bad3.page_bytes = 5000;
+    EXPECT_EXIT(bad3.validate(), ::testing::ExitedWithCode(1),
+                "page size");
+}
+
+} // namespace

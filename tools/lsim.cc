@@ -1,0 +1,196 @@
+/**
+ * @file
+ * lsim command-line driver: the library's functionality behind one
+ * binary for scripted use.
+ *
+ *   lsim characterize                 print the OR8/FU circuit data
+ *   lsim breakeven [p] [alpha]        breakeven interval at a point
+ *   lsim simulate <bench> [insts] [fus] [--json]
+ *                                     run the timing model
+ *   lsim policies <bench> <p> [insts] [--json]
+ *                                     simulate + evaluate policies
+ *   lsim list                         list available benchmarks
+ */
+
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "circuit/fu_circuit.hh"
+#include "common/logging.hh"
+#include "common/table.hh"
+#include "energy/breakeven.hh"
+#include "harness/report.hh"
+#include "trace/profile.hh"
+
+namespace
+{
+
+using namespace lsim;
+
+int
+usage()
+{
+    std::cerr
+        << "usage:\n"
+           "  lsim characterize\n"
+           "  lsim breakeven [p] [alpha]\n"
+           "  lsim simulate <bench> [insts] [fus] [--json]\n"
+           "  lsim policies <bench> <p> [insts] [--json]\n"
+           "  lsim list\n";
+    return 2;
+}
+
+bool
+hasFlag(int argc, char **argv, const char *flag)
+{
+    for (int i = 1; i < argc; ++i)
+        if (std::strcmp(argv[i], flag) == 0)
+            return true;
+    return false;
+}
+
+int
+cmdCharacterize()
+{
+    const circuit::Technology tech;
+    circuit::FunctionalUnitCircuit fu(tech);
+    Table t({"quantity", "value"});
+    const auto c = fu.gate().characterize();
+    t.addRow({"gate style", to_string(c.style)});
+    t.addRow({"eval delay", fixed(c.eval_delay_ps, 1) + " ps"});
+    t.addRow({"sleep delay", fixed(c.sleep_delay_ps, 1) + " ps"});
+    t.addRow({"gate dynamic energy", fixed(c.dynamic_fj, 1) + " fJ"});
+    t.addRow({"gate HI leakage/cycle", sci(c.leak_hi_fj, 2) + " fJ"});
+    t.addRow({"gate LO leakage/cycle", sci(c.leak_lo_fj, 2) + " fJ"});
+    t.addRow({"FU gates", std::to_string(fu.numGates())});
+    t.addRow({"FU dynamic energy",
+              fixed(fu.dynamicEnergy() / 1000, 2) + " pJ"});
+    t.addRow({"FU breakeven (alpha=0.5)",
+              std::to_string(fu.breakevenInterval(0.5)) + " cycles"});
+    const auto mp = energy::ModelParams::fromCircuit(fu);
+    t.addRow({"leakage factor p", fixed(mp.p, 4)});
+    t.addRow({"sleep ratio k", sci(mp.k, 2)});
+    t.addRow({"sleep overhead s", fixed(mp.s, 4)});
+    t.print(std::cout);
+    return 0;
+}
+
+int
+cmdBreakeven(int argc, char **argv)
+{
+    energy::ModelParams mp;
+    mp.p = argc > 2 ? std::atof(argv[2]) : 0.05;
+    mp.alpha = argc > 3 ? std::atof(argv[3]) : 0.5;
+    mp.k = 0.001;
+    mp.s = 0.01;
+    std::cout << "breakeven interval at p=" << mp.p << " alpha="
+              << mp.alpha << ": "
+              << energy::breakevenInterval(mp) << " cycles\n";
+    return 0;
+}
+
+int
+cmdList()
+{
+    Table t({"benchmark", "suite", "paper IPC", "paper FUs"});
+    for (const auto &p : trace::table3Profiles())
+        t.addRow({p.name, p.suite, fixed(p.paper_ipc, 3),
+                  std::to_string(p.paper_fus)});
+    t.print(std::cout);
+    return 0;
+}
+
+int
+cmdSimulate(int argc, char **argv)
+{
+    if (argc < 3)
+        return usage();
+    const auto &profile = trace::profileByName(argv[2]);
+    const std::uint64_t insts =
+        argc > 3 && argv[3][0] != '-' ? std::strtoull(argv[3], nullptr, 0)
+                                      : 500000;
+    const unsigned fus =
+        argc > 4 && argv[4][0] != '-'
+            ? static_cast<unsigned>(std::atoi(argv[4]))
+            : profile.paper_fus;
+    const auto ws = harness::simulateWorkload(profile, fus, insts);
+
+    if (hasFlag(argc, argv, "--json")) {
+        JsonWriter w(std::cout);
+        w.beginObject();
+        harness::writeSimJson(w, ws);
+        w.endObject();
+        std::cout << "\n";
+        return 0;
+    }
+    Table t({"metric", "value"});
+    t.addRow({"IPC", fixed(ws.sim.ipc, 3)});
+    t.addRow({"cycles", std::to_string(ws.sim.cycles)});
+    t.addRow({"branch mispredict",
+              fixed(100 * ws.sim.bpred.dirMispredictRate(), 2) + "%"});
+    t.addRow({"L1D miss",
+              fixed(100 * ws.sim.l1d.missRate(), 2) + "%"});
+    t.addRow({"L2 miss", fixed(100 * ws.sim.l2.missRate(), 2) + "%"});
+    t.addRow({"FU idle fraction",
+              fixed(ws.idle.idleFraction(), 3)});
+    t.addRow({"mean idle interval",
+              fixed(ws.idle.meanInterval(), 1) + " cycles"});
+    t.print(std::cout);
+    return 0;
+}
+
+int
+cmdPolicies(int argc, char **argv)
+{
+    if (argc < 4)
+        return usage();
+    const auto &profile = trace::profileByName(argv[2]);
+    energy::ModelParams mp;
+    mp.p = std::atof(argv[3]);
+    mp.alpha = 0.5;
+    mp.k = 0.001;
+    mp.s = 0.01;
+    const std::uint64_t insts =
+        argc > 4 && argv[4][0] != '-' ? std::strtoull(argv[4], nullptr, 0)
+                                      : 500000;
+    const auto ws = harness::simulateWorkload(
+        profile, profile.paper_fus, insts);
+    const auto res = harness::evaluatePaperPolicies(ws.idle, mp);
+
+    if (hasFlag(argc, argv, "--json")) {
+        harness::writeExperimentJson(std::cout, ws, mp, res);
+        return 0;
+    }
+    Table t({"policy", "energy (E_A)", "vs 100% compute",
+             "leakage share"});
+    for (const auto &r : res)
+        t.addRow({r.name, fixed(r.energy, 1),
+                  fixed(r.relative_to_base, 3),
+                  fixed(r.leakage_fraction, 3)});
+    t.print(std::cout);
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    setInformEnabled(false);
+    if (argc < 2)
+        return usage();
+    const std::string cmd = argv[1];
+    if (cmd == "characterize")
+        return cmdCharacterize();
+    if (cmd == "breakeven")
+        return cmdBreakeven(argc, argv);
+    if (cmd == "simulate")
+        return cmdSimulate(argc, argv);
+    if (cmd == "policies")
+        return cmdPolicies(argc, argv);
+    if (cmd == "list")
+        return cmdList();
+    return usage();
+}
