@@ -7,20 +7,26 @@
  * alpha = 0.25 / 0.75 variants (the paper's range bars) are printed
  * for MaxSleep as a representative.
  *
+ * Built on api::Experiment sessions: each benchmark is simulated
+ * once, and all six (p, alpha) evaluation points replay its cached
+ * IdleProfile.
+ *
  * Arguments: insts=<n> (default 1000000), seed=<n>.
  */
 
 #include <iostream>
+#include <vector>
 
+#include "api/experiment.hh"
 #include "common/logging.hh"
 #include "common/table.hh"
 #include "harness/benchmarks.hh"
+#include "trace/profile.hh"
 
 namespace
 {
 
 using namespace lsim;
-using namespace lsim::harness;
 
 energy::ModelParams
 params(double p, double alpha)
@@ -34,7 +40,7 @@ params(double p, double alpha)
 }
 
 void
-printFigure(const SuiteRun &suite, double p)
+printFigure(const std::vector<api::Session> &sessions, double p)
 {
     std::cout << "Figure 8" << (p < 0.25 ? 'a' : 'b')
               << ": normalized energy (to 100% activity), p = "
@@ -44,13 +50,12 @@ printFigure(const SuiteRun &suite, double p)
                  "AlwaysActive", "NoOverhead", "MS a=0.25",
                  "MS a=0.75"});
     double sum[4] = {0, 0, 0, 0};
-    for (const auto &ws : suite.sims) {
-        const auto res = evaluatePaperPolicies(ws.idle,
-                                               params(p, 0.5));
-        const auto lo = evaluatePaperPolicies(ws.idle,
-                                              params(p, 0.25));
-        const auto hi = evaluatePaperPolicies(ws.idle,
-                                              params(p, 0.75));
+    for (const auto &session : sessions) {
+        const auto &ws = session.sim();
+        // policiesAt avoids copying the WorkloadSim per point.
+        const auto res = session.policiesAt(params(p, 0.5));
+        const auto lo = session.policiesAt(params(p, 0.25));
+        const auto hi = session.policiesAt(params(p, 0.75));
         for (int i = 0; i < 4; ++i)
             sum[i] += res[i].relative_to_base;
         table.addRow({
@@ -63,7 +68,7 @@ printFigure(const SuiteRun &suite, double p)
             fixed(hi[0].relative_to_base, 3),
         });
     }
-    const auto n = static_cast<double>(suite.sims.size());
+    const auto n = static_cast<double>(sessions.size());
     table.addRow({"Average", fixed(sum[0] / n, 3),
                   fixed(sum[1] / n, 3), fixed(sum[2] / n, 3),
                   fixed(sum[3] / n, 3), "", ""});
@@ -100,13 +105,24 @@ printFigure(const SuiteRun &suite, double p)
 int
 main(int argc, char **argv)
 {
+    using namespace lsim;
+    using namespace lsim::harness;
+
     setInformEnabled(false);
     SuiteOptions opts;
     opts.insts = 1'000'000;
     opts.parseArgs(argc, argv);
 
-    const SuiteRun suite = runSuite(opts);
-    printFigure(suite, 0.05);
-    printFigure(suite, 0.50);
+    std::vector<api::Session> sessions;
+    for (const auto &profile : trace::table3Profiles())
+        sessions.push_back(api::Experiment::builder()
+                               .workload(profile.name)
+                               .insts(opts.insts)
+                               .seed(opts.seed)
+                               .config(opts.base)
+                               .session());
+
+    printFigure(sessions, 0.05);
+    printFigure(sessions, 0.50);
     return 0;
 }

@@ -2,16 +2,20 @@
  * @file
  * Reproduces Figures 9a and 9b: suite-average policy energy relative
  * to the NoOverhead policy, and the leakage-to-total energy ratio,
- * across the technology space 0.1 <= p <= 1.0 (alpha = 0.5).
+ * across the technology space 0.05 <= p <= 1.0 (alpha = 0.5).
  *
- * One timing simulation per benchmark supports the whole sweep: the
- * stored idle-interval multisets are re-evaluated at each p.
+ * Runs on api::SweepRunner: one timing simulation per benchmark
+ * supports the whole sweep (the stored idle-interval multisets are
+ * re-evaluated at each p), and both the simulations and the
+ * 9 benchmarks x 20 points replay grid are fanned across a thread
+ * pool — results are identical for any thread count.
  *
  * Arguments: insts=<n> (default 1000000), seed=<n>.
  */
 
 #include <iostream>
 
+#include "api/sweep.hh"
 #include "common/logging.hh"
 #include "common/table.hh"
 #include "harness/benchmarks.hh"
@@ -27,26 +31,25 @@ main(int argc, char **argv)
     opts.insts = 1'000'000;
     opts.parseArgs(argc, argv);
 
-    const SuiteRun suite = runSuite(opts);
+    api::SweepConfig cfg;
+    cfg.insts = opts.insts;
+    cfg.seed = opts.seed;
+    cfg.base = opts.base;
+    // 20 evenly spaced points: p = 0.05, 0.10, ..., 1.00.
+    cfg.technologies = api::pSweep(0.05, 1.0, 20);
+    const auto sweep = api::SweepRunner(cfg).run();
 
     std::cout << "Figure 9a: average energy relative to the "
                  "NoOverhead policy (alpha = 0.5)\n\n";
     Table t9a({"p", "MaxSleep", "GradualSleep", "AlwaysActive"});
-    std::cout.flush();
 
     std::vector<SuitePolicyAverages> sweeps;
-    for (int step = 1; step <= 20; ++step) {
-        energy::ModelParams mp;
-        mp.p = step * 0.05;
-        mp.alpha = 0.5;
-        mp.k = 0.001;
-        mp.s = 0.01;
-        sweeps.push_back(averagePolicies(suite, mp));
-    }
+    for (std::size_t t = 0; t < cfg.technologies.size(); ++t)
+        sweeps.push_back(sweep.averagesAt(t));
 
-    for (int step = 1; step <= 20; ++step) {
-        const auto &avg = sweeps[step - 1];
-        t9a.addRow({fixed(step * 0.05, 2),
+    for (std::size_t t = 0; t < sweeps.size(); ++t) {
+        const auto &avg = sweeps[t];
+        t9a.addRow({fixed(cfg.technologies[t].p, 2),
                     fixed(avg.rel_to_nooverhead[0], 3),
                     fixed(avg.rel_to_nooverhead[1], 3),
                     fixed(avg.rel_to_nooverhead[2], 3)});
@@ -61,9 +64,9 @@ main(int argc, char **argv)
                  "(alpha = 0.5)\n\n";
     Table t9b({"p", "MaxSleep", "GradualSleep", "AlwaysActive",
                "NoOverhead"});
-    for (int step = 1; step <= 20; ++step) {
-        const auto &avg = sweeps[step - 1];
-        t9b.addRow({fixed(step * 0.05, 2),
+    for (std::size_t t = 0; t < sweeps.size(); ++t) {
+        const auto &avg = sweeps[t];
+        t9b.addRow({fixed(cfg.technologies[t].p, 2),
                     fixed(avg.leakage_fraction[0], 3),
                     fixed(avg.leakage_fraction[1], 3),
                     fixed(avg.leakage_fraction[2], 3),

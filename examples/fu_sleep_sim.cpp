@@ -3,7 +3,10 @@
  * Full-stack scenario: simulate a benchmark on the out-of-order
  * core, capture per-FU idle behavior, and report what each sleep
  * policy would have cost — the paper's Section 5 flow for a single
- * benchmark.
+ * benchmark, expressed with the api::Experiment facade.
+ *
+ * The timing model runs ONCE (builder.session()); every technology
+ * point is then a cheap replay of the captured IdleProfile.
  *
  * Usage: fu_sleep_sim [benchmark] [insts]
  *        (default: mcf 500000; benchmarks: health mst gcc gzip mcf
@@ -13,31 +16,29 @@
 #include <cstdlib>
 #include <iostream>
 
+#include "api/experiment.hh"
 #include "common/table.hh"
-#include "harness/experiment.hh"
-#include "trace/profile.hh"
 
 int
 main(int argc, char **argv)
 {
     using namespace lsim;
-    using namespace lsim::harness;
 
     const std::string name = argc > 1 ? argv[1] : "mcf";
     const std::uint64_t insts =
         argc > 2 ? std::strtoull(argv[2], nullptr, 0) : 500000;
 
-    const auto &profile = trace::profileByName(name);
-    std::cout << "simulating " << name << " (" << profile.suite
-              << ", " << profile.paper_fus << " integer FUs, "
-              << insts << " instructions)\n";
+    const auto session = api::Experiment::builder()
+                             .workload(name)
+                             .insts(insts)
+                             .paperPolicies()
+                             .session();
+    const auto &ws = session.sim();
 
-    const auto ws =
-        simulateWorkload(profile, profile.paper_fus, insts);
-
-    std::cout << "\nIPC " << fixed(ws.sim.ipc, 3) << " (paper "
-              << fixed(profile.paper_ipc, 3) << "), "
-              << "branch mispredict "
+    std::cout << "simulated " << name << " (" << ws.num_fus
+              << " integer FUs, " << insts << " instructions)\n";
+    std::cout << "\nIPC " << fixed(ws.sim.ipc, 3)
+              << ", branch mispredict "
               << fixed(100 * ws.sim.bpred.dirMispredictRate(), 1)
               << "%, L1D miss "
               << fixed(100 * ws.sim.l1d.missRate(), 1)
@@ -52,12 +53,8 @@ main(int argc, char **argv)
     Table table({"p", "MaxSleep", "GradualSleep", "AlwaysActive",
                  "NoOverhead", "winner"});
     for (double p : {0.05, 0.1, 0.2, 0.5, 1.0}) {
-        energy::ModelParams mp;
-        mp.p = p;
-        mp.alpha = 0.5;
-        mp.k = 0.001;
-        mp.s = 0.01;
-        const auto res = evaluatePaperPolicies(ws.idle, mp);
+        const auto result = session.evaluate(p);
+        const auto &res = result.policies;
         std::size_t best = 0;
         for (std::size_t i = 0; i < 3; ++i)
             if (res[i].energy < res[best].energy)

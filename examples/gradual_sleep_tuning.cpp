@@ -9,12 +9,12 @@
  */
 
 #include <iostream>
-#include <memory>
 
 #include "common/table.hh"
 #include "energy/breakeven.hh"
 #include "energy/gradual_sleep_model.hh"
 #include "sleep/accumulator.hh"
+#include "sleep/policy_registry.hh"
 
 int
 main()
@@ -50,13 +50,14 @@ main()
     std::cout << "\nBursty workload (80% 4-cycle, 15% 25-cycle, 5% "
                  "600-cycle idle intervals):\n";
     Table t2({"slices", "energy vs NoOverhead"});
+    const auto &registry = sleep::PolicyRegistry::instance();
     for (unsigned slices : {1u, 2u, 5u, 10u, 20u, 40u, 100u, 400u}) {
-        sleep::ControllerSet set;
-        set.push_back(
-            std::make_unique<sleep::GradualSleepController>(slices));
-        set.push_back(
-            std::make_unique<sleep::NoOverheadController>());
-        sleep::PolicyEvaluator eval(mp, std::move(set));
+        // Parameterized registry specs ("gradual:<n>") configure the
+        // candidate; "no-overhead" provides the reference.
+        sleep::PolicyEvaluator eval(
+            mp, registry.makeSet({"gradual:" + std::to_string(slices),
+                                  "no-overhead"},
+                                 mp));
         for (int i = 0; i < 100; ++i) {
             eval.feedRun(true, 10);
             eval.feedRun(false, i % 20 == 0 ? (i % 40 == 0 ? 600 : 25)

@@ -5,16 +5,19 @@
  *
  * Sweeps the circuit model across threshold voltages and
  * temperatures, derives the energy-model parameters at each point,
- * and reports the breakeven interval and the preferred policy for a
- * workload with a given idle-interval distribution.
+ * and lets api::SweepRunner evaluate the candidate policies against
+ * a real benchmark's idle behavior at every point — the benchmark
+ * is simulated exactly once, and the technology grid is replayed
+ * from its IdleProfile across a thread pool.
  */
 
 #include <iostream>
+#include <vector>
 
+#include "api/sweep.hh"
 #include "circuit/fu_circuit.hh"
 #include "common/table.hh"
 #include "energy/breakeven.hh"
-#include "energy/policy_model.hh"
 
 int
 main()
@@ -22,46 +25,61 @@ main()
     using namespace lsim;
     using namespace lsim::energy;
 
-    // The workload: a unit busy half the time with 12-cycle average
-    // idle intervals (typical of the paper's Figure 7 distribution).
-    WorkloadPoint w;
-    w.usage = 0.5;
-    w.idle_interval = 12.0;
-
-    std::cout << "Technology sweep: when does the sleep mode pay "
-                 "off?\n(usage 50%, mean idle interval 12 cycles, "
-                 "alpha = 0.5)\n\n";
-
-    Table table({"vt_low (V)", "temp (C)", "p", "breakeven (cyc)",
-                 "AA energy", "MS energy", "preferred"});
-
+    // Derive one technology point per (vt_low, temperature) corner.
+    std::vector<ModelParams> corners;
+    std::vector<std::string> labels;
     for (double vt_low : {0.25, 0.20, 0.15, 0.10}) {
         for (double temp_c : {65.0, 110.0}) {
             circuit::Technology tech;
             tech.vt_low = vt_low;
             tech.temperature_k = temp_c + 273.15;
             circuit::FunctionalUnitCircuit fu(tech);
-            auto mp = ModelParams::fromCircuit(fu, 0.5);
-
-            const double be = breakevenInterval(mp);
-            PolicyModel pm(mp, w);
-            const double aa = pm.relativeEnergy(Policy::AlwaysActive);
-            const double ms = pm.relativeEnergy(Policy::MaxSleep);
-            table.addRow({
-                fixed(vt_low, 2),
-                fixed(temp_c, 0),
-                fixed(mp.p, 3),
-                fixed(be, 1),
-                fixed(aa, 3),
-                fixed(ms, 3),
-                ms < aa ? "MaxSleep" : "AlwaysActive",
-            });
+            corners.push_back(ModelParams::fromCircuit(fu, 0.5));
+            labels.push_back(fixed(vt_low, 2) + " V / " +
+                             fixed(temp_c, 0) + " C");
         }
+    }
+
+    // One gcc simulation feeds the whole grid.
+    api::SweepConfig cfg;
+    cfg.workloads = {"gcc"};
+    cfg.technologies = corners;
+    cfg.policies = {"always-active", "max-sleep", "gradual"};
+    cfg.insts = 200'000;
+    const auto sweep = api::SweepRunner(cfg).run();
+
+    std::cout << "Technology sweep: when does the sleep mode pay "
+                 "off?\n(gcc idle profile, alpha = 0.5)\n\n";
+
+    Table table({"corner", "p", "breakeven (cyc)", "AA energy",
+                 "MS energy", "GS energy", "preferred"});
+    for (std::size_t t = 0; t < corners.size(); ++t) {
+        const auto &cell = sweep.cell(0, t);
+        const double aa = cell.policies[0].relative_to_base;
+        const double ms = cell.policies[1].relative_to_base;
+        const double gs = cell.policies[2].relative_to_base;
+        double best = aa;
+        std::string preferred = "AlwaysActive";
+        if (ms < best) {
+            best = ms;
+            preferred = "MaxSleep";
+        }
+        if (gs < best)
+            preferred = "GradualSleep";
+        table.addRow({
+            labels[t],
+            fixed(corners[t].p, 3),
+            fixed(breakevenInterval(corners[t]), 1),
+            fixed(aa, 3),
+            fixed(ms, 3),
+            fixed(gs, 3),
+            preferred,
+        });
     }
     table.print(std::cout);
     std::cout << "\nLower thresholds and higher temperature push p "
                  "up, the breakeven interval down,\nand flip the "
-                 "preferred policy from AlwaysActive to MaxSleep — "
-                 "the paper's core story.\n";
+                 "preferred policy from AlwaysActive toward the "
+                 "sleep policies — the paper's core story.\n";
     return 0;
 }

@@ -1,0 +1,261 @@
+#include "api/experiment.hh"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "common/csv.hh"
+#include "common/json.hh"
+#include "common/table.hh"
+#include "harness/report.hh"
+#include "sleep/policy_registry.hh"
+
+namespace lsim::api
+{
+
+energy::ModelParams
+analysisPoint(double p, double alpha)
+{
+    energy::ModelParams mp;
+    mp.p = p;
+    mp.alpha = alpha;
+    mp.k = 0.001;
+    mp.s = 0.01;
+    return mp;
+}
+
+void
+detail::writePolicyCsvHeader(CsvWriter &csv)
+{
+    csv.writeRow({"benchmark", "policy_key", "policy", "p", "alpha",
+                  "k", "s", "energy", "relative_to_base",
+                  "leakage_fraction"});
+}
+
+void
+detail::writePolicyCsvRows(
+    CsvWriter &csv, const std::string &benchmark,
+    const std::vector<std::string> &policy_keys,
+    const std::vector<sleep::PolicyResult> &policies,
+    const energy::ModelParams &params)
+{
+    for (std::size_t i = 0; i < policies.size(); ++i) {
+        const auto &r = policies[i];
+        csv.writeRow({benchmark,
+                      i < policy_keys.size() ? policy_keys[i] : "",
+                      r.name, compactNumber(params.p),
+                      compactNumber(params.alpha),
+                      compactNumber(params.k), compactNumber(params.s),
+                      compactNumber(r.energy),
+                      compactNumber(r.relative_to_base),
+                      compactNumber(r.leakage_fraction)});
+    }
+}
+
+const sleep::PolicyResult &
+RunResult::policy(const std::string &name) const
+{
+    for (std::size_t i = 0; i < policies.size(); ++i) {
+        if (policies[i].name == name ||
+            (i < policy_keys.size() && policy_keys[i] == name))
+            return policies[i];
+    }
+    throw std::invalid_argument("no policy '" + name +
+                                "' in this result");
+}
+
+void
+RunResult::writeJson(std::ostream &os) const
+{
+    // The legacy report writers are the single source of truth for
+    // the JSON schema; composing them keeps the facade output
+    // bit-identical to the deprecated writeExperimentJson() path.
+    harness::writeExperimentJson(os, sim, technology, policies);
+}
+
+void
+RunResult::writeCsv(std::ostream &os) const
+{
+    CsvWriter csv(os);
+    detail::writePolicyCsvHeader(csv);
+    detail::writePolicyCsvRows(csv, sim.name, policy_keys, policies,
+                               technology);
+}
+
+std::string
+RunResult::toJson() const
+{
+    std::ostringstream ss;
+    writeJson(ss);
+    return ss.str();
+}
+
+std::string
+RunResult::toCsv() const
+{
+    std::ostringstream ss;
+    writeCsv(ss);
+    return ss.str();
+}
+
+std::vector<sleep::PolicyResult>
+evaluateProfile(const harness::IdleProfile &idle,
+                const energy::ModelParams &params,
+                const std::vector<std::string> &policy_keys)
+{
+    const auto &keys = policy_keys.empty()
+        ? sleep::PolicyRegistry::paperSpecs()
+        : policy_keys;
+    return harness::evaluatePolicies(
+        idle, params,
+        sleep::PolicyRegistry::instance().makeSet(keys, params));
+}
+
+RunResult
+Session::evaluate(const energy::ModelParams &params) const
+{
+    RunResult result;
+    result.sim = sim_;
+    result.technology = params;
+    result.policy_keys = policy_keys_;
+    result.policies = evaluateProfile(sim_.idle, params, policy_keys_);
+    result.fu_selection = fu_selection_;
+    return result;
+}
+
+RunResult
+Session::evaluate(double p, double alpha) const
+{
+    return evaluate(analysisPoint(p, alpha));
+}
+
+std::vector<sleep::PolicyResult>
+Session::policiesAt(const energy::ModelParams &params) const
+{
+    return evaluateProfile(sim_.idle, params, policy_keys_);
+}
+
+ExperimentBuilder &
+ExperimentBuilder::workload(const std::string &name)
+{
+    workload_ = name;
+    profile_.reset();
+    return *this;
+}
+
+ExperimentBuilder &
+ExperimentBuilder::profile(trace::WorkloadProfile custom)
+{
+    profile_ = std::move(custom);
+    workload_.clear();
+    return *this;
+}
+
+ExperimentBuilder &
+ExperimentBuilder::insts(std::uint64_t n)
+{
+    insts_ = n;
+    return *this;
+}
+
+ExperimentBuilder &
+ExperimentBuilder::fus(unsigned n)
+{
+    fus_ = n;
+    return *this;
+}
+
+ExperimentBuilder &
+ExperimentBuilder::seed(std::uint64_t s)
+{
+    seed_ = s;
+    return *this;
+}
+
+ExperimentBuilder &
+ExperimentBuilder::config(const cpu::CoreConfig &base)
+{
+    base_ = base;
+    return *this;
+}
+
+ExperimentBuilder &
+ExperimentBuilder::technology(double p, double alpha)
+{
+    technology_ = analysisPoint(p, alpha);
+    return *this;
+}
+
+ExperimentBuilder &
+ExperimentBuilder::technology(const energy::ModelParams &params)
+{
+    technology_ = params;
+    return *this;
+}
+
+ExperimentBuilder &
+ExperimentBuilder::policies(std::vector<std::string> keys)
+{
+    policy_keys_ = std::move(keys);
+    return *this;
+}
+
+ExperimentBuilder &
+ExperimentBuilder::paperPolicies()
+{
+    policy_keys_.clear();
+    return *this;
+}
+
+const trace::WorkloadProfile &
+ExperimentBuilder::resolveProfile() const
+{
+    if (profile_)
+        return *profile_;
+    if (workload_.empty())
+        throw std::invalid_argument(
+            "ExperimentBuilder: set a workload() or profile() first");
+    for (const auto &p : trace::table3Profiles())
+        if (p.name == workload_)
+            return p;
+    std::string known;
+    for (const auto &p : trace::table3Profiles())
+        known += (known.empty() ? "" : ", ") + p.name;
+    throw std::invalid_argument("unknown workload '" + workload_ +
+                                "' (known: " + known + ")");
+}
+
+Session
+ExperimentBuilder::session() const
+{
+    const auto &prof = resolveProfile();
+
+    // Validate policy specs before paying for the simulation.
+    const auto &keys = policy_keys_.empty()
+        ? sleep::PolicyRegistry::paperSpecs()
+        : policy_keys_;
+    sleep::PolicyRegistry::instance().makeSet(keys, technology_);
+
+    Session s;
+    s.policy_keys_ = keys;
+
+    unsigned fu_count = fus_;
+    if (fu_count == auto_select) {
+        s.fu_selection_ = harness::selectFuCount(prof, insts_, base_,
+                                                 0.95, seed_);
+        fu_count = s.fu_selection_->chosen;
+    } else if (fu_count == paper_fus) {
+        fu_count = prof.paper_fus;
+    }
+
+    s.sim_ = harness::simulateWorkload(prof, fu_count, insts_, base_,
+                                       seed_);
+    return s;
+}
+
+RunResult
+ExperimentBuilder::run() const
+{
+    return session().evaluate(technology_);
+}
+
+} // namespace lsim::api

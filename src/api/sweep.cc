@@ -1,0 +1,225 @@
+#include "api/sweep.hh"
+
+#include <atomic>
+#include <cstdio>
+#include <stdexcept>
+#include <thread>
+
+#include "common/csv.hh"
+#include "common/json.hh"
+#include "common/logging.hh"
+#include "harness/report.hh"
+#include "sleep/policy_registry.hh"
+
+namespace lsim::api
+{
+
+namespace
+{
+
+/**
+ * Run tasks 0..count-1 on a pool of @p threads workers. Each worker
+ * pulls the next index from a shared atomic counter; tasks write
+ * only their own index-addressed output slot, so scheduling cannot
+ * affect results.
+ */
+template <typename Fn>
+void
+parallelFor(std::size_t count, unsigned threads, Fn &&fn)
+{
+    if (threads == 0)
+        threads = std::max(1u, std::thread::hardware_concurrency());
+    threads = static_cast<unsigned>(
+        std::min<std::size_t>(threads, count));
+    if (threads <= 1) {
+        for (std::size_t i = 0; i < count; ++i)
+            fn(i);
+        return;
+    }
+    std::atomic<std::size_t> next{0};
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (unsigned t = 0; t < threads; ++t) {
+        pool.emplace_back([&] {
+            for (std::size_t i = next.fetch_add(1); i < count;
+                 i = next.fetch_add(1))
+                fn(i);
+        });
+    }
+    for (auto &worker : pool)
+        worker.join();
+}
+
+} // namespace
+
+std::vector<energy::ModelParams>
+pSweep(double lo, double hi, unsigned steps, double alpha)
+{
+    if (steps == 0)
+        throw std::invalid_argument("pSweep: steps must be >= 1");
+    std::vector<energy::ModelParams> points;
+    points.reserve(steps);
+    for (unsigned i = 0; i < steps; ++i) {
+        const double p = steps == 1
+            ? lo
+            : lo + (hi - lo) * static_cast<double>(i) /
+                  static_cast<double>(steps - 1);
+        points.push_back(analysisPoint(p, alpha));
+    }
+    return points;
+}
+
+const SweepCell &
+SweepResult::cell(std::size_t workload, std::size_t technology) const
+{
+    return cells.at(workload * technologies.size() + technology);
+}
+
+harness::SuitePolicyAverages
+SweepResult::averagesAt(std::size_t technology) const
+{
+    harness::SuitePolicyAverages avg;
+    bool first = true;
+    for (std::size_t w = 0; w < workloads.size(); ++w) {
+        const auto &results = cell(w, technology).policies;
+        double no_overhead = 0.0;
+        for (const auto &r : results)
+            if (r.name == "NoOverhead")
+                no_overhead = r.energy;
+        if (no_overhead <= 0.0)
+            fatal("SweepResult::averagesAt: needs a positive "
+                  "NoOverhead energy for '%s' (include the "
+                  "'no-overhead' policy)",
+                  workloads[w].c_str());
+        if (first) {
+            for (const auto &r : results) {
+                avg.names.push_back(r.name);
+                avg.rel_to_nooverhead.push_back(0.0);
+                avg.leakage_fraction.push_back(0.0);
+            }
+            first = false;
+        }
+        for (std::size_t i = 0; i < results.size(); ++i) {
+            avg.rel_to_nooverhead[i] +=
+                results[i].energy / no_overhead;
+            avg.leakage_fraction[i] += results[i].leakage_fraction;
+        }
+    }
+    const auto n = static_cast<double>(workloads.size());
+    for (std::size_t i = 0; i < avg.names.size(); ++i) {
+        avg.rel_to_nooverhead[i] /= n;
+        avg.leakage_fraction[i] /= n;
+    }
+    return avg;
+}
+
+void
+SweepResult::writeCsv(std::ostream &os) const
+{
+    CsvWriter csv(os);
+    detail::writePolicyCsvHeader(csv);
+    for (const auto &c : cells)
+        detail::writePolicyCsvRows(csv, workloads[c.workload],
+                                   policy_keys, c.policies,
+                                   technologies[c.technology]);
+}
+
+void
+SweepResult::writeJson(std::ostream &os) const
+{
+    JsonWriter w(os);
+    w.beginObject();
+    w.beginArray("policies");
+    for (const auto &key : policy_keys)
+        w.value(key);
+    w.endArray();
+    w.beginArray("simulations");
+    for (const auto &sim : sims) {
+        w.beginObject();
+        writeSimJson(w, sim);
+        w.endObject();
+    }
+    w.endArray();
+    w.beginArray("cells");
+    for (const auto &c : cells) {
+        const auto &mp = technologies[c.technology];
+        w.beginObject();
+        w.field("benchmark", workloads[c.workload]);
+        w.beginObject("technology");
+        w.field("p", mp.p);
+        w.field("k", mp.k);
+        w.field("s", mp.s);
+        w.field("alpha", mp.alpha);
+        w.field("duty", mp.duty);
+        w.endObject();
+        harness::writePoliciesJson(w, c.policies);
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    os << "\n";
+}
+
+SweepRunner::SweepRunner(SweepConfig config)
+    : config_(std::move(config))
+{
+    if (config_.workloads.empty())
+        for (const auto &p : trace::table3Profiles())
+            config_.workloads.push_back(p.name);
+    if (config_.policies.empty())
+        config_.policies = sleep::PolicyRegistry::paperSpecs();
+    if (config_.technologies.empty())
+        throw std::invalid_argument(
+            "SweepRunner: no technology points (see pSweep())");
+
+    // Fail fast on unknown names, before any worker starts.
+    for (const auto &name : config_.workloads) {
+        bool known = false;
+        for (const auto &p : trace::table3Profiles())
+            known = known || p.name == name;
+        if (!known)
+            throw std::invalid_argument("unknown workload '" + name +
+                                        "'");
+    }
+    sleep::PolicyRegistry::instance().makeSet(
+        config_.policies, config_.technologies.front());
+}
+
+SweepResult
+SweepRunner::run() const
+{
+    SweepResult result;
+    result.workloads = config_.workloads;
+    result.technologies = config_.technologies;
+    result.policy_keys = config_.policies;
+    result.sims.resize(result.workloads.size());
+
+    // Phase 1: one timing simulation per workload, in parallel.
+    parallelFor(result.workloads.size(), config_.threads,
+                [&](std::size_t w) {
+        auto builder = Experiment::builder()
+                           .workload(result.workloads[w])
+                           .insts(config_.insts)
+                           .seed(config_.seed)
+                           .config(config_.base);
+        if (config_.fus != ~0u)
+            builder.fus(config_.fus);
+        result.sims[w] = builder.session().sim();
+    });
+
+    // Phase 2: replay every profile at every technology point.
+    const std::size_t num_tech = result.technologies.size();
+    result.cells.resize(result.workloads.size() * num_tech);
+    parallelFor(result.cells.size(), config_.threads,
+                [&](std::size_t i) {
+        SweepCell &c = result.cells[i];
+        c.workload = i / num_tech;
+        c.technology = i % num_tech;
+        c.policies = evaluateProfile(result.sims[c.workload].idle,
+                                     result.technologies[c.technology],
+                                     result.policy_keys);
+    });
+    return result;
+}
+
+} // namespace lsim::api

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Parallel workload x technology sweep runner.
+ *
+ * The paper's Figure 9 observation — every policy's accounting is a
+ * pure function of the idle-interval multiset — makes technology
+ * sweeps embarrassingly parallel in two phases:
+ *
+ *  1. simulate each workload ONCE (the expensive timing model),
+ *     capturing its IdleProfile sufficient statistic;
+ *  2. replay each profile at every technology point (cheap,
+ *     O(distinct interval lengths) per policy).
+ *
+ * SweepRunner fans both phases across a std::thread pool. Results
+ * are written into index-addressed slots, so the outcome is
+ * bit-identical regardless of thread count or scheduling — a
+ * 4-thread sweep matches the single-threaded reference exactly.
+ */
+
+#ifndef LSIM_API_SWEEP_HH
+#define LSIM_API_SWEEP_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "api/experiment.hh"
+#include "harness/benchmarks.hh"
+
+namespace lsim::api
+{
+
+/** Declarative description of a sweep. */
+struct SweepConfig
+{
+    /** Benchmark names; empty = the full Table 3 suite. */
+    std::vector<std::string> workloads;
+
+    /** Technology points to evaluate (see pSweep() helper). */
+    std::vector<energy::ModelParams> technologies;
+
+    /** PolicyRegistry specs; empty = the paper's four policies. */
+    std::vector<std::string> policies;
+
+    /** Committed instructions per workload simulation. */
+    std::uint64_t insts = 500'000;
+
+    /** Trace generator seed. */
+    std::uint64_t seed = 1;
+
+    /**
+     * Integer FU count for every workload: api::auto_select derives
+     * each workload's count with the Table 3 methodology; the
+     * default sentinel uses the profile's paper_fus.
+     */
+    unsigned fus = ~0u;
+
+    /** Base machine configuration. */
+    cpu::CoreConfig base;
+
+    /** Worker threads; 0 = std::thread::hardware_concurrency(). */
+    unsigned threads = 0;
+};
+
+/**
+ * Evenly spaced leakage-factor grid: @p steps points from @p lo to
+ * @p hi inclusive (one point when steps == 1), at the paper's
+ * analysis defaults k = 0.001, s = 0.01.
+ */
+std::vector<energy::ModelParams>
+pSweep(double lo, double hi, unsigned steps, double alpha = 0.5);
+
+/** Policy results of one (workload, technology) grid cell. */
+struct SweepCell
+{
+    std::size_t workload = 0;   ///< index into SweepResult::workloads
+    std::size_t technology = 0; ///< index into technologies
+    std::vector<sleep::PolicyResult> policies;
+};
+
+/** Complete sweep outcome. */
+struct SweepResult
+{
+    std::vector<std::string> workloads;
+    std::vector<energy::ModelParams> technologies;
+    std::vector<std::string> policy_keys;
+
+    /** One timing simulation per workload (phase 1). */
+    std::vector<harness::WorkloadSim> sims;
+
+    /** Row-major cells: index = workload * technologies.size() +
+     * technology. */
+    std::vector<SweepCell> cells;
+
+    const SweepCell &cell(std::size_t workload,
+                          std::size_t technology) const;
+
+    /**
+     * Suite averages at technology point @p technology: each
+     * policy's energy relative to NoOverhead and its leakage share
+     * (the Figure 9 axes). Requires "no-overhead" among the
+     * policies; fatal() otherwise.
+     */
+    harness::SuitePolicyAverages
+    averagesAt(std::size_t technology) const;
+
+    /**
+     * CSV rows (benchmark,policy_key,policy,p,alpha,k,s,energy,
+     * relative_to_base,leakage_fraction), one per cell x policy,
+     * with a header row.
+     */
+    void writeCsv(std::ostream &os) const;
+
+    /** One JSON object: config echo + per-cell policy results. */
+    void writeJson(std::ostream &os) const;
+};
+
+/** Executes SweepConfigs; stateless apart from the config. */
+class SweepRunner
+{
+  public:
+    /**
+     * Validates @p config eagerly: unknown workloads or policy
+     * specs throw std::invalid_argument here, not from a worker.
+     */
+    explicit SweepRunner(SweepConfig config);
+
+    /** Run both phases; deterministic for any thread count. */
+    SweepResult run() const;
+
+  private:
+    SweepConfig config_;
+};
+
+} // namespace lsim::api
+
+#endif // LSIM_API_SWEEP_HH

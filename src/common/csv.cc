@@ -6,21 +6,27 @@ namespace lsim
 {
 
 CsvWriter::CsvWriter(const std::string &path)
-    : out_(path)
+    : file_(path)
 {
-    if (!out_)
+    if (!file_)
         fatal("cannot open CSV output file '%s'", path.c_str());
+}
+
+CsvWriter::CsvWriter(std::ostream &os)
+    : external_(&os)
+{
 }
 
 void
 CsvWriter::writeRow(const std::vector<std::string> &cells)
 {
+    auto &os = out();
     for (std::size_t i = 0; i < cells.size(); ++i) {
-        out_ << escape(cells[i]);
+        os << escape(cells[i]);
         if (i + 1 < cells.size())
-            out_ << ',';
+            os << ',';
     }
-    out_ << '\n';
+    os << '\n';
 }
 
 std::string

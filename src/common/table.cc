@@ -66,4 +66,12 @@ sci(double value, int digits)
     return buf;
 }
 
+std::string
+compactNumber(double value)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.12g", value);
+    return buf;
+}
+
 } // namespace lsim

@@ -50,6 +50,12 @@ std::string fixed(double value, int digits = 3);
 /** Format @p value in scientific notation with @p digits digits. */
 std::string sci(double value, int digits = 2);
 
+/**
+ * Shortest round-trippable general format (%.12g) — shared by CSV
+ * emission and policy-spec encoding.
+ */
+std::string compactNumber(double value);
+
 } // namespace lsim
 
 #endif // LSIM_COMMON_TABLE_HH

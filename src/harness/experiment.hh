@@ -10,6 +10,12 @@
  * the exact multiset of idle-interval lengths (plus total active
  * cycles) fully determines every policy's CycleCounts. One timing
  * simulation therefore supports the whole Figure 9 p-sweep.
+ *
+ * NOTE: new code should prefer the api:: facade (api/experiment.hh,
+ * api/sweep.hh), which wraps these functions behind a builder,
+ * string-keyed policies and a parallel sweep runner. The free
+ * functions below remain as the facade's engine and as deprecated
+ * shims for existing callers.
  */
 
 #ifndef LSIM_HARNESS_EXPERIMENT_HH
@@ -113,13 +119,22 @@ FuSelection selectFuCount(const trace::WorkloadProfile &profile,
  * Evaluate a controller set against a stored IdleProfile at
  * technology point @p params; results are normalized per the
  * evaluator's E_base convention (Figure 8/9 axes).
+ *
+ * @deprecated Prefer api::evaluateProfile (registry-named policies)
+ * or api::Session::evaluate; this remains as their engine.
  */
 std::vector<sleep::PolicyResult>
 evaluatePolicies(const IdleProfile &idle,
                  const energy::ModelParams &params,
                  sleep::ControllerSet controllers);
 
-/** Convenience: evaluate the paper's four policies. */
+/**
+ * Convenience: evaluate the paper's four policies.
+ *
+ * @deprecated Thin shim over evaluatePolicies +
+ * sleep::makePaperControllers; prefer api::Session::evaluate, which
+ * defaults to the same four policies.
+ */
 std::vector<sleep::PolicyResult>
 evaluatePaperPolicies(const IdleProfile &idle,
                       const energy::ModelParams &params);

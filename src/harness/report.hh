@@ -3,6 +3,12 @@
  * Machine-readable reporting: serialize simulation and policy
  * results as JSON so external tooling (plotting scripts, regression
  * trackers) can consume bench output without parsing tables.
+ *
+ * These writers define the JSON schema; api::RunResult::writeJson
+ * composes them, so the facade's output is bit-identical to the
+ * legacy writeExperimentJson() record. New code should serialize
+ * through api::RunResult / api::SweepResult instead of calling
+ * these directly.
  */
 
 #ifndef LSIM_HARNESS_REPORT_HH
@@ -28,6 +34,8 @@ void writePoliciesJson(JsonWriter &w,
  * Write a complete experiment record: the simulation plus policy
  * results at the given technology point, as one JSON object on
  * @p os.
+ *
+ * @deprecated Prefer api::RunResult::writeJson (identical output).
  */
 void writeExperimentJson(std::ostream &os, const WorkloadSim &sim,
                          const energy::ModelParams &params,

@@ -4,22 +4,31 @@
 #include <cmath>
 
 #include "common/logging.hh"
-#include "energy/breakeven.hh"
+#include "sleep/policy_registry.hh"
 
 namespace lsim::sleep
 {
 
 void
-SleepController::activeRun(Cycle len)
+SleepController::assertFlushed(const char *call) const
+{
+    if (pending_idle_ > 0)
+        fatal("SleepController::%s: %llu cycles of tick()-fed idle "
+              "are pending; call finish() before explicit run calls",
+              call, static_cast<unsigned long long>(pending_idle_));
+}
+
+void
+SleepController::doActiveRun(Cycle len)
 {
     counts_.active += static_cast<double>(len);
 }
 
 void
-SleepController::idleRuns(Cycle len, std::uint64_t count)
+SleepController::doIdleRuns(Cycle len, std::uint64_t count)
 {
     for (std::uint64_t i = 0; i < count; ++i)
-        idleRun(len);
+        doIdleRun(len);
 }
 
 void
@@ -30,20 +39,20 @@ SleepController::reset()
 }
 
 void
-AlwaysActiveController::idleRun(Cycle len)
+AlwaysActiveController::doIdleRun(Cycle len)
 {
     counts_.unctrl_idle += static_cast<double>(len);
 }
 
 void
-AlwaysActiveController::idleRuns(Cycle len, std::uint64_t count)
+AlwaysActiveController::doIdleRuns(Cycle len, std::uint64_t count)
 {
     counts_.unctrl_idle +=
         static_cast<double>(len) * static_cast<double>(count);
 }
 
 void
-MaxSleepController::idleRun(Cycle len)
+MaxSleepController::doIdleRun(Cycle len)
 {
     if (len == 0)
         return;
@@ -52,7 +61,7 @@ MaxSleepController::idleRun(Cycle len)
 }
 
 void
-MaxSleepController::idleRuns(Cycle len, std::uint64_t count)
+MaxSleepController::doIdleRuns(Cycle len, std::uint64_t count)
 {
     if (len == 0)
         return;
@@ -62,13 +71,13 @@ MaxSleepController::idleRuns(Cycle len, std::uint64_t count)
 }
 
 void
-NoOverheadController::idleRun(Cycle len)
+NoOverheadController::doIdleRun(Cycle len)
 {
     counts_.sleep += static_cast<double>(len);
 }
 
 void
-NoOverheadController::idleRuns(Cycle len, std::uint64_t count)
+NoOverheadController::doIdleRuns(Cycle len, std::uint64_t count)
 {
     counts_.sleep +=
         static_cast<double>(len) * static_cast<double>(count);
@@ -82,7 +91,7 @@ GradualSleepController::GradualSleepController(unsigned num_slices)
 }
 
 void
-GradualSleepController::idleRun(Cycle len)
+GradualSleepController::doIdleRun(Cycle len)
 {
     // Closed form over the whole run (equivalent to the per-cycle
     // shift register; see GradualSleepModel::idleCounts and the
@@ -98,11 +107,11 @@ GradualSleepController::idleRun(Cycle len)
 }
 
 void
-GradualSleepController::idleRuns(Cycle len, std::uint64_t count)
+GradualSleepController::doIdleRuns(Cycle len, std::uint64_t count)
 {
     // Per-run accounting is history-free: scale one run by count.
     energy::CycleCounts before = counts_;
-    idleRun(len);
+    doIdleRun(len);
     const double n = static_cast<double>(count);
     counts_.transitions =
         before.transitions + (counts_.transitions - before.transitions) * n;
@@ -146,13 +155,13 @@ WeightedGradualSleepController::datapathWeights()
 }
 
 void
-WeightedGradualSleepController::idleRun(Cycle len)
+WeightedGradualSleepController::doIdleRun(Cycle len)
 {
-    idleRuns(len, 1);
+    doIdleRuns(len, 1);
 }
 
 void
-WeightedGradualSleepController::idleRuns(Cycle len,
+WeightedGradualSleepController::doIdleRuns(Cycle len,
                                          std::uint64_t count)
 {
     if (len == 0 || count == 0)
@@ -186,7 +195,7 @@ TimeoutController::TimeoutController(Cycle timeout)
 }
 
 void
-TimeoutController::idleRun(Cycle len)
+TimeoutController::doIdleRun(Cycle len)
 {
     const double length = static_cast<double>(len);
     const double wait = static_cast<double>(std::min(len, timeout_));
@@ -198,7 +207,7 @@ TimeoutController::idleRun(Cycle len)
 }
 
 void
-TimeoutController::idleRuns(Cycle len, std::uint64_t count)
+TimeoutController::doIdleRuns(Cycle len, std::uint64_t count)
 {
     const double n = static_cast<double>(count);
     const double length = static_cast<double>(len);
@@ -222,7 +231,7 @@ OracleController::OracleController(double breakeven)
 }
 
 void
-OracleController::idleRun(Cycle len)
+OracleController::doIdleRun(Cycle len)
 {
     if (static_cast<double>(len) >= breakeven_) {
         counts_.transitions += 1.0;
@@ -233,7 +242,7 @@ OracleController::idleRun(Cycle len)
 }
 
 void
-OracleController::idleRuns(Cycle len, std::uint64_t count)
+OracleController::doIdleRuns(Cycle len, std::uint64_t count)
 {
     const double n = static_cast<double>(count);
     if (static_cast<double>(len) >= breakeven_) {
@@ -255,7 +264,7 @@ AdaptiveController::AdaptiveController(double breakeven,
 }
 
 void
-AdaptiveController::idleRun(Cycle len)
+AdaptiveController::doIdleRun(Cycle len)
 {
     const double length = static_cast<double>(len);
     if (predicted_ >= breakeven_) {
@@ -281,42 +290,18 @@ AdaptiveController::reset()
     predicted_ = breakeven_;
 }
 
-namespace
-{
-unsigned
-breakevenSlices(const energy::ModelParams &params)
-{
-    const double be = energy::breakevenInterval(params);
-    if (!std::isfinite(be))
-        return 1;
-    return std::max(1u, static_cast<unsigned>(std::llround(be)));
-}
-} // namespace
-
 ControllerSet
 makePaperControllers(const energy::ModelParams &params)
 {
-    ControllerSet set;
-    set.push_back(std::make_unique<MaxSleepController>());
-    set.push_back(std::make_unique<GradualSleepController>(
-        breakevenSlices(params)));
-    set.push_back(std::make_unique<AlwaysActiveController>());
-    set.push_back(std::make_unique<NoOverheadController>());
-    return set;
+    return PolicyRegistry::instance().makeSet(
+        PolicyRegistry::paperSpecs(), params);
 }
 
 ControllerSet
 makeExtensionControllers(const energy::ModelParams &params)
 {
-    const double be = energy::breakevenInterval(params);
-    const Cycle timeout = std::isfinite(be)
-        ? static_cast<Cycle>(std::llround(be))
-        : Cycle{1} << 20;
-    ControllerSet set;
-    set.push_back(std::make_unique<TimeoutController>(timeout));
-    set.push_back(std::make_unique<OracleController>(be));
-    set.push_back(std::make_unique<AdaptiveController>(be));
-    return set;
+    return PolicyRegistry::instance().makeSet(
+        PolicyRegistry::extensionSpecs(), params);
 }
 
 } // namespace lsim::sleep

@@ -35,6 +35,12 @@ namespace lsim::sleep
  * Abstract sleep controller. Feed cycles with tick()/idleRun()/
  * activeRun() (run variants are a fast path and, for the oracle, the
  * source of lookahead); read back counts() at the end.
+ *
+ * The run-granularity entry points are non-virtual guards: mixing
+ * tick() with explicit idleRun()/activeRun() calls while an idle
+ * interval is still accumulating would silently split that interval,
+ * so the guards fatal() unless the pending idle run has been flushed
+ * with finish(). Policies implement the protected do*() hooks.
  */
 class SleepController
 {
@@ -44,17 +50,17 @@ class SleepController
     /**
      * Process one cycle; @p busy is true when the FU computes.
      * Consecutive idle ticks accumulate into one interval, delivered
-     * to idleRun() when activity resumes — call finish() after the
-     * last tick to flush a trailing idle interval. Do not interleave
+     * to doIdleRun() when activity resumes — call finish() after the
+     * last tick to flush a trailing idle interval. Interleaving
      * tick() with explicit idleRun()/activeRun() calls without an
-     * intervening finish().
+     * intervening finish() is rejected by those guards.
      */
     void
     tick(bool busy)
     {
         if (busy) {
             finish();
-            activeRun(1);
+            doActiveRun(1);
         } else {
             ++pending_idle_;
         }
@@ -67,24 +73,43 @@ class SleepController
         if (pending_idle_ > 0) {
             const Cycle len = pending_idle_;
             pending_idle_ = 0;
-            idleRun(len);
+            doIdleRun(len);
         }
     }
 
-    /** Process @p len consecutive idle cycles. */
-    virtual void idleRun(Cycle len) = 0;
+    /**
+     * Process @p len consecutive idle cycles as one complete
+     * interval. fatal()s if tick()-accumulated idle is pending.
+     */
+    void
+    idleRun(Cycle len)
+    {
+        assertFlushed("idleRun");
+        doIdleRun(len);
+    }
 
     /**
      * Process @p count separate idle runs of @p len cycles each
-     * (separated by activity). The default loops over idleRun();
-     * controllers whose per-run accounting is independent of history
-     * override this with a multiply, enabling O(distinct lengths)
-     * replay of idle-interval histograms during technology sweeps.
+     * (separated by activity). fatal()s if tick()-accumulated idle
+     * is pending.
      */
-    virtual void idleRuns(Cycle len, std::uint64_t count);
+    void
+    idleRuns(Cycle len, std::uint64_t count)
+    {
+        assertFlushed("idleRuns");
+        doIdleRuns(len, count);
+    }
 
-    /** Process @p len consecutive busy cycles. */
-    virtual void activeRun(Cycle len);
+    /**
+     * Process @p len consecutive busy cycles. fatal()s if
+     * tick()-accumulated idle is pending.
+     */
+    void
+    activeRun(Cycle len)
+    {
+        assertFlushed("activeRun");
+        doActiveRun(len);
+    }
 
     /** Policy name for reports. */
     virtual std::string name() const = 0;
@@ -96,9 +121,27 @@ class SleepController
     virtual void reset();
 
   protected:
+    /** Policy hook: one complete idle interval of @p len cycles. */
+    virtual void doIdleRun(Cycle len) = 0;
+
+    /**
+     * Policy hook for @p count separate idle runs of @p len cycles
+     * each. The default loops over doIdleRun(); controllers whose
+     * per-run accounting is independent of history override this
+     * with a multiply, enabling O(distinct lengths) replay of
+     * idle-interval histograms during technology sweeps.
+     */
+    virtual void doIdleRuns(Cycle len, std::uint64_t count);
+
+    /** Policy hook: @p len consecutive busy cycles. */
+    virtual void doActiveRun(Cycle len);
+
     energy::CycleCounts counts_;
 
   private:
+    /** fatal() if tick() left an unflushed idle interval. */
+    void assertFlushed(const char *call) const;
+
     Cycle pending_idle_ = 0;
 };
 
@@ -106,18 +149,22 @@ class SleepController
 class AlwaysActiveController : public SleepController
 {
   public:
-    void idleRun(Cycle len) override;
-    void idleRuns(Cycle len, std::uint64_t count) override;
     std::string name() const override { return "AlwaysActive"; }
+
+  protected:
+    void doIdleRun(Cycle len) override;
+    void doIdleRuns(Cycle len, std::uint64_t count) override;
 };
 
 /** Asserts Sleep on the first cycle of every idle interval. */
 class MaxSleepController : public SleepController
 {
   public:
-    void idleRun(Cycle len) override;
-    void idleRuns(Cycle len, std::uint64_t count) override;
     std::string name() const override { return "MaxSleep"; }
+
+  protected:
+    void doIdleRun(Cycle len) override;
+    void doIdleRuns(Cycle len, std::uint64_t count) override;
 };
 
 /**
@@ -127,9 +174,11 @@ class MaxSleepController : public SleepController
 class NoOverheadController : public SleepController
 {
   public:
-    void idleRun(Cycle len) override;
-    void idleRuns(Cycle len, std::uint64_t count) override;
     std::string name() const override { return "NoOverhead"; }
+
+  protected:
+    void doIdleRun(Cycle len) override;
+    void doIdleRuns(Cycle len, std::uint64_t count) override;
 };
 
 /**
@@ -149,12 +198,14 @@ class GradualSleepController : public SleepController
      */
     explicit GradualSleepController(unsigned num_slices);
 
-    void idleRun(Cycle len) override;
-    void idleRuns(Cycle len, std::uint64_t count) override;
     std::string name() const override { return "GradualSleep"; }
     void reset() override;
 
     unsigned numSlices() const { return slices_; }
+
+  protected:
+    void doIdleRun(Cycle len) override;
+    void doIdleRuns(Cycle len, std::uint64_t count) override;
 
   private:
     unsigned slices_;
@@ -177,8 +228,6 @@ class WeightedGradualSleepController : public SleepController
     explicit WeightedGradualSleepController(
         std::vector<double> weights);
 
-    void idleRun(Cycle len) override;
-    void idleRuns(Cycle len, std::uint64_t count) override;
     std::string name() const override
     {
         return "WeightedGradualSleep";
@@ -192,6 +241,10 @@ class WeightedGradualSleepController : public SleepController
      * narrow), then 16, 8, and the busy low byte last.
      */
     static std::vector<double> datapathWeights();
+
+  protected:
+    void doIdleRun(Cycle len) override;
+    void doIdleRuns(Cycle len, std::uint64_t count) override;
 
   private:
     std::vector<double> weights_;
@@ -210,11 +263,13 @@ class TimeoutController : public SleepController
   public:
     explicit TimeoutController(Cycle timeout);
 
-    void idleRun(Cycle len) override;
-    void idleRuns(Cycle len, std::uint64_t count) override;
     std::string name() const override;
 
     Cycle timeout() const { return timeout_; }
+
+  protected:
+    void doIdleRun(Cycle len) override;
+    void doIdleRuns(Cycle len, std::uint64_t count) override;
 
   private:
     Cycle timeout_;
@@ -235,11 +290,13 @@ class OracleController : public SleepController
     /** @param breakeven Sleep iff interval length >= breakeven. */
     explicit OracleController(double breakeven);
 
-    void idleRun(Cycle len) override;
-    void idleRuns(Cycle len, std::uint64_t count) override;
     std::string name() const override { return "Oracle"; }
 
     double breakeven() const { return breakeven_; }
+
+  protected:
+    void doIdleRun(Cycle len) override;
+    void doIdleRuns(Cycle len, std::uint64_t count) override;
 
   private:
     double breakeven_;
@@ -262,11 +319,14 @@ class AdaptiveController : public SleepController
      */
     AdaptiveController(double breakeven, double ewma_weight = 0.25);
 
-    void idleRun(Cycle len) override;
     std::string name() const override { return "Adaptive"; }
     void reset() override;
 
     double prediction() const { return predicted_; }
+    double ewmaWeight() const { return weight_; }
+
+  protected:
+    void doIdleRun(Cycle len) override;
 
   private:
     double breakeven_;
@@ -281,12 +341,19 @@ using ControllerSet = std::vector<std::unique_ptr<SleepController>>;
  * Build the paper's four policies (MaxSleep, GradualSleep,
  * AlwaysActive, NoOverhead) configured for @p params: GradualSleep
  * slice count = round(breakeven interval).
+ *
+ * @deprecated Thin shim over
+ * PolicyRegistry::makeSet(PolicyRegistry::paperSpecs(), params);
+ * prefer naming policies through the registry.
  */
 ControllerSet makePaperControllers(const energy::ModelParams &params);
 
 /**
  * Build the extension set (Timeout at breakeven, Oracle, Adaptive)
  * for the complex-control ablation.
+ *
+ * @deprecated Thin shim over
+ * PolicyRegistry::makeSet(PolicyRegistry::extensionSpecs(), params).
  */
 ControllerSet makeExtensionControllers(const energy::ModelParams &params);
 

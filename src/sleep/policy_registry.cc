@@ -1,0 +1,285 @@
+#include "sleep/policy_registry.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/table.hh"
+#include "energy/breakeven.hh"
+
+namespace lsim::sleep
+{
+
+namespace
+{
+
+/** Round the technology breakeven to a usable slice count (>= 1). */
+unsigned
+breakevenCycles(const energy::ModelParams &params)
+{
+    const double be = energy::breakevenInterval(params);
+    if (!std::isfinite(be))
+        return 1;
+    return std::max(1u, static_cast<unsigned>(std::llround(be)));
+}
+
+/**
+ * Breakeven as a timeout: an infinite breakeven (sleep never pays
+ * off) maps to an effectively-never timeout rather than 1.
+ */
+Cycle
+breakevenTimeout(const energy::ModelParams &params)
+{
+    const double be = energy::breakevenInterval(params);
+    return std::isfinite(be) ? static_cast<Cycle>(std::llround(be))
+                             : Cycle{1} << 20;
+}
+
+[[noreturn]] void
+badArg(const std::string &key, const std::string &arg,
+       const std::string &expect)
+{
+    throw std::invalid_argument("policy '" + key + "': bad argument '" +
+                                arg + "' (" + expect + ")");
+}
+
+unsigned
+parseCount(const std::string &key, const std::string &arg)
+{
+    // stoul accepts a leading '-' (wrapping around); require digits.
+    if (arg.empty() || arg[0] < '0' || arg[0] > '9')
+        badArg(key, arg, "expected a positive integer");
+    std::size_t pos = 0;
+    unsigned long v = 0;
+    try {
+        v = std::stoul(arg, &pos);
+    } catch (const std::exception &) {
+        badArg(key, arg, "expected a positive integer");
+    }
+    if (pos != arg.size() || v == 0 ||
+        v > std::numeric_limits<unsigned>::max())
+        badArg(key, arg, "expected a positive 32-bit integer");
+    return static_cast<unsigned>(v);
+}
+
+double
+parseFraction(const std::string &key, const std::string &arg)
+{
+    std::size_t pos = 0;
+    double v = 0.0;
+    try {
+        v = std::stod(arg, &pos);
+    } catch (const std::exception &) {
+        badArg(key, arg, "expected a number in (0, 1]");
+    }
+    if (pos != arg.size() || !(v > 0.0) || v > 1.0)
+        badArg(key, arg, "expected a number in (0, 1]");
+    return v;
+}
+
+/** Comma-separated slice weights, e.g. "0.5,0.25,0.25". */
+std::vector<double>
+parseWeights(const std::string &key, const std::string &arg)
+{
+    std::vector<double> weights;
+    std::stringstream ss(arg);
+    std::string cell;
+    while (std::getline(ss, cell, ','))
+        weights.push_back(parseFraction(key, cell));
+    if (weights.empty())
+        badArg(key, arg, "expected comma-separated weights");
+    return weights;
+}
+
+} // namespace
+
+PolicyRegistry::PolicyRegistry()
+{
+    add("always-active", "never asserts Sleep (all idle uncontrolled)",
+        [](const energy::ModelParams &, const std::string &) {
+            return std::make_unique<AlwaysActiveController>();
+        });
+    add("max-sleep", "asserts Sleep on the first idle cycle",
+        [](const energy::ModelParams &, const std::string &) {
+            return std::make_unique<MaxSleepController>();
+        });
+    add("no-overhead",
+        "MaxSleep with free transitions (unachievable lower bound)",
+        [](const energy::ModelParams &, const std::string &) {
+            return std::make_unique<NoOverheadController>();
+        });
+    add("gradual",
+        "GradualSleep; slices = breakeven interval, or gradual:<n>",
+        [](const energy::ModelParams &params, const std::string &arg) {
+            const unsigned slices = arg.empty()
+                ? breakevenCycles(params)
+                : parseCount("gradual", arg);
+            return std::make_unique<GradualSleepController>(slices);
+        });
+    add("weighted-gradual",
+        "GradualSleep with unequal slices; default 64-bit datapath "
+        "weights, or weighted-gradual:<w1,w2,...> (sum to 1)",
+        [](const energy::ModelParams &, const std::string &arg) {
+            auto weights = arg.empty()
+                ? WeightedGradualSleepController::datapathWeights()
+                : parseWeights("weighted-gradual", arg);
+            return std::make_unique<WeightedGradualSleepController>(
+                std::move(weights));
+        });
+    add("timeout",
+        "sleep once idle exceeds a timeout; default breakeven, or "
+        "timeout:<cycles>",
+        [](const energy::ModelParams &params, const std::string &arg) {
+            const Cycle timeout = arg.empty()
+                ? breakevenTimeout(params)
+                : parseCount("timeout", arg);
+            return std::make_unique<TimeoutController>(timeout);
+        });
+    add("oracle",
+        "knows each interval's length; sleeps iff >= breakeven",
+        [](const energy::ModelParams &params, const std::string &) {
+            return std::make_unique<OracleController>(
+                energy::breakevenInterval(params));
+        });
+    add("adaptive",
+        "EWMA interval predictor; default weight 0.25, or "
+        "adaptive:<weight>",
+        [](const energy::ModelParams &params, const std::string &arg) {
+            const double w =
+                arg.empty() ? 0.25 : parseFraction("adaptive", arg);
+            return std::make_unique<AdaptiveController>(
+                energy::breakevenInterval(params), w);
+        });
+}
+
+PolicyRegistry &
+PolicyRegistry::instance()
+{
+    static PolicyRegistry registry;
+    return registry;
+}
+
+void
+PolicyRegistry::add(const std::string &key, const std::string &summary,
+                    Factory factory)
+{
+    if (key.empty() || key.find(':') != std::string::npos)
+        throw std::invalid_argument("policy key '" + key +
+                                    "' must be non-empty and ':'-free");
+    entries_[key] = Entry{summary, std::move(factory)};
+}
+
+std::unique_ptr<SleepController>
+PolicyRegistry::make(const std::string &spec,
+                     const energy::ModelParams &params) const
+{
+    const auto colon = spec.find(':');
+    const std::string key = spec.substr(0, colon);
+    const std::string arg =
+        colon == std::string::npos ? "" : spec.substr(colon + 1);
+    const auto it = entries_.find(key);
+    if (it == entries_.end()) {
+        std::string known;
+        for (const auto &[k, e] : entries_)
+            known += (known.empty() ? "" : ", ") + k;
+        throw std::invalid_argument("unknown policy '" + spec +
+                                    "' (known: " + known + ")");
+    }
+    return it->second.factory(params, arg);
+}
+
+ControllerSet
+PolicyRegistry::makeSet(const std::vector<std::string> &specs,
+                        const energy::ModelParams &params) const
+{
+    ControllerSet set;
+    set.reserve(specs.size());
+    for (const auto &spec : specs)
+        set.push_back(make(spec, params));
+    return set;
+}
+
+bool
+PolicyRegistry::has(const std::string &spec) const
+{
+    return entries_.count(spec.substr(0, spec.find(':'))) > 0;
+}
+
+std::vector<std::string>
+PolicyRegistry::keys() const
+{
+    std::vector<std::string> out;
+    out.reserve(entries_.size());
+    for (const auto &[k, e] : entries_)
+        out.push_back(k);
+    return out;
+}
+
+const std::string &
+PolicyRegistry::summary(const std::string &key) const
+{
+    const auto it = entries_.find(key);
+    if (it == entries_.end())
+        throw std::invalid_argument("unknown policy key '" + key + "'");
+    return it->second.summary;
+}
+
+std::string
+PolicyRegistry::keyFor(const SleepController &ctrl)
+{
+    const std::string name = ctrl.name();
+    if (name == "AlwaysActive")
+        return "always-active";
+    if (name == "MaxSleep")
+        return "max-sleep";
+    if (name == "NoOverhead")
+        return "no-overhead";
+    if (name == "GradualSleep") {
+        const auto &gs =
+            dynamic_cast<const GradualSleepController &>(ctrl);
+        return "gradual:" + std::to_string(gs.numSlices());
+    }
+    if (name == "WeightedGradualSleep") {
+        const auto &wg =
+            dynamic_cast<const WeightedGradualSleepController &>(
+                ctrl);
+        std::string spec = "weighted-gradual:";
+        for (std::size_t i = 0; i < wg.weights().size(); ++i)
+            spec += (i ? "," : "") + compactNumber(wg.weights()[i]);
+        return spec;
+    }
+    if (name == "Oracle")
+        return "oracle";
+    if (name == "Adaptive") {
+        const auto &ad =
+            dynamic_cast<const AdaptiveController &>(ctrl);
+        return "adaptive:" + compactNumber(ad.ewmaWeight());
+    }
+    // "Timeout(N)" -> "timeout:N"
+    if (name.rfind("Timeout(", 0) == 0 && name.back() == ')')
+        return "timeout:" +
+               name.substr(8, name.size() - 9);
+    throw std::invalid_argument("no registry key for controller '" +
+                                name + "'");
+}
+
+const std::vector<std::string> &
+PolicyRegistry::paperSpecs()
+{
+    static const std::vector<std::string> specs = {
+        "max-sleep", "gradual", "always-active", "no-overhead"};
+    return specs;
+}
+
+const std::vector<std::string> &
+PolicyRegistry::extensionSpecs()
+{
+    static const std::vector<std::string> specs = {"timeout", "oracle",
+                                                   "adaptive"};
+    return specs;
+}
+
+} // namespace lsim::sleep

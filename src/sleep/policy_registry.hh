@@ -1,0 +1,113 @@
+/**
+ * @file
+ * String-keyed sleep-policy registry.
+ *
+ * Policies are constructed from specs of the form "key" or
+ * "key:arg" — e.g. "gradual", "gradual:16", "timeout:64",
+ * "weighted-gradual", "adaptive:0.5" — so CLI flags, JSON configs,
+ * tests and the api:: facade all name policies the same way. Every
+ * factory receives the technology point (energy::ModelParams), which
+ * supplies breakeven-derived defaults (GradualSleep slice count,
+ * timeout, oracle threshold).
+ *
+ * Unlike most of the library (which fatal()s on user error), lookup
+ * failures throw std::invalid_argument: the registry sits on the
+ * public API boundary where callers like the CLI want to print
+ * usage and the available keys instead of dying.
+ */
+
+#ifndef LSIM_SLEEP_POLICY_REGISTRY_HH
+#define LSIM_SLEEP_POLICY_REGISTRY_HH
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "energy/params.hh"
+#include "sleep/controllers.hh"
+
+namespace lsim::sleep
+{
+
+/** Maps policy spec strings to sleep-controller factories. */
+class PolicyRegistry
+{
+  public:
+    /**
+     * Factory signature: @p params is the technology point, @p arg
+     * the text after the ':' in the spec (empty when absent).
+     * Throws std::invalid_argument on a malformed @p arg.
+     */
+    using Factory = std::function<std::unique_ptr<SleepController>(
+        const energy::ModelParams &params, const std::string &arg)>;
+
+    /** The process-wide registry, with built-ins registered. */
+    static PolicyRegistry &instance();
+
+    /**
+     * Register @p factory under @p key (no ':' allowed). Replaces an
+     * existing registration with the same key.
+     *
+     * @param summary One-line description for listings.
+     */
+    void add(const std::string &key, const std::string &summary,
+             Factory factory);
+
+    /**
+     * Construct the controller named by @p spec ("key" or
+     * "key:arg") at technology point @p params. Throws
+     * std::invalid_argument for unknown keys or malformed args.
+     */
+    std::unique_ptr<SleepController>
+    make(const std::string &spec,
+         const energy::ModelParams &params) const;
+
+    /** Construct one controller per spec, preserving order. */
+    ControllerSet makeSet(const std::vector<std::string> &specs,
+                          const energy::ModelParams &params) const;
+
+    /** @return true when @p spec 's key is registered. */
+    bool has(const std::string &spec) const;
+
+    /** Registered keys, sorted. */
+    std::vector<std::string> keys() const;
+
+    /** One-line description of @p key; throws on unknown keys. */
+    const std::string &summary(const std::string &key) const;
+
+    /**
+     * Reverse lookup: the registry spec that reconstructs a
+     * controller equivalent to @p ctrl, derived from its name()
+     * and configuration accessors (e.g. "Timeout(64)" ->
+     * "timeout:64", a weighted-gradual's weights are re-encoded in
+     * the arg). Throws std::invalid_argument when the name maps to
+     * no registered key, so spec -> controller -> spec round-trips.
+     */
+    static std::string keyFor(const SleepController &ctrl);
+
+    /**
+     * Specs of the paper's four policies in makePaperControllers
+     * order: max-sleep, gradual, always-active, no-overhead.
+     */
+    static const std::vector<std::string> &paperSpecs();
+
+    /** Specs of the extension set: timeout, oracle, adaptive. */
+    static const std::vector<std::string> &extensionSpecs();
+
+  private:
+    PolicyRegistry(); ///< registers the built-in policies
+
+    struct Entry
+    {
+        std::string summary;
+        Factory factory;
+    };
+
+    std::map<std::string, Entry> entries_;
+};
+
+} // namespace lsim::sleep
+
+#endif // LSIM_SLEEP_POLICY_REGISTRY_HH

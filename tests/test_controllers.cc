@@ -101,6 +101,39 @@ TEST(Controllers, ConsecutiveIdleTicksFormOneInterval)
     EXPECT_DOUBLE_EQ(c.counts().sleep, 10.0);
 }
 
+TEST(Controllers, RunCallsWithPendingTickIdleAreFatal)
+{
+    // Regression for the tick()/idleRun() interleaving footgun: an
+    // explicit run call while tick()-fed idle is still accumulating
+    // would silently split the interval, so the guard must fatal()
+    // (exit 1) instead.
+    auto interleave = [](auto use) {
+        MaxSleepController c;
+        c.tick(true);
+        c.tick(false); // leaves one pending idle cycle
+        use(c);
+    };
+    EXPECT_EXIT(interleave([](auto &c) { c.idleRun(3); }),
+                ::testing::ExitedWithCode(1), "pending");
+    EXPECT_EXIT(interleave([](auto &c) { c.idleRuns(3, 2); }),
+                ::testing::ExitedWithCode(1), "pending");
+    EXPECT_EXIT(interleave([](auto &c) { c.activeRun(4); }),
+                ::testing::ExitedWithCode(1), "pending");
+}
+
+TEST(Controllers, FinishUnblocksExplicitRunCalls)
+{
+    MaxSleepController c;
+    c.tick(true);
+    c.tick(false);
+    c.finish(); // flushes the pending interval
+    c.idleRun(3);
+    c.activeRun(2);
+    EXPECT_DOUBLE_EQ(c.counts().transitions, 2.0);
+    EXPECT_DOUBLE_EQ(c.counts().sleep, 4.0);
+    EXPECT_DOUBLE_EQ(c.counts().active, 3.0);
+}
+
 TEST(GradualSleep, MatchesAnalyticalModel)
 {
     const ModelParams mp = params();

@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Unit tests for the string-keyed sleep-policy registry.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "energy/breakeven.hh"
+#include "sleep/policy_registry.hh"
+
+namespace
+{
+
+using lsim::energy::ModelParams;
+using lsim::sleep::AdaptiveController;
+using lsim::sleep::GradualSleepController;
+using lsim::sleep::OracleController;
+using lsim::sleep::PolicyRegistry;
+using lsim::sleep::TimeoutController;
+using lsim::sleep::WeightedGradualSleepController;
+using lsim::sleep::makeExtensionControllers;
+using lsim::sleep::makePaperControllers;
+
+ModelParams
+params(double p = 0.05)
+{
+    ModelParams mp;
+    mp.p = p;
+    mp.k = 0.001;
+    mp.s = 0.01;
+    mp.alpha = 0.5;
+    return mp;
+}
+
+TEST(PolicyRegistry, EveryRegisteredNameConstructs)
+{
+    const auto &reg = PolicyRegistry::instance();
+    const auto keys = reg.keys();
+    EXPECT_GE(keys.size(), 8u);
+    for (const auto &key : keys) {
+        SCOPED_TRACE(key);
+        auto ctrl = reg.make(key, params());
+        ASSERT_NE(ctrl, nullptr);
+        EXPECT_FALSE(ctrl->name().empty());
+        EXPECT_FALSE(reg.summary(key).empty());
+        EXPECT_TRUE(reg.has(key));
+    }
+}
+
+TEST(PolicyRegistry, NamesRoundTripThroughControllerName)
+{
+    // spec -> controller -> keyFor -> controller must reproduce the
+    // same policy (same report name, same configuration).
+    const auto &reg = PolicyRegistry::instance();
+    for (const auto &key : reg.keys()) {
+        SCOPED_TRACE(key);
+        const auto ctrl = reg.make(key, params());
+        const std::string spec = PolicyRegistry::keyFor(*ctrl);
+        EXPECT_TRUE(reg.has(spec));
+        const auto again = reg.make(spec, params());
+        EXPECT_EQ(again->name(), ctrl->name());
+    }
+}
+
+TEST(PolicyRegistry, ParameterizedSpecsRoundTripExactly)
+{
+    const auto &reg = PolicyRegistry::instance();
+    const auto timeout = reg.make("timeout:64", params());
+    EXPECT_EQ(timeout->name(), "Timeout(64)");
+    EXPECT_EQ(PolicyRegistry::keyFor(*timeout), "timeout:64");
+
+    const auto gradual = reg.make("gradual:16", params());
+    EXPECT_EQ(PolicyRegistry::keyFor(*gradual), "gradual:16");
+    EXPECT_EQ(dynamic_cast<GradualSleepController &>(*gradual)
+                  .numSlices(),
+              16u);
+
+    // Non-default weights and EWMA weight must survive the
+    // spec -> controller -> spec round trip, not snap back to the
+    // defaults.
+    const auto wg = reg.make("weighted-gradual:0.9,0.1", params());
+    const auto wg_again =
+        reg.make(PolicyRegistry::keyFor(*wg), params());
+    EXPECT_EQ(dynamic_cast<WeightedGradualSleepController &>(
+                  *wg_again)
+                  .weights(),
+              dynamic_cast<WeightedGradualSleepController &>(*wg)
+                  .weights());
+
+    const auto ad = reg.make("adaptive:0.5", params());
+    EXPECT_EQ(PolicyRegistry::keyFor(*ad), "adaptive:0.5");
+    const auto ad_again =
+        reg.make(PolicyRegistry::keyFor(*ad), params());
+    EXPECT_DOUBLE_EQ(
+        dynamic_cast<AdaptiveController &>(*ad_again).ewmaWeight(),
+        0.5);
+}
+
+TEST(PolicyRegistry, OversizedCountsThrow)
+{
+    const auto &reg = PolicyRegistry::instance();
+    EXPECT_THROW(reg.make("timeout:4294967296", params()),
+                 std::invalid_argument);
+    EXPECT_THROW(reg.make("gradual:4294967296", params()),
+                 std::invalid_argument);
+}
+
+TEST(PolicyRegistry, UnknownNamesThrow)
+{
+    const auto &reg = PolicyRegistry::instance();
+    EXPECT_THROW(reg.make("bogus", params()), std::invalid_argument);
+    EXPECT_THROW(reg.make("", params()), std::invalid_argument);
+    EXPECT_THROW(reg.make("gradual-sleep", params()),
+                 std::invalid_argument);
+    EXPECT_THROW(reg.makeSet({"max-sleep", "nope"}, params()),
+                 std::invalid_argument);
+    EXPECT_FALSE(reg.has("bogus"));
+    EXPECT_THROW(reg.summary("bogus"), std::invalid_argument);
+}
+
+TEST(PolicyRegistry, MalformedArgumentsThrow)
+{
+    const auto &reg = PolicyRegistry::instance();
+    EXPECT_THROW(reg.make("timeout:abc", params()),
+                 std::invalid_argument);
+    EXPECT_THROW(reg.make("timeout:0", params()),
+                 std::invalid_argument);
+    EXPECT_THROW(reg.make("gradual:-3", params()),
+                 std::invalid_argument);
+    EXPECT_THROW(reg.make("gradual:12x", params()),
+                 std::invalid_argument);
+    EXPECT_THROW(reg.make("adaptive:2.0", params()),
+                 std::invalid_argument);
+    EXPECT_THROW(reg.make("weighted-gradual:0.5,oops", params()),
+                 std::invalid_argument);
+}
+
+TEST(PolicyRegistry, DefaultsFollowTheTechnologyPoint)
+{
+    // "gradual" sizes its slice count to the breakeven interval of
+    // the supplied technology point.
+    const auto mp = params(0.05);
+    const auto be = lsim::energy::breakevenInterval(mp);
+    const auto ctrl =
+        PolicyRegistry::instance().make("gradual", mp);
+    EXPECT_EQ(dynamic_cast<GradualSleepController &>(*ctrl)
+                  .numSlices(),
+              static_cast<unsigned>(std::llround(be)));
+
+    // "oracle" picks up the breakeven threshold directly.
+    const auto oracle =
+        PolicyRegistry::instance().make("oracle", mp);
+    EXPECT_DOUBLE_EQ(
+        dynamic_cast<OracleController &>(*oracle).breakeven(), be);
+}
+
+TEST(PolicyRegistry, ParameterizedArgumentsConfigure)
+{
+    const auto &reg = PolicyRegistry::instance();
+    EXPECT_EQ(dynamic_cast<TimeoutController &>(
+                  *reg.make("timeout:128", params()))
+                  .timeout(),
+              128u);
+    EXPECT_DOUBLE_EQ(dynamic_cast<AdaptiveController &>(
+                         *reg.make("adaptive:0.5", params()))
+                         .prediction(),
+                     lsim::energy::breakevenInterval(params()));
+    const auto wg = reg.make("weighted-gradual:0.5,0.25,0.25",
+                             params());
+    const auto &weights =
+        dynamic_cast<WeightedGradualSleepController &>(*wg).weights();
+    ASSERT_EQ(weights.size(), 3u);
+    EXPECT_DOUBLE_EQ(weights[0], 0.5);
+}
+
+TEST(PolicyRegistry, MakeSetPreservesOrder)
+{
+    const auto set = PolicyRegistry::instance().makeSet(
+        {"no-overhead", "max-sleep", "always-active"}, params());
+    ASSERT_EQ(set.size(), 3u);
+    EXPECT_EQ(set[0]->name(), "NoOverhead");
+    EXPECT_EQ(set[1]->name(), "MaxSleep");
+    EXPECT_EQ(set[2]->name(), "AlwaysActive");
+}
+
+TEST(PolicyRegistry, LegacyFactoriesAreRegistryShims)
+{
+    // makePaperControllers / makeExtensionControllers must agree
+    // with the registry's canonical spec lists.
+    const auto paper = makePaperControllers(params());
+    const auto &specs = PolicyRegistry::paperSpecs();
+    ASSERT_EQ(paper.size(), specs.size());
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        const auto from_registry =
+            PolicyRegistry::instance().make(specs[i], params());
+        EXPECT_EQ(paper[i]->name(), from_registry->name());
+    }
+    EXPECT_EQ(paper[0]->name(), "MaxSleep");
+    EXPECT_EQ(paper[1]->name(), "GradualSleep");
+    EXPECT_EQ(paper[2]->name(), "AlwaysActive");
+    EXPECT_EQ(paper[3]->name(), "NoOverhead");
+
+    const auto ext = makeExtensionControllers(params());
+    ASSERT_EQ(ext.size(), PolicyRegistry::extensionSpecs().size());
+    EXPECT_EQ(ext[1]->name(), "Oracle");
+}
+
+} // namespace

@@ -1,27 +1,35 @@
 /**
  * @file
  * lsim command-line driver: the library's functionality behind one
- * binary for scripted use.
+ * binary for scripted use, built on the api:: experiment facade.
  *
- *   lsim characterize                 print the OR8/FU circuit data
- *   lsim breakeven [p] [alpha]        breakeven interval at a point
- *   lsim simulate <bench> [insts] [fus] [--json]
- *                                     run the timing model
- *   lsim policies <bench> <p> [insts] [--json]
- *                                     simulate + evaluate policies
- *   lsim list                         list available benchmarks
+ * Subcommands take GNU-style --flags (see `lsim --help` and
+ * `lsim <command> --help`); the historical positional forms
+ * (`lsim simulate gcc 500000 2`, `lsim policies gcc 0.05`,
+ * `lsim breakeven 0.1 0.5`) keep working. Numeric arguments are
+ * parsed strictly: malformed values are an error, never silently 0.
  */
 
-#include <cstdlib>
+#include <cstdint>
 #include <cstring>
+#include <limits>
 #include <iostream>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <stdexcept>
 #include <string>
+#include <vector>
 
+#include "api/experiment.hh"
+#include "api/sweep.hh"
 #include "circuit/fu_circuit.hh"
+#include "common/json.hh"
 #include "common/logging.hh"
 #include "common/table.hh"
 #include "energy/breakeven.hh"
 #include "harness/report.hh"
+#include "sleep/policy_registry.hh"
 #include "trace/profile.hh"
 
 namespace
@@ -29,26 +37,307 @@ namespace
 
 using namespace lsim;
 
-int
-usage()
+constexpr const char *kVersion = "lsim 1.0.0";
+
+// --------------------------------------------------------- flag parser
+
+/** Declarative description of one flag a command accepts. */
+struct FlagSpec
 {
-    std::cerr
-        << "usage:\n"
-           "  lsim characterize\n"
-           "  lsim breakeven [p] [alpha]\n"
-           "  lsim simulate <bench> [insts] [fus] [--json]\n"
-           "  lsim policies <bench> <p> [insts] [--json]\n"
-           "  lsim list\n";
-    return 2;
+    const char *name;       ///< without the leading "--"
+    const char *value_name; ///< nullptr for boolean flags
+    const char *help;
+};
+
+/** Declarative description of one subcommand (drives usage()). */
+struct CommandSpec
+{
+    const char *name;
+    const char *positionals;    ///< e.g. "<bench> <p> [insts]"
+    std::size_t max_positionals; ///< operands beyond this are errors
+    const char *help;
+    std::vector<FlagSpec> flags;
+};
+
+/** Exit-worthy user error: print, show usage hint, exit 2. */
+[[noreturn]] void
+die(const std::string &message)
+{
+    std::cerr << "lsim: " << message << "\n"
+              << "run 'lsim --help' for usage\n";
+    std::exit(2);
 }
 
-bool
-hasFlag(int argc, char **argv, const char *flag)
+std::uint64_t
+parseU64(const std::string &text, const std::string &what)
 {
-    for (int i = 1; i < argc; ++i)
-        if (std::strcmp(argv[i], flag) == 0)
-            return true;
-    return false;
+    // stoull accepts a leading '-' (wrapping around); require digits.
+    if (text.empty() || text[0] < '0' || text[0] > '9')
+        die("bad " + what + " '" + text +
+            "': expected a non-negative integer");
+    std::size_t pos = 0;
+    unsigned long long v = 0;
+    try {
+        v = std::stoull(text, &pos, 0);
+    } catch (const std::exception &) {
+        die("bad " + what + " '" + text +
+            "': expected a non-negative integer");
+    }
+    if (pos != text.size())
+        die("bad " + what + " '" + text +
+            "': expected a non-negative integer");
+    return v;
+}
+
+double
+parseDouble(const std::string &text, const std::string &what)
+{
+    std::size_t pos = 0;
+    double v = 0.0;
+    try {
+        v = std::stod(text, &pos);
+    } catch (const std::exception &) {
+        die("bad " + what + " '" + text + "': expected a number");
+    }
+    if (pos != text.size())
+        die("bad " + what + " '" + text + "': expected a number");
+    return v;
+}
+
+/** parseU64 restricted to values that fit in `unsigned`. */
+unsigned
+parseU32(const std::string &text, const std::string &what)
+{
+    const auto v = parseU64(text, what);
+    if (v > std::numeric_limits<unsigned>::max())
+        die("bad " + what + " '" + text + "': value too large");
+    return static_cast<unsigned>(v);
+}
+
+std::vector<std::string>
+splitList(const std::string &text)
+{
+    std::vector<std::string> out;
+    std::stringstream ss(text);
+    std::string cell;
+    while (std::getline(ss, cell, ','))
+        if (!cell.empty())
+            out.push_back(cell);
+    return out;
+}
+
+/** Parsed command line: positional operands + flag values. */
+class Args
+{
+  public:
+    Args(int argc, char **argv, const CommandSpec &spec)
+        : spec_(spec)
+    {
+        for (int i = 0; i < argc; ++i) {
+            const std::string arg = argv[i];
+            if (arg.rfind("--", 0) != 0) {
+                positionals_.push_back(arg);
+                continue;
+            }
+            const auto eq = arg.find('=');
+            const std::string name = arg.substr(2, eq - 2);
+            const FlagSpec *flag = find(name);
+            if (!flag)
+                die("unknown flag '--" + name + "' for '" +
+                    spec.name + "'");
+            if (!flag->value_name) {
+                if (eq != std::string::npos)
+                    die("flag '--" + name + "' takes no value");
+                flags_[name] = "";
+            } else if (eq != std::string::npos) {
+                if (eq + 1 == arg.size())
+                    die("flag '--" + name + "' needs a value");
+                flags_[name] = arg.substr(eq + 1);
+            } else {
+                if (i + 1 >= argc)
+                    die("flag '--" + name + "' needs a value");
+                flags_[name] = argv[++i];
+            }
+        }
+        if (positionals_.size() > spec.max_positionals)
+            die(std::string("'") + spec.name +
+                "' takes at most " +
+                std::to_string(spec.max_positionals) +
+                " operand(s); unexpected '" +
+                positionals_[spec.max_positionals] + "'");
+    }
+
+    bool has(const std::string &name) const
+    {
+        return flags_.count(name) > 0;
+    }
+
+    const std::vector<std::string> &positionals() const
+    {
+        return positionals_;
+    }
+
+    /** Positional @p index, or empty when absent. */
+    std::string positional(std::size_t index) const
+    {
+        return index < positionals_.size() ? positionals_[index] : "";
+    }
+
+    /** Flag value, falling back to positional @p pos_index. */
+    std::string
+    flagOrPositional(const std::string &name,
+                     std::size_t pos_index) const
+    {
+        const auto it = flags_.find(name);
+        if (it != flags_.end())
+            return it->second;
+        return positional(pos_index);
+    }
+
+    std::optional<std::uint64_t>
+    u64(const std::string &name, std::size_t pos_index) const
+    {
+        const std::string text = flagOrPositional(name, pos_index);
+        if (text.empty())
+            return std::nullopt;
+        return parseU64(text, "--" + name);
+    }
+
+    std::optional<double>
+    number(const std::string &name, std::size_t pos_index) const
+    {
+        const std::string text = flagOrPositional(name, pos_index);
+        if (text.empty())
+            return std::nullopt;
+        return parseDouble(text, "--" + name);
+    }
+
+  private:
+    const FlagSpec *find(const std::string &name) const
+    {
+        for (const auto &f : spec_.flags)
+            if (name == f.name)
+                return &f;
+        return nullptr;
+    }
+
+    const CommandSpec &spec_;
+    std::vector<std::string> positionals_;
+    std::map<std::string, std::string> flags_;
+};
+
+// ------------------------------------------------------ command specs
+
+const FlagSpec kHelpFlag = {"help", nullptr, "show this help"};
+
+const std::vector<CommandSpec> &
+commands()
+{
+    static const std::vector<CommandSpec> specs = {
+        {"characterize", "", 0, "print the OR8/FU circuit data",
+         {kHelpFlag}},
+        {"breakeven", "[p] [alpha]", 2,
+         "breakeven interval at a technology point",
+         {{"p", "X", "leakage factor (default 0.05)"},
+          {"alpha", "A", "activity factor (default 0.5)"},
+          kHelpFlag}},
+        {"simulate", "<bench> [insts] [fus]", 3,
+         "run the timing model",
+         {{"insts", "N", "committed instructions (default 500000)"},
+          {"fus", "N", "integer FU count, or 'auto' (default: paper)"},
+          {"seed", "N", "trace generator seed (default 1)"},
+          {"json", nullptr, "emit JSON instead of a table"},
+          kHelpFlag}},
+        {"policies", "<bench> <p> [insts]", 3,
+         "simulate, then evaluate sleep policies",
+         {{"insts", "N", "committed instructions (default 500000)"},
+          {"policies", "a,b,...",
+           "policy specs (default: the paper's four)"},
+          {"fus", "N", "integer FU count, or 'auto' (default: paper)"},
+          {"seed", "N", "trace generator seed (default 1)"},
+          {"alpha", "A", "activity factor (default 0.5)"},
+          {"json", nullptr, "emit JSON instead of a table"},
+          {"csv", nullptr, "emit CSV instead of a table"},
+          kHelpFlag}},
+        {"sweep", "", 0,
+         "parallel technology sweep over a workload grid",
+         {{"benchmarks", "a,b,...",
+           "workloads (default: full Table 3 suite)"},
+          {"policies", "a,b,...",
+           "policy specs (default: the paper's four)"},
+          {"p-min", "X", "lowest leakage factor (default 0.05)"},
+          {"p-max", "X", "highest leakage factor (default 1.0)"},
+          {"steps", "N", "technology points (default 20)"},
+          {"alpha", "A", "activity factor (default 0.5)"},
+          {"insts", "N", "committed instructions (default 500000)"},
+          {"seed", "N", "trace generator seed (default 1)"},
+          {"threads", "N", "worker threads (default: hardware)"},
+          {"json", nullptr, "emit JSON instead of a table"},
+          {"csv", nullptr, "emit CSV instead of a table"},
+          kHelpFlag}},
+        {"list", "", 0, "list benchmarks (or policies)",
+         {{"policies", nullptr, "list registered policy specs"},
+          kHelpFlag}},
+    };
+    return specs;
+}
+
+void
+printUsage(std::ostream &os)
+{
+    os << "usage: lsim [--help] [--version] <command> [args]\n\n"
+          "commands:\n";
+    for (const auto &cmd : commands()) {
+        std::string head = std::string("  ") + cmd.name;
+        if (*cmd.positionals)
+            head += std::string(" ") + cmd.positionals;
+        os << head
+           << std::string(
+                  head.size() < 26 ? 26 - head.size() : 1, ' ')
+           << cmd.help << "\n";
+    }
+    os << "\nrun 'lsim <command> --help' for that command's flags\n";
+}
+
+void
+printCommandHelp(const CommandSpec &spec)
+{
+    std::cout << "usage: lsim " << spec.name;
+    if (*spec.positionals)
+        std::cout << " " << spec.positionals;
+    std::cout << " [flags]\n  " << spec.help << "\n\nflags:\n";
+    for (const auto &f : spec.flags) {
+        std::string head = std::string("  --") + f.name;
+        if (f.value_name)
+            head += std::string(" <") + f.value_name + ">";
+        head += std::string(
+            head.size() < 24 ? 24 - head.size() : 1, ' ');
+        std::cout << head << f.help << "\n";
+    }
+}
+
+// ---------------------------------------------------------- commands
+
+/** Shared simulate/policies builder setup from parsed args. */
+api::ExperimentBuilder
+builderFor(const Args &args, const std::string &bench,
+           std::size_t insts_pos, std::size_t fus_pos)
+{
+    auto builder = api::Experiment::builder().workload(bench);
+    if (const auto insts = args.u64("insts", insts_pos))
+        builder.insts(*insts);
+    if (const auto seed = args.u64("seed", ~std::size_t{0}))
+        builder.seed(*seed);
+    const std::string fus = args.flagOrPositional("fus", fus_pos);
+    if (fus == "auto")
+        builder.fus(api::auto_select);
+    else if (!fus.empty()) {
+        const auto n = parseU32(fus, "--fus");
+        if (n == 0)
+            die("bad --fus '0': expected a positive count or 'auto'");
+        builder.fus(n);
+    }
+    return builder;
 }
 
 int
@@ -78,13 +367,11 @@ cmdCharacterize()
 }
 
 int
-cmdBreakeven(int argc, char **argv)
+cmdBreakeven(const Args &args)
 {
-    energy::ModelParams mp;
-    mp.p = argc > 2 ? std::atof(argv[2]) : 0.05;
-    mp.alpha = argc > 3 ? std::atof(argv[3]) : 0.5;
-    mp.k = 0.001;
-    mp.s = 0.01;
+    const auto mp =
+        api::analysisPoint(args.number("p", 0).value_or(0.05),
+                           args.number("alpha", 1).value_or(0.5));
     std::cout << "breakeven interval at p=" << mp.p << " alpha="
               << mp.alpha << ": "
               << energy::breakevenInterval(mp) << " cycles\n";
@@ -92,8 +379,16 @@ cmdBreakeven(int argc, char **argv)
 }
 
 int
-cmdList()
+cmdList(const Args &args)
 {
+    if (args.has("policies")) {
+        const auto &reg = sleep::PolicyRegistry::instance();
+        Table t({"policy", "description"});
+        for (const auto &key : reg.keys())
+            t.addRow({key, reg.summary(key)});
+        t.print(std::cout);
+        return 0;
+    }
     Table t({"benchmark", "suite", "paper IPC", "paper FUs"});
     for (const auto &p : trace::table3Profiles())
         t.addRow({p.name, p.suite, fixed(p.paper_ipc, 3),
@@ -103,21 +398,15 @@ cmdList()
 }
 
 int
-cmdSimulate(int argc, char **argv)
+cmdSimulate(const Args &args)
 {
-    if (argc < 3)
-        return usage();
-    const auto &profile = trace::profileByName(argv[2]);
-    const std::uint64_t insts =
-        argc > 3 && argv[3][0] != '-' ? std::strtoull(argv[3], nullptr, 0)
-                                      : 500000;
-    const unsigned fus =
-        argc > 4 && argv[4][0] != '-'
-            ? static_cast<unsigned>(std::atoi(argv[4]))
-            : profile.paper_fus;
-    const auto ws = harness::simulateWorkload(profile, fus, insts);
+    const std::string bench = args.positional(0);
+    if (bench.empty())
+        die("simulate: missing <bench> (see 'lsim list')");
+    const auto ws =
+        builderFor(args, bench, 1, 2).session().sim();
 
-    if (hasFlag(argc, argv, "--json")) {
+    if (args.has("json")) {
         JsonWriter w(std::cout);
         w.beginObject();
         harness::writeSimJson(w, ws);
@@ -142,34 +431,106 @@ cmdSimulate(int argc, char **argv)
 }
 
 int
-cmdPolicies(int argc, char **argv)
+cmdPolicies(const Args &args)
 {
-    if (argc < 4)
-        return usage();
-    const auto &profile = trace::profileByName(argv[2]);
-    energy::ModelParams mp;
-    mp.p = std::atof(argv[3]);
-    mp.alpha = 0.5;
-    mp.k = 0.001;
-    mp.s = 0.01;
-    const std::uint64_t insts =
-        argc > 4 && argv[4][0] != '-' ? std::strtoull(argv[4], nullptr, 0)
-                                      : 500000;
-    const auto ws = harness::simulateWorkload(
-        profile, profile.paper_fus, insts);
-    const auto res = harness::evaluatePaperPolicies(ws.idle, mp);
+    const std::string bench = args.positional(0);
+    if (bench.empty())
+        die("policies: missing <bench> (see 'lsim list')");
+    const std::string p_text = args.positional(1);
+    if (p_text.empty())
+        die("policies: missing <p> (leakage factor, e.g. 0.05)");
+    const double p = parseDouble(p_text, "<p>");
+    const double alpha =
+        args.number("alpha", ~std::size_t{0}).value_or(0.5);
 
-    if (hasFlag(argc, argv, "--json")) {
-        harness::writeExperimentJson(std::cout, ws, mp, res);
+    auto builder =
+        builderFor(args, bench, 2, ~std::size_t{0})
+            .technology(p, alpha);
+    if (args.has("policies"))
+        builder.policies(
+            splitList(args.flagOrPositional("policies", ~std::size_t{0})));
+    const auto result = builder.run();
+
+    if (args.has("json")) {
+        result.writeJson(std::cout);
+        return 0;
+    }
+    if (args.has("csv")) {
+        result.writeCsv(std::cout);
         return 0;
     }
     Table t({"policy", "energy (E_A)", "vs 100% compute",
              "leakage share"});
-    for (const auto &r : res)
+    for (const auto &r : result.policies)
         t.addRow({r.name, fixed(r.energy, 1),
                   fixed(r.relative_to_base, 3),
                   fixed(r.leakage_fraction, 3)});
     t.print(std::cout);
+    return 0;
+}
+
+int
+cmdSweep(const Args &args)
+{
+    api::SweepConfig cfg;
+    if (args.has("benchmarks"))
+        cfg.workloads =
+            splitList(args.flagOrPositional("benchmarks", ~std::size_t{0}));
+    if (args.has("policies"))
+        cfg.policies =
+            splitList(args.flagOrPositional("policies", ~std::size_t{0}));
+    const double p_min =
+        args.number("p-min", ~std::size_t{0}).value_or(0.05);
+    const double p_max =
+        args.number("p-max", ~std::size_t{0}).value_or(1.0);
+    const std::string steps_text =
+        args.flagOrPositional("steps", ~std::size_t{0});
+    const unsigned steps =
+        steps_text.empty() ? 20 : parseU32(steps_text, "--steps");
+    const double alpha =
+        args.number("alpha", ~std::size_t{0}).value_or(0.5);
+    cfg.technologies = api::pSweep(p_min, p_max, steps, alpha);
+    cfg.insts = args.u64("insts", ~std::size_t{0}).value_or(500'000);
+    cfg.seed = args.u64("seed", ~std::size_t{0}).value_or(1);
+    const std::string threads_text =
+        args.flagOrPositional("threads", ~std::size_t{0});
+    cfg.threads =
+        threads_text.empty() ? 0 : parseU32(threads_text, "--threads");
+
+    const auto result = api::SweepRunner(cfg).run();
+
+    if (args.has("json")) {
+        result.writeJson(std::cout);
+        return 0;
+    }
+    if (args.has("csv")) {
+        result.writeCsv(std::cout);
+        return 0;
+    }
+    std::vector<std::string> headers = {"p"};
+    for (const auto &key : result.policy_keys)
+        headers.push_back(key);
+    Table t(headers);
+    for (std::size_t ti = 0; ti < result.technologies.size(); ++ti) {
+        std::vector<std::string> row = {
+            fixed(result.technologies[ti].p, 3)};
+        // Mean energy relative to the 100%-activity baseline across
+        // the workload grid (works for any policy set).
+        std::vector<double> mean(result.policy_keys.size(), 0.0);
+        for (std::size_t w = 0; w < result.workloads.size(); ++w) {
+            const auto &cell = result.cell(w, ti);
+            for (std::size_t i = 0; i < mean.size(); ++i)
+                mean[i] += cell.policies[i].relative_to_base;
+        }
+        for (double m : mean)
+            row.push_back(fixed(
+                m / static_cast<double>(result.workloads.size()), 3));
+        t.addRow(row);
+    }
+    t.print(std::cout);
+    std::cout << "\n(mean energy relative to 100% compute across "
+              << result.workloads.size() << " workload(s); use "
+                 "--csv/--json for per-benchmark data)\n";
     return 0;
 }
 
@@ -179,18 +540,48 @@ int
 main(int argc, char **argv)
 {
     setInformEnabled(false);
-    if (argc < 2)
-        return usage();
+    if (argc < 2) {
+        printUsage(std::cerr);
+        return 2;
+    }
     const std::string cmd = argv[1];
-    if (cmd == "characterize")
-        return cmdCharacterize();
-    if (cmd == "breakeven")
-        return cmdBreakeven(argc, argv);
-    if (cmd == "simulate")
-        return cmdSimulate(argc, argv);
-    if (cmd == "policies")
-        return cmdPolicies(argc, argv);
-    if (cmd == "list")
-        return cmdList();
-    return usage();
+    if (cmd == "--help" || cmd == "-h" || cmd == "help") {
+        printUsage(std::cout);
+        return 0;
+    }
+    if (cmd == "--version" || cmd == "version") {
+        std::cout << kVersion << "\n";
+        return 0;
+    }
+
+    const CommandSpec *spec = nullptr;
+    for (const auto &c : commands())
+        if (cmd == c.name)
+            spec = &c;
+    if (!spec)
+        die("unknown command '" + cmd + "'");
+
+    const Args args(argc - 2, argv + 2, *spec);
+    if (args.has("help")) {
+        printCommandHelp(*spec);
+        return 0;
+    }
+
+    try {
+        if (cmd == "characterize")
+            return cmdCharacterize();
+        if (cmd == "breakeven")
+            return cmdBreakeven(args);
+        if (cmd == "simulate")
+            return cmdSimulate(args);
+        if (cmd == "policies")
+            return cmdPolicies(args);
+        if (cmd == "sweep")
+            return cmdSweep(args);
+        if (cmd == "list")
+            return cmdList(args);
+    } catch (const std::invalid_argument &err) {
+        die(err.what());
+    }
+    die("unknown command '" + cmd + "'");
 }
