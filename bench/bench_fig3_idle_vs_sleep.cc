@@ -3,43 +3,68 @@
  * Reproduces Figure 3: energy of an idle period under uncontrolled
  * idle (clock gating only) versus the sleep mode, for the generic
  * 500-gate functional unit at activity factors 0.1 / 0.5 / 0.9.
+ *
+ * Runs on the facade's analytical layer: api::circuitPoint derives
+ * the (p, k, s, E_D) model parameters from the circuit
+ * characterization, and the per-cycle/per-transition terms of
+ * energy::EnergyModel — the same terms every sleep-policy
+ * evaluation uses — produce the two curves. The circuit-level
+ * integer breakeven search is kept as a cross-check against the
+ * model's closed form (equation 5).
  */
 
 #include <iostream>
 
+#include "api/experiment.hh"
 #include "circuit/fu_circuit.hh"
 #include "common/table.hh"
+#include "energy/breakeven.hh"
+#include "energy/model.hh"
 
 int
 main()
 {
     using namespace lsim;
-    using namespace lsim::circuit;
 
-    const FunctionalUnitCircuit fu{Technology{}};
     std::cout << "Figure 3: uncontrolled idle versus sleep mode "
                  "(500 OR8 gates, energies in pJ)\n\n";
 
     const double alphas[] = {0.1, 0.5, 0.9};
+    std::vector<energy::EnergyModel> models;
+    for (double alpha : alphas)
+        models.emplace_back(api::circuitPoint(alpha));
+
     Table table({"Idle (cyc)", "idle a=0.1", "sleep a=0.1",
                  "idle a=0.5", "sleep a=0.5", "idle a=0.9",
                  "sleep a=0.9"});
     for (Cycle n = 0; n <= 25; ++n) {
         std::vector<std::string> row{std::to_string(n)};
-        for (double alpha : alphas) {
+        for (const auto &model : models) {
+            // The model's terms are normalized to E_A = alpha*E_D;
+            // scale back to absolute pJ for the paper's axes.
+            const double ea_pj =
+                model.params().activeEnergyFj() / 1000.0;
+            const double cycles = static_cast<double>(n);
+            row.push_back(fixed(
+                cycles * model.unctrlIdleCycleEnergy() * ea_pj, 2));
             row.push_back(
-                fixed(fu.uncontrolledIdleEnergy(n, alpha) / 1000.0, 2));
-            row.push_back(
-                fixed(fu.sleepIdleEnergy(n, alpha) / 1000.0, 2));
+                fixed((model.transitionEnergy() +
+                       cycles * model.sleepCycleEnergy()) * ea_pj,
+                      2));
         }
         table.addRow(row);
     }
     table.print(std::cout);
 
-    std::cout << "\nCircuit-level breakeven intervals (cycles):\n";
-    for (double alpha : alphas)
-        std::cout << "  alpha=" << alpha << ": "
-                  << fu.breakevenInterval(alpha) << "\n";
+    std::cout << "\nBreakeven intervals (cycles; model closed form "
+                 "vs circuit-level search):\n";
+    const circuit::FunctionalUnitCircuit fu{circuit::Technology{}};
+    for (std::size_t i = 0; i < models.size(); ++i)
+        std::cout << "  alpha=" << alphas[i] << ": "
+                  << fixed(energy::breakevenInterval(
+                               models[i].params()), 1)
+                  << " (circuit: " << fu.breakevenInterval(alphas[i])
+                  << ")\n";
     std::cout << "Paper: ~17 cycles at alpha=0.1, relatively "
                  "insensitive to alpha.\n";
     return 0;

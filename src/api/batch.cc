@@ -1,0 +1,141 @@
+#include "api/batch.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <map>
+
+#include "api/parallel.hh"
+#include "store/profile_store.hh"
+
+namespace lsim::api
+{
+
+BatchRunner::BatchRunner(BatchConfig config)
+    : config_(std::move(config))
+{
+    runners_.reserve(config_.sweeps.size());
+    for (SweepConfig sweep : config_.sweeps) {
+        if (!config_.cache_dir.empty())
+            sweep.cache_dir = config_.cache_dir;
+        // The batch owns the pool; per-sweep thread counts would
+        // only matter if a runner executed alone.
+        sweep.threads = 1;
+        runners_.emplace_back(std::move(sweep));
+    }
+}
+
+BatchResult
+BatchRunner::run() const
+{
+    BatchResult result;
+    result.sweeps.resize(runners_.size());
+
+    // Collect the distinct phase-1 tasks across every request.
+    // fingerprint() covers exactly the simulation-determining state,
+    // so it is the dedup identity as well as the store key.
+    std::vector<detail::SimTask> unique;
+    std::vector<std::string> unique_keys;
+    // Per task, the distinct cache dirs of the sweeps that want it
+    // (the batch-level override was already folded in by the
+    // constructor, so these are the dirs each request agreed to).
+    std::vector<std::vector<std::string>> task_dirs;
+    std::map<std::string, std::size_t> index_of;
+    // refs[s][w]: index into `unique`, or npos for imported sims.
+    constexpr std::size_t npos = ~std::size_t{0};
+    std::vector<std::vector<std::size_t>> refs(runners_.size());
+
+    for (std::size_t s = 0; s < runners_.size(); ++s) {
+        const SweepRunner &runner = runners_[s];
+        const std::size_t num_workloads =
+            runner.config().workloads.size();
+        refs[s].resize(num_workloads, npos);
+        for (std::size_t w = 0; w < num_workloads; ++w) {
+            auto task = runner.simTask(w);
+            if (!task)
+                continue;
+            ++result.stats.requested_sims;
+            const std::string key = task->fingerprint();
+            const auto [it, inserted] =
+                index_of.emplace(key, unique.size());
+            if (inserted) {
+                unique.push_back(std::move(*task));
+                unique_keys.push_back(key);
+                task_dirs.emplace_back();
+            }
+            const std::string &dir = runner.config().cache_dir;
+            auto &dirs = task_dirs[it->second];
+            if (!dir.empty() &&
+                std::find(dirs.begin(), dirs.end(), dir) ==
+                    dirs.end())
+                dirs.push_back(dir);
+            refs[s][w] = it->second;
+        }
+    }
+    result.stats.unique_sims = unique.size();
+
+    // One ProfileStore per distinct directory (creation validates
+    // the path up front, before any simulation time is spent).
+    std::map<std::string, store::ProfileStore> stores;
+    for (const auto &dirs : task_dirs)
+        for (const auto &dir : dirs)
+            stores.try_emplace(dir, dir);
+
+    // Phase 1 over the deduped union: try every store a task's
+    // sweeps named, and on a miss simulate once and install the
+    // result into all of them.
+    std::vector<harness::WorkloadSim> sims(unique.size());
+    std::atomic<std::size_t> sims_run{0}, cache_hits{0};
+    detail::parallelFor(unique.size(), config_.threads,
+                        [&](std::size_t i) {
+        for (const auto &dir : task_dirs[i]) {
+            if (auto cached =
+                    stores.at(dir).load(unique_keys[i])) {
+                sims[i] = std::move(*cached);
+                cache_hits.fetch_add(1);
+                return;
+            }
+        }
+        sims[i] = unique[i].run();
+        sims_run.fetch_add(1);
+        for (const auto &dir : task_dirs[i])
+            stores.at(dir).save(unique_keys[i], sims[i]);
+    });
+    result.stats.sims_run = sims_run.load();
+    result.stats.cache_hits = cache_hits.load();
+
+    // Assemble each request's result skeleton from the shared sims.
+    for (std::size_t s = 0; s < runners_.size(); ++s) {
+        const SweepConfig &cfg = runners_[s].config();
+        SweepResult &out = result.sweeps[s];
+        out.workloads = cfg.workloads;
+        out.technologies = cfg.technologies;
+        out.policy_keys = cfg.policies;
+        out.sims.resize(cfg.workloads.size());
+        out.cells.resize(cfg.workloads.size() *
+                         cfg.technologies.size());
+        for (std::size_t w = 0; w < cfg.workloads.size(); ++w) {
+            if (refs[s][w] == npos) {
+                out.sims[w] = *runners_[s].importedSim(w);
+                ++out.stats.imported;
+            } else {
+                out.sims[w] = sims[refs[s][w]];
+            }
+        }
+    }
+
+    // Phase 2: one flat task list over every request's replay grid,
+    // so a small sweep's cells never wait on a big sweep's phase.
+    std::vector<std::pair<std::size_t, std::size_t>> cells;
+    for (std::size_t s = 0; s < result.sweeps.size(); ++s)
+        for (std::size_t i = 0; i < result.sweeps[s].cells.size();
+             ++i)
+            cells.emplace_back(s, i);
+    detail::parallelFor(cells.size(), config_.threads,
+                        [&](std::size_t i) {
+        detail::fillCell(result.sweeps[cells[i].first],
+                         cells[i].second);
+    });
+    return result;
+}
+
+} // namespace lsim::api

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Batched sweep execution with cross-request simulation dedup.
+ *
+ * Because every sweep's phase 2 is a pure function of its phase-1
+ * IdleProfiles, any two SweepConfigs that agree on a workload's
+ * (profile, fus, insts, seed, core config) can share one timing
+ * simulation. BatchRunner exploits that: it collects the distinct
+ * phase-1 tasks across all requests (consulting the profile store
+ * first when a cache directory is set), fans the union across one
+ * thread pool, then fans every request's replay grid across the same
+ * pool. Each returned SweepResult is byte-identical — CSV and JSON —
+ * to running its SweepConfig alone.
+ *
+ * @code
+ *   api::BatchConfig batch;
+ *   batch.sweeps = {cfg_a, cfg_b};       // may share workloads
+ *   batch.cache_dir = "/var/cache/lsim"; // optional persistence
+ *   auto result = api::BatchRunner(batch).run();
+ *   result.sweeps[0].writeCsv(...);
+ *   // result.stats.unique_sims simulations served
+ *   // result.stats.requested_sims requests
+ * @endcode
+ */
+
+#ifndef LSIM_API_BATCH_HH
+#define LSIM_API_BATCH_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "api/sweep.hh"
+
+namespace lsim::api
+{
+
+/** A set of sweep requests executed as one unit. */
+struct BatchConfig
+{
+    std::vector<SweepConfig> sweeps;
+
+    /**
+     * Profile store directory shared by the whole batch; when
+     * non-empty it overrides every sweep's own cache_dir. Empty
+     * keeps each sweep's setting (typically none).
+     */
+    std::string cache_dir;
+
+    /**
+     * Worker threads for both phases; 0 = hardware concurrency.
+     * Per-sweep `threads` values are ignored — the batch owns the
+     * pool.
+     */
+    unsigned threads = 0;
+};
+
+/** How the batch's phase-1 work was served. */
+struct BatchStats
+{
+    /** Phase-1 simulations the sweeps would run individually. */
+    std::size_t requested_sims = 0;
+
+    /** Distinct simulations after dedup. */
+    std::size_t unique_sims = 0;
+
+    /** Distinct simulations loaded from the profile store. */
+    std::size_t cache_hits = 0;
+
+    /** Distinct simulations actually executed. */
+    std::size_t sims_run = 0;
+};
+
+/** Outcome of a batch: one SweepResult per request, in order. */
+struct BatchResult
+{
+    std::vector<SweepResult> sweeps;
+    BatchStats stats;
+};
+
+/** Executes BatchConfigs; stateless apart from the config. */
+class BatchRunner
+{
+  public:
+    /**
+     * Validates every sweep eagerly (same guarantees as
+     * SweepRunner's constructor); throws std::invalid_argument on
+     * the first bad request.
+     */
+    explicit BatchRunner(BatchConfig config);
+
+    /** Run the batch; deterministic for any thread count. */
+    BatchResult run() const;
+
+  private:
+    BatchConfig config_;
+    std::vector<SweepRunner> runners_;
+};
+
+} // namespace lsim::api
+
+#endif // LSIM_API_BATCH_HH

@@ -3,6 +3,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "circuit/fu_circuit.hh"
 #include "common/csv.hh"
 #include "common/json.hh"
 #include "common/table.hh"
@@ -21,6 +22,13 @@ analysisPoint(double p, double alpha)
     mp.k = 0.001;
     mp.s = 0.01;
     return mp;
+}
+
+energy::ModelParams
+circuitPoint(double alpha, double duty)
+{
+    const circuit::FunctionalUnitCircuit fu{circuit::Technology{}};
+    return energy::ModelParams::fromCircuit(fu, alpha, duty);
 }
 
 void

@@ -64,6 +64,16 @@ inline constexpr unsigned auto_select = 0;
  */
 energy::ModelParams analysisPoint(double p, double alpha = 0.5);
 
+/**
+ * Technology point derived from the default circuit-level FU model
+ * (500 OR8 domino gates): p, k, s and E_D computed from the circuit
+ * characterization, activity @p alpha and duty @p duty passed
+ * through — the facade's bridge from the circuit layer to the
+ * analytical model (used by the Figure 3/4a reproductions).
+ */
+energy::ModelParams circuitPoint(double alpha = 0.5,
+                                 double duty = 0.5);
+
 /** One experiment outcome: a simulation evaluated at one technology
  * point under a set of policies. */
 struct RunResult

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * The facade's shared thread-pool primitive, used by SweepRunner and
+ * BatchRunner for both simulation and replay fan-out.
+ */
+
+#ifndef LSIM_API_PARALLEL_HH
+#define LSIM_API_PARALLEL_HH
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <thread>
+#include <vector>
+
+namespace lsim::api::detail
+{
+
+/**
+ * Run tasks 0..count-1 on a pool of @p threads workers (0 = hardware
+ * concurrency). Each worker pulls the next index from a shared
+ * atomic counter; tasks write only their own index-addressed output
+ * slot, so scheduling cannot affect results.
+ */
+template <typename Fn>
+void
+parallelFor(std::size_t count, unsigned threads, Fn &&fn)
+{
+    if (threads == 0)
+        threads = std::max(1u, std::thread::hardware_concurrency());
+    threads = static_cast<unsigned>(
+        std::min<std::size_t>(threads, count));
+    if (threads <= 1) {
+        for (std::size_t i = 0; i < count; ++i)
+            fn(i);
+        return;
+    }
+    std::atomic<std::size_t> next{0};
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (unsigned t = 0; t < threads; ++t) {
+        pool.emplace_back([&] {
+            for (std::size_t i = next.fetch_add(1); i < count;
+                 i = next.fetch_add(1))
+                fn(i);
+        });
+    }
+    for (auto &worker : pool)
+        worker.join();
+}
+
+} // namespace lsim::api::detail
+
+#endif // LSIM_API_PARALLEL_HH

@@ -1,56 +1,18 @@
 #include "api/sweep.hh"
 
 #include <atomic>
-#include <cstdio>
 #include <stdexcept>
-#include <thread>
 
+#include "api/parallel.hh"
 #include "common/csv.hh"
 #include "common/json.hh"
 #include "common/logging.hh"
 #include "harness/report.hh"
 #include "sleep/policy_registry.hh"
+#include "store/profile_store.hh"
 
 namespace lsim::api
 {
-
-namespace
-{
-
-/**
- * Run tasks 0..count-1 on a pool of @p threads workers. Each worker
- * pulls the next index from a shared atomic counter; tasks write
- * only their own index-addressed output slot, so scheduling cannot
- * affect results.
- */
-template <typename Fn>
-void
-parallelFor(std::size_t count, unsigned threads, Fn &&fn)
-{
-    if (threads == 0)
-        threads = std::max(1u, std::thread::hardware_concurrency());
-    threads = static_cast<unsigned>(
-        std::min<std::size_t>(threads, count));
-    if (threads <= 1) {
-        for (std::size_t i = 0; i < count; ++i)
-            fn(i);
-        return;
-    }
-    std::atomic<std::size_t> next{0};
-    std::vector<std::thread> pool;
-    pool.reserve(threads);
-    for (unsigned t = 0; t < threads; ++t) {
-        pool.emplace_back([&] {
-            for (std::size_t i = next.fetch_add(1); i < count;
-                 i = next.fetch_add(1))
-                fn(i);
-        });
-    }
-    for (auto &worker : pool)
-        worker.join();
-}
-
-} // namespace
 
 std::vector<energy::ModelParams>
 pSweep(double lo, double hi, unsigned steps, double alpha)
@@ -160,12 +122,117 @@ SweepResult::writeJson(std::ostream &os) const
     os << "\n";
 }
 
+// --------------------------------------------------------- detail
+
+std::string
+detail::SimTask::fingerprint() const
+{
+    store::SimKey key;
+    key.profile = profile;
+    key.fus = fus;
+    key.insts = insts;
+    key.seed = seed;
+    key.base = base;
+    return key.fingerprint();
+}
+
+harness::WorkloadSim
+detail::SimTask::run() const
+{
+    auto builder = Experiment::builder()
+                       .profile(profile)
+                       .insts(insts)
+                       .seed(seed)
+                       .config(base);
+    if (fus != ~0u)
+        builder.fus(fus);
+    return builder.session().sim();
+}
+
+void
+detail::fillCell(SweepResult &result, std::size_t i)
+{
+    const std::size_t num_tech = result.technologies.size();
+    SweepCell &c = result.cells[i];
+    c.workload = i / num_tech;
+    c.technology = i % num_tech;
+    c.policies = evaluateProfile(result.sims[c.workload].idle,
+                                 result.technologies[c.technology],
+                                 result.policy_keys);
+}
+
+// ---------------------------------------------------- SweepRunner
+
 SweepRunner::SweepRunner(SweepConfig config)
     : config_(std::move(config))
 {
-    if (config_.workloads.empty())
-        for (const auto &p : trace::table3Profiles())
-            config_.workloads.push_back(p.name);
+    // Custom profiles: validated, unique, and not shadowing the
+    // Table 3 suite (a "gcc" that is secretly something else would
+    // poison results and — worse — shared cache directories).
+    for (const auto &profile : config_.profiles) {
+        const std::string err = profile.validationError();
+        if (!err.empty())
+            throw std::invalid_argument("custom profile '" +
+                                        profile.name + "': " + err);
+        if (profile.name.empty())
+            throw std::invalid_argument(
+                "custom profiles need a non-empty name");
+        std::size_t uses = 0;
+        for (const auto &other : config_.profiles)
+            uses += other.name == profile.name ? 1 : 0;
+        if (uses != 1)
+            throw std::invalid_argument("duplicate custom profile '" +
+                                        profile.name + "'");
+        for (const auto &t3 : trace::table3Profiles())
+            if (t3.name == profile.name)
+                throw std::invalid_argument(
+                    "custom profile '" + profile.name +
+                    "' shadows a Table 3 benchmark");
+    }
+
+    if (config_.workloads.empty()) {
+        if (!config_.profiles.empty()) {
+            for (const auto &p : config_.profiles)
+                config_.workloads.push_back(p.name);
+        } else {
+            for (const auto &p : trace::table3Profiles())
+                config_.workloads.push_back(p.name);
+        }
+    }
+
+    // Imports join the grid as extra workloads, phase 1 pre-done.
+    for (const auto &path : config_.imports) {
+        store::ImportedSim entry;
+        try {
+            entry = store::importAnySim(path);
+        } catch (const store::StoreError &err) {
+            throw std::invalid_argument(err.what());
+        }
+        const std::string name = entry.sim.name;
+        // Same shadowing rule as custom profiles: an import named
+        // like a simulated workload would silently replace that
+        // workload's timing simulation with the external data.
+        for (const auto &existing : config_.workloads)
+            if (existing == name)
+                throw std::invalid_argument(
+                    "imported workload '" + name + "' (" + path +
+                    ") collides with a workload in this sweep");
+        for (const auto &profile : config_.profiles)
+            if (profile.name == name)
+                throw std::invalid_argument(
+                    "imported workload '" + name + "' (" + path +
+                    ") shadows a custom profile");
+        for (const auto &t3 : trace::table3Profiles())
+            if (t3.name == name)
+                throw std::invalid_argument(
+                    "imported workload '" + name + "' (" + path +
+                    ") shadows a Table 3 benchmark; rename it");
+        if (!imported_.emplace(name, std::move(entry.sim)).second)
+            throw std::invalid_argument(
+                "duplicate imported workload '" + name + "'");
+        config_.workloads.push_back(name);
+    }
+
     if (config_.policies.empty())
         config_.policies = sleep::PolicyRegistry::paperSpecs();
     if (config_.technologies.empty())
@@ -173,16 +240,45 @@ SweepRunner::SweepRunner(SweepConfig config)
             "SweepRunner: no technology points (see pSweep())");
 
     // Fail fast on unknown names, before any worker starts.
-    for (const auto &name : config_.workloads) {
-        bool known = false;
-        for (const auto &p : trace::table3Profiles())
-            known = known || p.name == name;
-        if (!known)
-            throw std::invalid_argument("unknown workload '" + name +
-                                        "'");
-    }
+    for (const auto &name : config_.workloads)
+        if (imported_.find(name) == imported_.end())
+            resolveWorkload(name);
     sleep::PolicyRegistry::instance().makeSet(
         config_.policies, config_.technologies.front());
+}
+
+const trace::WorkloadProfile &
+SweepRunner::resolveWorkload(const std::string &name) const
+{
+    for (const auto &p : config_.profiles)
+        if (p.name == name)
+            return p;
+    for (const auto &p : trace::table3Profiles())
+        if (p.name == name)
+            return p;
+    throw std::invalid_argument("unknown workload '" + name + "'");
+}
+
+std::optional<detail::SimTask>
+SweepRunner::simTask(std::size_t w) const
+{
+    const std::string &name = config_.workloads.at(w);
+    if (imported_.find(name) != imported_.end())
+        return std::nullopt;
+    detail::SimTask task;
+    task.profile = resolveWorkload(name);
+    task.fus = config_.fus;
+    task.insts = config_.insts;
+    task.seed = config_.seed;
+    task.base = config_.base;
+    return task;
+}
+
+const harness::WorkloadSim *
+SweepRunner::importedSim(std::size_t w) const
+{
+    const auto it = imported_.find(config_.workloads.at(w));
+    return it == imported_.end() ? nullptr : &it->second;
 }
 
 SweepResult
@@ -194,30 +290,45 @@ SweepRunner::run() const
     result.policy_keys = config_.policies;
     result.sims.resize(result.workloads.size());
 
-    // Phase 1: one timing simulation per workload, in parallel.
-    parallelFor(result.workloads.size(), config_.threads,
-                [&](std::size_t w) {
-        auto builder = Experiment::builder()
-                           .workload(result.workloads[w])
-                           .insts(config_.insts)
-                           .seed(config_.seed)
-                           .config(config_.base);
-        if (config_.fus != ~0u)
-            builder.fus(config_.fus);
-        result.sims[w] = builder.session().sim();
+    std::optional<store::ProfileStore> cache;
+    if (!config_.cache_dir.empty())
+        cache.emplace(config_.cache_dir);
+
+    // Phase 1: one timing simulation per workload, in parallel —
+    // imported sims are used as-is and cached sims are loaded
+    // instead of re-simulated.
+    std::atomic<std::size_t> sims_run{0}, cache_hits{0};
+    detail::parallelFor(result.workloads.size(), config_.threads,
+                        [&](std::size_t w) {
+        if (const harness::WorkloadSim *imp = importedSim(w)) {
+            result.sims[w] = *imp;
+            return;
+        }
+        const detail::SimTask task = *simTask(w);
+        std::string key;
+        if (cache) {
+            key = task.fingerprint();
+            if (auto cached = cache->load(key)) {
+                result.sims[w] = std::move(*cached);
+                cache_hits.fetch_add(1);
+                return;
+            }
+        }
+        result.sims[w] = task.run();
+        sims_run.fetch_add(1);
+        if (cache)
+            cache->save(key, result.sims[w]);
     });
+    result.stats.sims_run = sims_run.load();
+    result.stats.cache_hits = cache_hits.load();
+    result.stats.imported = imported_.size();
 
     // Phase 2: replay every profile at every technology point.
-    const std::size_t num_tech = result.technologies.size();
-    result.cells.resize(result.workloads.size() * num_tech);
-    parallelFor(result.cells.size(), config_.threads,
-                [&](std::size_t i) {
-        SweepCell &c = result.cells[i];
-        c.workload = i / num_tech;
-        c.technology = i % num_tech;
-        c.policies = evaluateProfile(result.sims[c.workload].idle,
-                                     result.technologies[c.technology],
-                                     result.policy_keys);
+    result.cells.resize(result.workloads.size() *
+                        result.technologies.size());
+    detail::parallelFor(result.cells.size(), config_.threads,
+                        [&](std::size_t i) {
+        detail::fillCell(result, i);
     });
     return result;
 }

@@ -21,12 +21,15 @@
 #define LSIM_API_SWEEP_HH
 
 #include <cstdint>
+#include <map>
+#include <optional>
 #include <ostream>
 #include <string>
 #include <vector>
 
 #include "api/experiment.hh"
 #include "harness/benchmarks.hh"
+#include "trace/profile.hh"
 
 namespace lsim::api
 {
@@ -34,7 +37,11 @@ namespace lsim::api
 /** Declarative description of a sweep. */
 struct SweepConfig
 {
-    /** Benchmark names; empty = the full Table 3 suite. */
+    /**
+     * Workload names; may reference Table 3 benchmarks or entries of
+     * `profiles`. Empty = the custom `profiles` when any are given,
+     * else the full Table 3 suite.
+     */
     std::vector<std::string> workloads;
 
     /** Technology points to evaluate (see pSweep() helper). */
@@ -42,6 +49,23 @@ struct SweepConfig
 
     /** PolicyRegistry specs; empty = the paper's four policies. */
     std::vector<std::string> policies;
+
+    /**
+     * User-defined workload profiles (e.g. from
+     * trace::loadWorkloadProfile), selectable by name alongside the
+     * Table 3 suite. Names must be unique and must not shadow a
+     * Table 3 benchmark.
+     */
+    std::vector<trace::WorkloadProfile> profiles;
+
+    /**
+     * Paths of externally produced simulations to include as
+     * workloads: .lsimprof exports or JSON idle profiles (see
+     * store::importAnySim). These skip phase 1 entirely — their
+     * stored IdleProfile is replayed at every technology point just
+     * like a fresh simulation's.
+     */
+    std::vector<std::string> imports;
 
     /** Committed instructions per workload simulation. */
     std::uint64_t insts = 500'000;
@@ -61,6 +85,15 @@ struct SweepConfig
 
     /** Worker threads; 0 = std::thread::hardware_concurrency(). */
     unsigned threads = 0;
+
+    /**
+     * Directory of the persistent profile store (store::ProfileStore)
+     * consulted before running any phase-1 timing simulation and
+     * updated afterwards; empty disables caching. A warm cache makes
+     * re-runs skip phase 1 entirely while producing byte-identical
+     * CSV/JSON output.
+     */
+    std::string cache_dir;
 };
 
 /**
@@ -79,12 +112,24 @@ struct SweepCell
     std::vector<sleep::PolicyResult> policies;
 };
 
+/** Where each phase-1 simulation of a sweep came from. */
+struct SweepStats
+{
+    std::size_t sims_run = 0;    ///< executed by the timing model
+    std::size_t cache_hits = 0;  ///< loaded from the profile store
+    std::size_t imported = 0;    ///< supplied via SweepConfig::imports
+};
+
 /** Complete sweep outcome. */
 struct SweepResult
 {
     std::vector<std::string> workloads;
     std::vector<energy::ModelParams> technologies;
     std::vector<std::string> policy_keys;
+
+    /** Phase-1 provenance (not serialized; output stays identical
+     * whether sims were fresh, cached, or imported). */
+    SweepStats stats;
 
     /** One timing simulation per workload (phase 1). */
     std::vector<harness::WorkloadSim> sims;
@@ -116,21 +161,67 @@ struct SweepResult
     void writeJson(std::ostream &os) const;
 };
 
+namespace detail
+{
+
+/**
+ * One phase-1 timing simulation, fully specified: what BatchRunner
+ * dedupes on and what the profile store keys by. `fus` is the
+ * *requested* count, sentinels (auto_select, paper-FUs) included.
+ */
+struct SimTask
+{
+    trace::WorkloadProfile profile;
+    unsigned fus = ~0u;
+    std::uint64_t insts = 0;
+    std::uint64_t seed = 0;
+    cpu::CoreConfig base;
+
+    /** The profile-store key (see store::SimKey). */
+    std::string fingerprint() const;
+
+    /** Execute the timing simulation (no cache interaction). */
+    harness::WorkloadSim run() const;
+};
+
+/** Compute cell @p i of @p result from its sims (phase 2 unit). */
+void fillCell(SweepResult &result, std::size_t i);
+
+} // namespace detail
+
 /** Executes SweepConfigs; stateless apart from the config. */
 class SweepRunner
 {
   public:
     /**
-     * Validates @p config eagerly: unknown workloads or policy
-     * specs throw std::invalid_argument here, not from a worker.
+     * Validates @p config eagerly: unknown workloads, bad custom
+     * profiles, unreadable imports, or bad policy specs throw
+     * std::invalid_argument here, not from a worker.
      */
     explicit SweepRunner(SweepConfig config);
 
     /** Run both phases; deterministic for any thread count. */
     SweepResult run() const;
 
+    /** The normalized config: defaults filled, names validated. */
+    const SweepConfig &config() const { return config_; }
+
+    /**
+     * Phase-1 task of workload @p w, or std::nullopt when that
+     * workload is import-backed (BatchRunner's dedup interface).
+     */
+    std::optional<detail::SimTask> simTask(std::size_t w) const;
+
+    /** Pre-loaded sim of an import-backed workload, else nullptr. */
+    const harness::WorkloadSim *importedSim(std::size_t w) const;
+
   private:
+    const trace::WorkloadProfile &
+    resolveWorkload(const std::string &name) const;
+
     SweepConfig config_;
+    /** Workload name -> sim loaded from SweepConfig::imports. */
+    std::map<std::string, harness::WorkloadSim> imported_;
 };
 
 } // namespace lsim::api

@@ -1,15 +1,18 @@
 /**
  * @file
- * Minimal JSON emission for machine-readable statistics dumps. Only
- * writing is supported (the simulator consumes no JSON); values are
- * escaped per RFC 8259.
+ * Minimal JSON support for machine-readable statistics dumps and for
+ * the user-facing ingestion paths (custom workload profiles, batch
+ * specs, imported idle profiles). JsonWriter emits RFC 8259 JSON;
+ * parseJson() reads it back into a JsonValue tree.
  */
 
 #ifndef LSIM_COMMON_JSON_HH
 #define LSIM_COMMON_JSON_HH
 
+#include <cstdint>
 #include <ostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace lsim
@@ -70,6 +73,78 @@ class JsonWriter
     int depth_ = 0;
     bool started_ = false;
 };
+
+/**
+ * One parsed JSON value. Structured as a tree: arrays own their
+ * element values, objects own ordered (key, value) member pairs.
+ *
+ * Accessors throw std::invalid_argument when the value is not of the
+ * requested kind, so ingestion code can surface "field X is not a
+ * number" errors without manual kind checks at every site. These are
+ * user-input errors, never programmer errors, hence throw rather
+ * than fatal() (the same convention as sleep::PolicyRegistry).
+ */
+class JsonValue
+{
+  public:
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+
+    JsonValue() = default; ///< null
+
+    static JsonValue makeBool(bool v);
+    static JsonValue makeNumber(double v);
+    static JsonValue makeString(std::string v);
+    static JsonValue makeArray(std::vector<JsonValue> items);
+    static JsonValue
+    makeObject(std::vector<std::pair<std::string, JsonValue>> members);
+
+    Kind kind() const { return kind_; }
+    bool isNull() const { return kind_ == Kind::Null; }
+    bool isBool() const { return kind_ == Kind::Bool; }
+    bool isNumber() const { return kind_ == Kind::Number; }
+    bool isString() const { return kind_ == Kind::String; }
+    bool isArray() const { return kind_ == Kind::Array; }
+    bool isObject() const { return kind_ == Kind::Object; }
+
+    bool asBool() const;
+    double asNumber() const;
+    const std::string &asString() const;
+
+    /** Number checked to be a non-negative integer (fits uint64). */
+    std::uint64_t asU64() const;
+
+    /** Array elements, in document order. */
+    const std::vector<JsonValue> &items() const;
+
+    /** Object members, in document order (duplicates preserved). */
+    const std::vector<std::pair<std::string, JsonValue>> &
+    members() const;
+
+    /** Object member named @p key, or nullptr when absent. */
+    const JsonValue *find(const std::string &key) const;
+
+    /** Object member named @p key; throws when absent. */
+    const JsonValue &at(const std::string &key) const;
+
+  private:
+    Kind kind_ = Kind::Null;
+    bool bool_ = false;
+    double number_ = 0.0;
+    std::string string_;
+    std::vector<JsonValue> items_;
+    std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+/**
+ * Parse one JSON document from @p text (trailing whitespace only
+ * after the value). Throws std::invalid_argument with a line:column
+ * position on malformed input.
+ */
+JsonValue parseJson(const std::string &text);
+
+/** parseJson() over the contents of @p path; throws
+ * std::invalid_argument when the file cannot be read. */
+JsonValue parseJsonFile(const std::string &path);
 
 } // namespace lsim
 

@@ -154,4 +154,21 @@ Log2Histogram::reset()
     count_ = 0;
 }
 
+Log2Histogram
+Log2Histogram::fromBuckets(std::uint64_t clamp_value,
+                           std::vector<double> weights,
+                           std::uint64_t count)
+{
+    Log2Histogram out(clamp_value);
+    if (weights.size() != out.weights_.size())
+        fatal("Log2Histogram::fromBuckets: %zu weights for a "
+              "%llu-clamp histogram (want %zu)",
+              weights.size(),
+              static_cast<unsigned long long>(clamp_value),
+              out.weights_.size());
+    out.weights_ = std::move(weights);
+    out.count_ = count;
+    return out;
+}
+
 } // namespace lsim::stats

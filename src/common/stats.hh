@@ -96,6 +96,16 @@ class Log2Histogram
     /** Merge another histogram with the same clamp. */
     void merge(const Log2Histogram &other);
 
+    /**
+     * Reconstruct a histogram from raw bucket state (the
+     * deserialization path of the profile store). @p weights must
+     * have exactly the bucket count implied by @p clamp_value;
+     * fatal() otherwise.
+     */
+    static Log2Histogram fromBuckets(std::uint64_t clamp_value,
+                                     std::vector<double> weights,
+                                     std::uint64_t count);
+
     /** Normalize a copy so bucket weights sum to 1 (no-op if empty). */
     Log2Histogram normalized() const;
 

@@ -1,0 +1,415 @@
+#include "store/profile_store.hh"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/logging.hh"
+
+namespace lsim::store
+{
+
+namespace fs = std::filesystem;
+
+namespace
+{
+
+constexpr char kMagic[8] = {'L', 'S', 'I', 'M', 'P', 'R', 'O', 'F'};
+
+void
+hashProfile(Fnv1a &h, const trace::WorkloadProfile &p)
+{
+    h.addString(p.name);
+    h.addString(p.suite);
+    h.addDouble(p.frac_load);
+    h.addDouble(p.frac_store);
+    h.addDouble(p.frac_branch);
+    h.addDouble(p.frac_mult);
+    h.addDouble(p.frac_fp);
+    h.addDouble(p.dep_density);
+    h.addDouble(p.dep_distance_p);
+    h.addU32(p.num_blocks);
+    h.addDouble(p.branch_bias_strong);
+    h.addDouble(p.noisy_taken_prob);
+    h.addDouble(p.call_fraction);
+    h.addU64(p.working_set);
+    h.addDouble(p.local_frac);
+    h.addDouble(p.stream_frac);
+    h.addDouble(p.irregular_frac);
+    h.addDouble(p.strong_taken_bias);
+    h.addDouble(p.mean_loop_iters);
+    // Table 3 metadata: paper_fus resolves the default FU count, so
+    // it shapes the simulation; the reported-IPC fields and window
+    // text are cosmetic but cheap to include and keep the rule
+    // simple — EVERY profile field is part of the identity.
+    h.addDouble(p.paper_max_ipc);
+    h.addDouble(p.paper_ipc);
+    h.addU32(p.paper_fus);
+    h.addString(p.window);
+}
+
+void
+hashCoreConfig(Fnv1a &h, const cpu::CoreConfig &c)
+{
+    h.addU32(c.fetch_width);
+    h.addU32(c.decode_width);
+    h.addU32(c.issue_width);
+    h.addU32(c.fp_issue_width);
+    h.addU32(c.commit_width);
+    h.addU32(c.fetch_queue_entries);
+    h.addU32(c.rob_entries);
+    h.addU32(c.int_iq_entries);
+    h.addU32(c.fp_iq_entries);
+    h.addU32(c.int_phys_regs);
+    h.addU32(c.fp_phys_regs);
+    h.addU32(c.load_queue_entries);
+    h.addU32(c.store_queue_entries);
+    h.addU32(c.num_int_fus);
+    h.addU32(c.num_fp_fus);
+    h.addU32(c.dcache_ports);
+    h.addU64(c.mispredict_penalty);
+    h.addU64(c.btb_miss_penalty);
+
+    const cpu::BpredConfig &b = c.bpred;
+    h.addU32(b.bimodal_entries);
+    h.addU32(b.hist_bits);
+    h.addU32(b.gshare_entries);
+    h.addU32(b.chooser_entries);
+    h.addU32(b.ras_entries);
+    h.addU32(b.btb_sets);
+    h.addU32(b.btb_assoc);
+
+    const auto hashCache = [&h](const cache::CacheConfig &cc) {
+        h.addU64(cc.size_bytes);
+        h.addU32(cc.assoc);
+        h.addU32(cc.line_bytes);
+        h.addU64(cc.hit_latency);
+    };
+    const auto hashTlb = [&h](const cache::TlbConfig &tc) {
+        h.addU32(tc.entries);
+        h.addU32(tc.assoc);
+        h.addU64(tc.page_bytes);
+        h.addU64(tc.miss_latency);
+    };
+    hashCache(c.mem.l1i);
+    hashCache(c.mem.l1d);
+    hashCache(c.mem.l2);
+    hashTlb(c.mem.itlb);
+    hashTlb(c.mem.dtlb);
+    h.addU64(c.mem.memory_latency);
+}
+
+/** Keep keys filesystem-safe: [A-Za-z0-9._-], capped length. */
+std::string
+sanitizeName(const std::string &name)
+{
+    std::string out;
+    for (char ch : name.substr(0, 48)) {
+        const bool ok = (ch >= 'a' && ch <= 'z') ||
+                        (ch >= 'A' && ch <= 'Z') ||
+                        (ch >= '0' && ch <= '9') || ch == '.' ||
+                        ch == '_' || ch == '-';
+        out += ok ? ch : '_';
+    }
+    return out.empty() ? std::string("profile") : out;
+}
+
+/** Serialize (key, sim) with framing into @p os. */
+void
+writeEntry(std::ostream &os, const std::string &key,
+           const harness::WorkloadSim &sim)
+{
+    std::ostringstream payload_ss;
+    BinaryWriter pw(payload_ss);
+    pw.str(key);
+    writeWorkloadSim(pw, sim);
+    const std::string payload = payload_ss.str();
+
+    Fnv1a checksum;
+    for (char ch : payload)
+        checksum.addByte(static_cast<std::uint8_t>(ch));
+
+    os.write(kMagic, sizeof(kMagic));
+    BinaryWriter w(os);
+    w.u32(kFormatVersion);
+    w.u64(checksum.value());
+    w.u64(payload.size());
+    os.write(payload.data(),
+             static_cast<std::streamsize>(payload.size()));
+}
+
+/** Parse a framed entry from @p is (@p what names it in errors). */
+ImportedSim
+readEntry(std::istream &is, const std::string &what)
+{
+    char magic[sizeof(kMagic)] = {};
+    is.read(magic, sizeof(magic));
+    if (is.gcount() != sizeof(magic) ||
+        !std::equal(magic, magic + sizeof(magic), kMagic))
+        throw StoreError(what + ": not a profile store file "
+                                "(bad magic)");
+
+    // Framing fields are small; a generous limit suffices.
+    BinaryReader header(is, 20);
+    const std::uint32_t version = header.u32();
+    if (version != kFormatVersion)
+        throw StoreError(what + ": format version " +
+                         std::to_string(version) + " (expected " +
+                         std::to_string(kFormatVersion) + ")");
+    const std::uint64_t checksum = header.u64();
+    const std::uint64_t payload_size = header.u64();
+
+    std::string payload(static_cast<std::size_t>(payload_size), '\0');
+    is.read(payload.data(),
+            static_cast<std::streamsize>(payload_size));
+    if (static_cast<std::uint64_t>(is.gcount()) != payload_size ||
+        is.peek() != std::char_traits<char>::eof())
+        throw StoreError(what + ": truncated or oversized payload");
+
+    Fnv1a actual;
+    for (char ch : payload)
+        actual.addByte(static_cast<std::uint8_t>(ch));
+    if (actual.value() != checksum)
+        throw StoreError(what + ": checksum mismatch (corrupted)");
+
+    std::istringstream payload_is(payload);
+    BinaryReader r(payload_is, payload_size);
+    ImportedSim entry;
+    entry.key = r.str();
+    entry.sim = readWorkloadSim(r);
+    if (!r.exhausted())
+        throw StoreError(what + ": trailing bytes after payload");
+    return entry;
+}
+
+} // namespace
+
+std::string
+SimKey::fingerprint() const
+{
+    Fnv1a h;
+    h.addU32(kFormatVersion);
+    hashProfile(h, profile);
+    h.addU32(fus);
+    h.addU64(insts);
+    h.addU64(seed);
+    hashCoreConfig(h, base);
+    return sanitizeName(profile.name) + "-" + h.hex();
+}
+
+ProfileStore::ProfileStore(std::string dir)
+    : dir_(std::move(dir))
+{
+    std::error_code ec;
+    fs::create_directories(dir_, ec);
+    if (ec || !fs::is_directory(dir_))
+        throw std::invalid_argument("cache directory '" + dir_ +
+                                    "' cannot be created");
+}
+
+std::string
+ProfileStore::pathFor(const std::string &key) const
+{
+    return (fs::path(dir_) / (key + kExtension)).string();
+}
+
+std::optional<harness::WorkloadSim>
+ProfileStore::load(const std::string &key) const
+{
+    const std::string path = pathFor(key);
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return std::nullopt; // plain miss, not worth a warning
+    try {
+        ImportedSim entry = readEntry(in, path);
+        if (entry.key != key)
+            throw StoreError(path + ": embedded key '" + entry.key +
+                             "' does not match its filename");
+        return std::move(entry.sim);
+    } catch (const StoreError &err) {
+        warn("profile store: %s; re-simulating", err.what());
+        return std::nullopt;
+    }
+}
+
+void
+ProfileStore::save(const std::string &key,
+                   const harness::WorkloadSim &sim) const
+{
+    // Unique temp name per process x call so concurrent writers
+    // (threads or separate sweeps sharing the cache) never collide;
+    // rename() within one directory is atomic on POSIX.
+    static std::atomic<unsigned> counter{0};
+    const std::string tmp = pathFor(key) + ".tmp." +
+        std::to_string(static_cast<unsigned long>(::getpid())) +
+        "." + std::to_string(counter.fetch_add(1));
+
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (!out) {
+            warn("profile store: cannot write '%s'", tmp.c_str());
+            return;
+        }
+        writeEntry(out, key, sim);
+        if (!out) {
+            warn("profile store: short write to '%s'", tmp.c_str());
+            out.close();
+            fs::remove(tmp);
+            return;
+        }
+    }
+    std::error_code ec;
+    fs::rename(tmp, pathFor(key), ec);
+    if (ec) {
+        warn("profile store: cannot install '%s': %s",
+             pathFor(key).c_str(), ec.message().c_str());
+        fs::remove(tmp, ec);
+    }
+}
+
+std::vector<StoreEntry>
+ProfileStore::list() const
+{
+    std::vector<StoreEntry> out;
+    for (const auto &de : fs::directory_iterator(dir_)) {
+        if (!de.is_regular_file() ||
+            de.path().extension() != kExtension)
+            continue;
+        const std::string key = de.path().stem().string();
+        if (auto sim = load(key))
+            out.push_back({key, std::move(*sim)});
+    }
+    std::sort(out.begin(), out.end(),
+              [](const StoreEntry &a, const StoreEntry &b) {
+                  return a.key < b.key;
+              });
+    return out;
+}
+
+void
+exportSim(const std::string &path, const std::string &key,
+          const harness::WorkloadSim &sim)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out)
+        throw StoreError("cannot write '" + path + "'");
+    writeEntry(out, key, sim);
+    if (!out)
+        throw StoreError("short write to '" + path + "'");
+}
+
+ImportedSim
+importSimFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        throw StoreError("cannot open '" + path + "'");
+    return readEntry(in, path);
+}
+
+ImportedSim
+importAnySim(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        throw StoreError("cannot open '" + path + "'");
+    if (in.peek() == 'L')
+        return importSimFile(path);
+
+    // JSON idle profile.
+    try {
+        ImportedSim entry;
+        entry.sim = idleProfileSimFromJson(parseJsonFile(path));
+        return entry;
+    } catch (const std::invalid_argument &err) {
+        throw StoreError(std::string(err.what()));
+    }
+}
+
+harness::WorkloadSim
+idleProfileSimFromJson(const JsonValue &v)
+{
+    if (!v.isObject())
+        throw std::invalid_argument(
+            "idle profile: expected a JSON object");
+    for (const auto &[key, value] : v.members()) {
+        (void)value;
+        if (key != "name" && key != "num_fus" &&
+            key != "active_cycles" && key != "idle_cycles" &&
+            key != "intervals")
+            throw std::invalid_argument(
+                "idle profile: unknown field '" + key + "'");
+    }
+
+    harness::WorkloadSim sim;
+    sim.name = v.at("name").asString();
+    if (sim.name.empty())
+        throw std::invalid_argument("idle profile: 'name' is empty");
+
+    harness::IdleProfile &idle = sim.idle;
+    const std::uint64_t fus = v.at("num_fus").asU64();
+    if (fus == 0 || fus > 1024)
+        throw std::invalid_argument(
+            "idle profile: 'num_fus' outside [1,1024]");
+    idle.num_fus = static_cast<unsigned>(fus);
+    sim.num_fus = idle.num_fus;
+    idle.active_cycles = v.at("active_cycles").asU64();
+    idle.idle_cycles = v.at("idle_cycles").asU64();
+
+    Cycle prev = 0;
+    Cycle interval_cycles = 0;
+    for (const JsonValue &pair : v.at("intervals").items()) {
+        if (!pair.isArray() || pair.items().size() != 2)
+            throw std::invalid_argument(
+                "idle profile: each 'intervals' entry must be a "
+                "[length, count] pair");
+        const Cycle len = pair.items()[0].asU64();
+        const std::uint64_t count = pair.items()[1].asU64();
+        if (len == 0 || count == 0)
+            throw std::invalid_argument(
+                "idle profile: 'intervals' lengths and counts must "
+                "be positive");
+        if (len <= prev)
+            throw std::invalid_argument(
+                "idle profile: 'intervals' lengths must be strictly "
+                "increasing");
+        prev = len;
+        // Guard the consistency sum itself: wrapped arithmetic
+        // would both falsely reject huge legitimate profiles and
+        // accept crafted inconsistent ones.
+        if (count > (std::numeric_limits<Cycle>::max() -
+                     interval_cycles) / len)
+            throw std::invalid_argument(
+                "idle profile: 'intervals' cycle total overflows");
+        interval_cycles += len * count;
+        idle.intervals.emplace_hint(idle.intervals.end(), len,
+                                    count);
+    }
+    if (interval_cycles != idle.idle_cycles)
+        throw std::invalid_argument(
+            "idle profile: 'intervals' cover " +
+            std::to_string(interval_cycles) +
+            " cycles but 'idle_cycles' is " +
+            std::to_string(idle.idle_cycles));
+
+    // Approximate the Figure 7 histogram from the aggregate
+    // multiset: each interval's total cycles as a fraction of all
+    // FU-cycles (per-FU weighting is unavailable post-aggregation).
+    if (idle.totalCycles() > 0) {
+        const double total =
+            static_cast<double>(idle.totalCycles());
+        for (const auto &[len, count] : idle.intervals)
+            sim.idle_hist.sample(
+                len, static_cast<double>(len) *
+                         static_cast<double>(count) / total);
+    }
+    return sim;
+}
+
+} // namespace lsim::store

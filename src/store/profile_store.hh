@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Content-addressed on-disk store of completed timing simulations.
+ *
+ * Layout: one file per simulation in a flat directory,
+ *
+ *     <dir>/<benchmark>-<fingerprint>.lsimprof
+ *
+ * where the fingerprint is a 64-bit FNV-1a hash over everything that
+ * determines the simulation's outcome: the full WorkloadProfile
+ * parameter set, the requested FU count (sentinels included), the
+ * instruction budget, the trace seed, the complete CoreConfig
+ * (pipeline widths, bpred geometry, cache hierarchy), and the
+ * serialization format version. Two runs agreeing on the key are
+ * guaranteed the same phase-1 result, so a hit replaces the
+ * simulation with a bit-exact deserialized copy; anything that could
+ * change the outcome changes the key and misses.
+ *
+ * Writes are atomic (temp file + rename in the same directory), so
+ * concurrent sweeps can safely share one cache directory: the worst
+ * case is two processes simulating the same key and one rename
+ * winning — both files carried identical bytes.
+ *
+ * Load failures (corruption, truncation, version mismatch) are
+ * reported as a miss and warn()ed, never trusted: the caller
+ * re-simulates and overwrites the bad entry.
+ */
+
+#ifndef LSIM_STORE_PROFILE_STORE_HH
+#define LSIM_STORE_PROFILE_STORE_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/json.hh"
+#include "cpu/config.hh"
+#include "store/serialize.hh"
+#include "trace/profile.hh"
+
+namespace lsim::store
+{
+
+/**
+ * Everything that determines a phase-1 timing simulation's outcome.
+ * fingerprint() is the cache key; the FU count is the *requested*
+ * value (including api::auto_select and the paper-FUs sentinel), so
+ * an auto-selected run caches under the request that produced it.
+ */
+struct SimKey
+{
+    trace::WorkloadProfile profile;
+    unsigned fus = ~0u;
+    std::uint64_t insts = 0;
+    std::uint64_t seed = 0;
+    cpu::CoreConfig base;
+
+    /** "<sanitized-benchmark-name>-<16 hex digits>". */
+    std::string fingerprint() const;
+};
+
+/** One store entry as listed by ProfileStore::list(). */
+struct StoreEntry
+{
+    std::string key;  ///< filename stem (name + fingerprint)
+    harness::WorkloadSim sim;
+};
+
+/** The on-disk store. Cheap to construct; stateless between calls. */
+class ProfileStore
+{
+  public:
+    /** Filename extension of store entries (includes the dot). */
+    static constexpr const char *kExtension = ".lsimprof";
+
+    /**
+     * @param dir Cache directory; created (with parents) when
+     * missing. Throws std::invalid_argument when the path exists but
+     * is not a directory or cannot be created.
+     */
+    explicit ProfileStore(std::string dir);
+
+    /**
+     * Fetch the entry stored under @p key. Returns std::nullopt —
+     * after a warn() — when the entry is absent, truncated,
+     * corrupted, or written by a different format version.
+     */
+    std::optional<harness::WorkloadSim>
+    load(const std::string &key) const;
+
+    /** Atomically persist @p sim under @p key. */
+    void save(const std::string &key,
+              const harness::WorkloadSim &sim) const;
+
+    /** All readable entries, sorted by key; unreadable files warn. */
+    std::vector<StoreEntry> list() const;
+
+    const std::string &dir() const { return dir_; }
+
+  private:
+    std::string pathFor(const std::string &key) const;
+
+    std::string dir_;
+};
+
+/**
+ * @name Self-describing profile files
+ * The store's entry format doubles as an interchange format:
+ * exportSim() writes the same bytes a store entry holds (magic,
+ * version, checksum, embedded key, payload), importSimFile() reads
+ * them back, and importAnySim() additionally accepts a JSON idle
+ * profile (see idleProfileSimFromJson) so externally measured idle
+ * behavior can enter the pipeline. All throw StoreError on
+ * malformed input.
+ * @{
+ */
+
+/** A profile read from a file: the embedded key may be empty for
+ * JSON imports, which carry no generating configuration. */
+struct ImportedSim
+{
+    std::string key;
+    harness::WorkloadSim sim;
+};
+
+void exportSim(const std::string &path, const std::string &key,
+               const harness::WorkloadSim &sim);
+
+ImportedSim importSimFile(const std::string &path);
+
+/**
+ * Accept either format: binary .lsimprof (sniffed by magic) or a
+ * JSON idle profile object.
+ */
+ImportedSim importAnySim(const std::string &path);
+
+/**
+ * Build a WorkloadSim from an externally produced idle profile:
+ *
+ *   {"name": "measured-alu", "num_fus": 2,
+ *    "active_cycles": 730000, "idle_cycles": 270000,
+ *    "intervals": [[1, 41000], [2, 18000], [7, 9500]]}
+ *
+ * intervals are [length, count] pairs of the aggregate idle-interval
+ * multiset (lengths strictly increasing). Only the idle profile — the
+ * policy-evaluation sufficient statistic — is exact; timing stats
+ * (IPC, cache rates) are absent from such measurements and stay
+ * zero, and the Figure 7 histogram is reconstructed from the
+ * aggregate multiset. Throws std::invalid_argument naming the
+ * offending field.
+ */
+harness::WorkloadSim idleProfileSimFromJson(const JsonValue &v);
+
+/** @} */
+
+} // namespace lsim::store
+
+#endif // LSIM_STORE_PROFILE_STORE_HH

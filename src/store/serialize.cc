@@ -1,0 +1,348 @@
+#include "store/serialize.hh"
+
+#include <cstring>
+
+namespace lsim::store
+{
+
+// --------------------------------------------------------------- Fnv1a
+
+void
+Fnv1a::addU32(std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        addByte(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void
+Fnv1a::addU64(std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        addByte(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void
+Fnv1a::addDouble(double v)
+{
+    std::uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(v));
+    std::memcpy(&bits, &v, sizeof(bits));
+    addU64(bits);
+}
+
+void
+Fnv1a::addString(const std::string &text)
+{
+    addU64(text.size());
+    for (char ch : text)
+        addByte(static_cast<std::uint8_t>(ch));
+}
+
+std::string
+Fnv1a::hex() const
+{
+    static const char digits[] = "0123456789abcdef";
+    std::string out(16, '0');
+    std::uint64_t v = hash_;
+    for (int i = 15; i >= 0; --i) {
+        out[static_cast<std::size_t>(i)] = digits[v & 0xf];
+        v >>= 4;
+    }
+    return out;
+}
+
+// -------------------------------------------------------- BinaryWriter
+
+void
+BinaryWriter::u8(std::uint8_t v)
+{
+    os_.put(static_cast<char>(v));
+}
+
+void
+BinaryWriter::u32(std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        u8(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void
+BinaryWriter::u64(std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        u8(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void
+BinaryWriter::f64(double v)
+{
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof(bits));
+    u64(bits);
+}
+
+void
+BinaryWriter::str(const std::string &text)
+{
+    u64(text.size());
+    os_.write(text.data(),
+              static_cast<std::streamsize>(text.size()));
+}
+
+// -------------------------------------------------------- BinaryReader
+
+BinaryReader::BinaryReader(std::istream &is, std::uint64_t limit)
+    : is_(is), remaining_(limit)
+{
+}
+
+void
+BinaryReader::need(std::uint64_t bytes)
+{
+    if (bytes > remaining_)
+        throw StoreError("truncated record (wanted " +
+                         std::to_string(bytes) + " bytes, have " +
+                         std::to_string(remaining_) + ")");
+    remaining_ -= bytes;
+}
+
+std::uint8_t
+BinaryReader::u8()
+{
+    need(1);
+    const int ch = is_.get();
+    if (ch == std::char_traits<char>::eof())
+        throw StoreError("unexpected end of input");
+    return static_cast<std::uint8_t>(ch);
+}
+
+std::uint32_t
+BinaryReader::u32()
+{
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= static_cast<std::uint32_t>(u8()) << (8 * i);
+    return v;
+}
+
+std::uint64_t
+BinaryReader::u64()
+{
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= static_cast<std::uint64_t>(u8()) << (8 * i);
+    return v;
+}
+
+double
+BinaryReader::f64()
+{
+    const std::uint64_t bits = u64();
+    double v = 0.0;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+}
+
+std::string
+BinaryReader::str()
+{
+    const std::uint64_t len = count(1);
+    need(len); // read directly below, not via the primitives
+    std::string out(static_cast<std::size_t>(len), '\0');
+    is_.read(out.data(), static_cast<std::streamsize>(len));
+    if (static_cast<std::uint64_t>(is_.gcount()) != len)
+        throw StoreError("unexpected end of input in string");
+    return out;
+}
+
+std::uint64_t
+BinaryReader::count(std::uint64_t element_bytes)
+{
+    // Validates only; the element reads themselves consume
+    // remaining_ through the checked primitives.
+    const std::uint64_t n = u64();
+    if (element_bytes != 0 && n > remaining_ / element_bytes)
+        throw StoreError("element count " + std::to_string(n) +
+                         " exceeds remaining input");
+    return n;
+}
+
+bool
+BinaryReader::exhausted()
+{
+    return remaining_ == 0 &&
+           is_.peek() == std::char_traits<char>::eof();
+}
+
+// ------------------------------------------------------------ payloads
+
+void
+writeIdleProfile(BinaryWriter &w, const harness::IdleProfile &p)
+{
+    w.u64(p.active_cycles);
+    w.u64(p.idle_cycles);
+    w.u32(p.num_fus);
+    w.u64(p.intervals.size());
+    for (const auto &[len, count] : p.intervals) {
+        w.u64(len);
+        w.u64(count);
+    }
+}
+
+harness::IdleProfile
+readIdleProfile(BinaryReader &r)
+{
+    harness::IdleProfile p;
+    p.active_cycles = r.u64();
+    p.idle_cycles = r.u64();
+    p.num_fus = r.u32();
+    const std::uint64_t n = r.count(16);
+    Cycle prev = 0;
+    for (std::uint64_t i = 0; i < n; ++i) {
+        const Cycle len = r.u64();
+        const std::uint64_t count = r.u64();
+        // std::map::emplace_hint(end) is O(1) for sorted input and
+        // the sortedness check doubles as a corruption guard.
+        if (i > 0 && len <= prev)
+            throw StoreError("interval map keys not strictly "
+                             "increasing");
+        prev = len;
+        p.intervals.emplace_hint(p.intervals.end(), len, count);
+    }
+    return p;
+}
+
+namespace
+{
+
+void
+writeCacheStats(BinaryWriter &w, const cache::CacheStats &s)
+{
+    w.u64(s.accesses);
+    w.u64(s.misses);
+    w.u64(s.writebacks);
+}
+
+cache::CacheStats
+readCacheStats(BinaryReader &r)
+{
+    cache::CacheStats s;
+    s.accesses = r.u64();
+    s.misses = r.u64();
+    s.writebacks = r.u64();
+    return s;
+}
+
+void
+writeTlbStats(BinaryWriter &w, const cache::TlbStats &s)
+{
+    w.u64(s.accesses);
+    w.u64(s.misses);
+}
+
+cache::TlbStats
+readTlbStats(BinaryReader &r)
+{
+    cache::TlbStats s;
+    s.accesses = r.u64();
+    s.misses = r.u64();
+    return s;
+}
+
+} // namespace
+
+void
+writeWorkloadSim(BinaryWriter &w, const harness::WorkloadSim &sim)
+{
+    w.str(sim.name);
+    w.u32(sim.num_fus);
+
+    const cpu::SimResult &res = sim.sim;
+    w.u64(res.cycles);
+    w.u64(res.committed);
+    w.f64(res.ipc);
+
+    const cpu::BpredStats &bp = res.bpred;
+    w.u64(bp.lookups);
+    w.u64(bp.cond_branches);
+    w.u64(bp.dir_mispredicts);
+    w.u64(bp.target_mispredicts);
+    w.u64(bp.btb_cold_misses);
+    w.u64(bp.ras_pushes);
+    w.u64(bp.ras_pops);
+
+    writeCacheStats(w, res.l1i);
+    writeCacheStats(w, res.l1d);
+    writeCacheStats(w, res.l2);
+    writeTlbStats(w, res.itlb);
+    writeTlbStats(w, res.dtlb);
+
+    w.u64(res.fu_utilization.size());
+    for (double u : res.fu_utilization)
+        w.f64(u);
+    w.f64(res.mean_fu_idle_fraction);
+
+    writeIdleProfile(w, sim.idle);
+
+    const stats::Log2Histogram &h = sim.idle_hist;
+    w.u64(h.clampValue());
+    w.u64(h.totalCount());
+    w.u64(h.numBuckets());
+    for (std::size_t b = 0; b < h.numBuckets(); ++b)
+        w.f64(h.bucketWeight(b));
+}
+
+harness::WorkloadSim
+readWorkloadSim(BinaryReader &r)
+{
+    harness::WorkloadSim sim;
+    sim.name = r.str();
+    sim.num_fus = r.u32();
+
+    cpu::SimResult &res = sim.sim;
+    res.cycles = r.u64();
+    res.committed = r.u64();
+    res.ipc = r.f64();
+
+    cpu::BpredStats &bp = res.bpred;
+    bp.lookups = r.u64();
+    bp.cond_branches = r.u64();
+    bp.dir_mispredicts = r.u64();
+    bp.target_mispredicts = r.u64();
+    bp.btb_cold_misses = r.u64();
+    bp.ras_pushes = r.u64();
+    bp.ras_pops = r.u64();
+
+    res.l1i = readCacheStats(r);
+    res.l1d = readCacheStats(r);
+    res.l2 = readCacheStats(r);
+    res.itlb = readTlbStats(r);
+    res.dtlb = readTlbStats(r);
+
+    const std::uint64_t num_fu = r.count(8);
+    res.fu_utilization.reserve(static_cast<std::size_t>(num_fu));
+    for (std::uint64_t i = 0; i < num_fu; ++i)
+        res.fu_utilization.push_back(r.f64());
+    res.mean_fu_idle_fraction = r.f64();
+
+    sim.idle = readIdleProfile(r);
+
+    const std::uint64_t clamp = r.u64();
+    if (clamp == 0 || (clamp & (clamp - 1)) != 0)
+        throw StoreError("histogram clamp is not a power of two");
+    const std::uint64_t hist_count = r.u64();
+    const std::uint64_t buckets = r.count(8);
+    std::vector<double> weights;
+    weights.reserve(static_cast<std::size_t>(buckets));
+    for (std::uint64_t b = 0; b < buckets; ++b)
+        weights.push_back(r.f64());
+    if (weights.size() !=
+        static_cast<std::size_t>(stats::floorLog2(clamp)) + 1)
+        throw StoreError("histogram bucket count does not match "
+                         "its clamp");
+    sim.idle_hist = stats::Log2Histogram::fromBuckets(
+        clamp, std::move(weights), hist_count);
+    return sim;
+}
+
+} // namespace lsim::store

@@ -1,49 +1,114 @@
 #include "trace/profile.hh"
 
+#include <cmath>
+#include <sstream>
+
 #include "common/logging.hh"
 
 namespace lsim::trace
 {
 
+namespace
+{
+
+std::string
+numberToText(double v)
+{
+    std::ostringstream ss;
+    ss << v;
+    return ss.str();
+}
+
+/**
+ * "<field> <value> outside <range>" check for one double-valued
+ * knob. Written so a NaN always FAILS the range test (NaN
+ * comparisons are false, so the naive `v < lo || v > hi` would
+ * silently accept it — exactly the wrong behavior for untrusted
+ * JSON-loaded profiles).
+ */
+std::string
+checkRange(const char *field, double v, double lo, double hi,
+           bool lo_open = false, bool hi_open = false)
+{
+    const bool lo_ok = lo_open ? v > lo : v >= lo;
+    const bool hi_ok = hi_open ? v < hi : v <= hi;
+    if (std::isfinite(v) && lo_ok && hi_ok)
+        return "";
+    return std::string(field) + " " + numberToText(v) + " outside " +
+           (lo_open ? "(" : "[") + numberToText(lo) + "," +
+           numberToText(hi) + (hi_open ? ")" : "]");
+}
+
+} // namespace
+
+std::string
+WorkloadProfile::validationError() const
+{
+    // Per-field checks first, so the error names the exact knob.
+    struct Check
+    {
+        const char *field;
+        double value;
+        double lo, hi;
+        bool lo_open = false, hi_open = false;
+    };
+    const Check checks[] = {
+        {"frac_load", frac_load, 0.0, 1.0},
+        {"frac_store", frac_store, 0.0, 1.0},
+        {"frac_branch", frac_branch, 0.0, 0.5, true, true},
+        {"frac_mult", frac_mult, 0.0, 1.0},
+        {"frac_fp", frac_fp, 0.0, 1.0},
+        {"dep_density", dep_density, 0.0, 1.0},
+        {"dep_distance_p", dep_distance_p, 0.0, 1.0, true, false},
+        {"branch_bias_strong", branch_bias_strong, 0.0, 1.0},
+        {"noisy_taken_prob", noisy_taken_prob, 0.0, 1.0},
+        {"call_fraction", call_fraction, 0.0, 0.5},
+        {"local_frac", local_frac, 0.0, 1.0},
+        {"stream_frac", stream_frac, 0.0, 1.0},
+        {"irregular_frac", irregular_frac, 0.0, 1.0},
+        {"strong_taken_bias", strong_taken_bias, 0.5, 1.0, true,
+         true},
+        {"mean_loop_iters", mean_loop_iters, 2.0, 1e9},
+        {"paper_max_ipc", paper_max_ipc, 0.0, 16.0},
+        {"paper_ipc", paper_ipc, 0.0, 16.0},
+    };
+    for (const Check &c : checks) {
+        std::string err = checkRange(c.field, c.value, c.lo, c.hi,
+                                     c.lo_open, c.hi_open);
+        if (!err.empty())
+            return err;
+    }
+
+    const double mix =
+        frac_load + frac_store + frac_branch + frac_mult + frac_fp;
+    if (!(mix <= 1.0))
+        return "instruction mix (frac_load + frac_store + "
+               "frac_branch + frac_mult + frac_fp) sums to " +
+               numberToText(mix) + " > 1";
+    const double mem_frac = local_frac + stream_frac + irregular_frac;
+    if (!(mem_frac <= 1.0))
+        return "memory site fractions (local_frac + stream_frac + "
+               "irregular_frac) sum to " + numberToText(mem_frac) +
+               " > 1";
+
+    if (num_blocks < 4)
+        return "num_blocks " + std::to_string(num_blocks) +
+               " below the 4-block minimum";
+    if (working_set < 4096)
+        return "working_set " + std::to_string(working_set) +
+               " below one 4096-byte page";
+    if (paper_fus < 1 || paper_fus > 4)
+        return "paper_fus " + std::to_string(paper_fus) +
+               " outside [1,4]";
+    return "";
+}
+
 void
 WorkloadProfile::validate() const
 {
-    const double mix =
-        frac_load + frac_store + frac_branch + frac_mult + frac_fp;
-    if (mix > 1.0)
-        fatal("profile %s: instruction mix sums to %g > 1",
-              name.c_str(), mix);
-    if (frac_load < 0 || frac_store < 0 || frac_branch < 0 ||
-        frac_mult < 0 || frac_fp < 0)
-        fatal("profile %s: negative mix fraction", name.c_str());
-    if (dep_density < 0.0 || dep_density > 1.0)
-        fatal("profile %s: dep_density %g outside [0,1]",
-              name.c_str(), dep_density);
-    if (dep_distance_p <= 0.0 || dep_distance_p > 1.0)
-        fatal("profile %s: dep_distance_p %g outside (0,1]",
-              name.c_str(), dep_distance_p);
-    if (num_blocks < 4)
-        fatal("profile %s: need at least 4 blocks", name.c_str());
-    if (frac_branch <= 0.0 || frac_branch >= 0.5)
-        fatal("profile %s: frac_branch %g outside (0,0.5)",
-              name.c_str(), frac_branch);
-    if (branch_bias_strong < 0.0 || branch_bias_strong > 1.0 ||
-        noisy_taken_prob < 0.0 || noisy_taken_prob > 1.0 ||
-        call_fraction < 0.0 || call_fraction > 0.5)
-        fatal("profile %s: control parameters out of range",
-              name.c_str());
-    if (working_set < 4096)
-        fatal("profile %s: working set below one page", name.c_str());
-    if (local_frac < 0.0 || stream_frac < 0.0 || irregular_frac < 0.0 ||
-        local_frac + stream_frac + irregular_frac > 1.0)
-        fatal("profile %s: memory site fractions invalid",
-              name.c_str());
-    if (strong_taken_bias <= 0.5 || strong_taken_bias >= 1.0)
-        fatal("profile %s: strong_taken_bias %g outside (0.5,1)",
-              name.c_str(), strong_taken_bias);
-    if (mean_loop_iters < 2.0)
-        fatal("profile %s: mean_loop_iters %g < 2",
-              name.c_str(), mean_loop_iters);
+    const std::string err = validationError();
+    if (!err.empty())
+        fatal("profile %s: %s", name.c_str(), err.c_str());
 }
 
 namespace

@@ -123,7 +123,16 @@ struct WorkloadProfile
     std::string window;         ///< paper's simulation window
     /** @} */
 
-    /** Validate parameter sanity; fatal() on nonsense values. */
+    /**
+     * Check parameter sanity. @return the empty string when the
+     * profile is valid, otherwise one message naming the offending
+     * field and its value (e.g. "frac_load 1.2 outside [0,1]").
+     * Non-finite values (NaN/inf, possible in untrusted JSON-loaded
+     * profiles) are rejected explicitly.
+     */
+    std::string validationError() const;
+
+    /** fatal() with validationError() when the profile is invalid. */
     void validate() const;
 };
 

@@ -1,0 +1,136 @@
+#include "trace/profile_json.hh"
+
+#include <stdexcept>
+
+namespace lsim::trace
+{
+
+namespace
+{
+
+/** Wrap accessor errors so they name the field being read. */
+template <typename Fn>
+void
+readField(const char *field, Fn &&fn)
+{
+    try {
+        fn();
+    } catch (const std::invalid_argument &err) {
+        throw std::invalid_argument("profile field '" +
+                                    std::string(field) +
+                                    "': " + err.what());
+    }
+}
+
+} // namespace
+
+WorkloadProfile
+workloadProfileFromJson(const JsonValue &v)
+{
+    if (!v.isObject())
+        throw std::invalid_argument(
+            "workload profile: expected a JSON object");
+
+    WorkloadProfile p;
+    bool have_name = false;
+    for (const auto &[key, value] : v.members()) {
+        const JsonValue &val = value; // lambdas cannot bind [key,value]
+        const auto number = [&](double &target) {
+            readField(key.c_str(),
+                      [&] { target = val.asNumber(); });
+        };
+        const auto u32 = [&](unsigned &target) {
+            readField(key.c_str(), [&] {
+                const std::uint64_t n = val.asU64();
+                if (n > 0xffffffffull)
+                    throw std::invalid_argument("value too large");
+                target = static_cast<unsigned>(n);
+            });
+        };
+
+        if (key == "name") {
+            readField("name", [&] { p.name = val.asString(); });
+            have_name = !p.name.empty();
+        } else if (key == "suite") {
+            readField("suite", [&] { p.suite = val.asString(); });
+        } else if (key == "window") {
+            readField("window", [&] { p.window = val.asString(); });
+        } else if (key == "frac_load") {
+            number(p.frac_load);
+        } else if (key == "frac_store") {
+            number(p.frac_store);
+        } else if (key == "frac_branch") {
+            number(p.frac_branch);
+        } else if (key == "frac_mult") {
+            number(p.frac_mult);
+        } else if (key == "frac_fp") {
+            number(p.frac_fp);
+        } else if (key == "dep_density") {
+            number(p.dep_density);
+        } else if (key == "dep_distance_p") {
+            number(p.dep_distance_p);
+        } else if (key == "num_blocks") {
+            u32(p.num_blocks);
+        } else if (key == "branch_bias_strong") {
+            number(p.branch_bias_strong);
+        } else if (key == "noisy_taken_prob") {
+            number(p.noisy_taken_prob);
+        } else if (key == "call_fraction") {
+            number(p.call_fraction);
+        } else if (key == "working_set") {
+            readField("working_set",
+                      [&] { p.working_set = val.asU64(); });
+        } else if (key == "local_frac") {
+            number(p.local_frac);
+        } else if (key == "stream_frac") {
+            number(p.stream_frac);
+        } else if (key == "irregular_frac") {
+            number(p.irregular_frac);
+        } else if (key == "strong_taken_bias") {
+            number(p.strong_taken_bias);
+        } else if (key == "mean_loop_iters") {
+            number(p.mean_loop_iters);
+        } else if (key == "paper_max_ipc") {
+            number(p.paper_max_ipc);
+        } else if (key == "paper_ipc") {
+            number(p.paper_ipc);
+        } else if (key == "paper_fus") {
+            u32(p.paper_fus);
+        } else {
+            throw std::invalid_argument(
+                "workload profile: unknown field '" + key +
+                "' (keys must name WorkloadProfile knobs)");
+        }
+    }
+    if (!have_name)
+        throw std::invalid_argument(
+            "workload profile: required field 'name' is missing or "
+            "empty");
+
+    const std::string err = p.validationError();
+    if (!err.empty())
+        throw std::invalid_argument("workload profile '" + p.name +
+                                    "': " + err);
+    return p;
+}
+
+WorkloadProfile
+workloadProfileFromJsonText(const std::string &text)
+{
+    return workloadProfileFromJson(parseJson(text));
+}
+
+WorkloadProfile
+loadWorkloadProfile(const std::string &path)
+{
+    // parseJsonFile prefixes its own errors with the path; only the
+    // semantic (schema/validation) errors still need it added.
+    const JsonValue doc = parseJsonFile(path);
+    try {
+        return workloadProfileFromJson(doc);
+    } catch (const std::invalid_argument &err) {
+        throw std::invalid_argument(path + ": " + err.what());
+    }
+}
+
+} // namespace lsim::trace

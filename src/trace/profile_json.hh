@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Custom-workload ingestion: build trace::WorkloadProfile from
+ * user-supplied JSON so scenarios beyond the nine synthetic Table 3
+ * benchmarks flow through the same generator, facade, and sweep
+ * machinery.
+ *
+ * The schema is the WorkloadProfile struct itself: one JSON object
+ * whose keys are the struct's field names ("frac_load",
+ * "dep_density", "working_set", ...). "name" is required; every
+ * other field defaults as in the struct. Unknown keys are errors
+ * (they are almost always typos of real knobs, and silently
+ * ignoring them would simulate a different workload than the user
+ * described). All errors — unknown key, wrong type, out-of-range
+ * value — throw std::invalid_argument naming the offending field.
+ *
+ * Example:
+ *
+ *   {"name": "webserver", "suite": "custom",
+ *    "frac_load": 0.30, "frac_store": 0.12, "frac_branch": 0.18,
+ *    "dep_density": 0.45, "num_blocks": 4000,
+ *    "working_set": 8388608, "irregular_frac": 0.08}
+ */
+
+#ifndef LSIM_TRACE_PROFILE_JSON_HH
+#define LSIM_TRACE_PROFILE_JSON_HH
+
+#include <string>
+
+#include "common/json.hh"
+#include "trace/profile.hh"
+
+namespace lsim::trace
+{
+
+/** Build a validated profile from a parsed JSON object. */
+WorkloadProfile workloadProfileFromJson(const JsonValue &v);
+
+/** Parse + build from JSON text. */
+WorkloadProfile workloadProfileFromJsonText(const std::string &text);
+
+/** Parse + build from a JSON file. */
+WorkloadProfile loadWorkloadProfile(const std::string &path);
+
+} // namespace lsim::trace
+
+#endif // LSIM_TRACE_PROFILE_JSON_HH

@@ -125,4 +125,103 @@ TEST(JsonReport, ExperimentRecordIsWellFormedish)
     EXPECT_EQ(depth, 0);
 }
 
+// ------------------------------------------------------------ parser
+
+TEST(JsonParse, ScalarsAndContainers)
+{
+    const auto v = lsim::parseJson(R"({
+        "name": "alu0", "ipc": 1.5, "cycles": 42,
+        "enabled": true, "nothing": null,
+        "units": [0.5, 0.25], "nested": {"deep": [1]}})");
+    ASSERT_TRUE(v.isObject());
+    EXPECT_EQ(v.at("name").asString(), "alu0");
+    EXPECT_DOUBLE_EQ(v.at("ipc").asNumber(), 1.5);
+    EXPECT_EQ(v.at("cycles").asU64(), 42u);
+    EXPECT_TRUE(v.at("enabled").asBool());
+    EXPECT_TRUE(v.at("nothing").isNull());
+    ASSERT_EQ(v.at("units").items().size(), 2u);
+    EXPECT_DOUBLE_EQ(v.at("units").items()[1].asNumber(), 0.25);
+    EXPECT_EQ(
+        v.at("nested").at("deep").items()[0].asU64(), 1u);
+    EXPECT_EQ(v.find("absent"), nullptr);
+    EXPECT_THROW(v.at("absent"), std::invalid_argument);
+}
+
+TEST(JsonParse, StringEscapes)
+{
+    const auto v = lsim::parseJson(
+        R"(["a\"b", "tab\there", "line\nbreak", "\u0041\u00e9"])");
+    const auto &items = v.items();
+    EXPECT_EQ(items[0].asString(), "a\"b");
+    EXPECT_EQ(items[1].asString(), "tab\there");
+    EXPECT_EQ(items[2].asString(), "line\nbreak");
+    EXPECT_EQ(items[3].asString(), "A\xc3\xa9");
+}
+
+TEST(JsonParse, RoundTripsTheWriter)
+{
+    std::ostringstream os;
+    JsonWriter w(os);
+    w.beginObject();
+    w.field("benchmark", "gcc \"quoted\"\n");
+    w.field("ipc", 1.619);
+    w.field("cycles", std::uint64_t{123456789});
+    w.beginArray("values");
+    w.value(0.5);
+    w.value(std::uint64_t{7});
+    w.endArray();
+    w.endObject();
+
+    const auto v = lsim::parseJson(os.str());
+    EXPECT_EQ(v.at("benchmark").asString(), "gcc \"quoted\"\n");
+    EXPECT_DOUBLE_EQ(v.at("ipc").asNumber(), 1.619);
+    EXPECT_EQ(v.at("cycles").asU64(), 123456789u);
+    EXPECT_EQ(v.at("values").items()[1].asU64(), 7u);
+}
+
+TEST(JsonParse, KindMismatchThrows)
+{
+    const auto v = lsim::parseJson(R"({"a": 1})");
+    EXPECT_THROW(v.asNumber(), std::invalid_argument);
+    EXPECT_THROW(v.at("a").asString(), std::invalid_argument);
+    EXPECT_THROW(v.at("a").items(), std::invalid_argument);
+    EXPECT_THROW(
+        lsim::parseJson(R"(-1.5)").asU64(),
+        std::invalid_argument);
+    EXPECT_THROW(
+        lsim::parseJson(R"(1.5)").asU64(),
+        std::invalid_argument);
+    // Exactly 2^64: casting it would be undefined, so it must be
+    // rejected, not wrapped.
+    EXPECT_THROW(
+        lsim::parseJson("18446744073709551616").asU64(),
+        std::invalid_argument);
+}
+
+TEST(JsonParse, MalformedDocumentsThrowWithPosition)
+{
+    for (const char *bad :
+         {"", "{", "[1,", "{\"a\" 1}", "{\"a\":}", "tru",
+          "\"unterminated", "[1] trailing", "{\"a\":1,}",
+          "01a", "nan", "\"\\q\""}) {
+        try {
+            (void)lsim::parseJson(bad);
+            FAIL() << "accepted: '" << bad << "'";
+        } catch (const std::invalid_argument &err) {
+            EXPECT_NE(std::string(err.what()).find(
+                          "JSON parse error at"),
+                      std::string::npos)
+                << err.what();
+        }
+    }
+}
+
+TEST(JsonParse, DeepNestingIsBounded)
+{
+    std::string deep(200, '[');
+    deep += std::string(200, ']');
+    EXPECT_THROW((void)lsim::parseJson(deep),
+                 std::invalid_argument);
+}
+
 } // namespace

@@ -1,0 +1,494 @@
+/**
+ * @file
+ * Unit tests for the lsim::store subsystem and its integration with
+ * SweepRunner / BatchRunner: bit-exact serialization round trips,
+ * byte-identical warm-cache sweeps, rejection of corrupted or
+ * version-mismatched entries, cross-request simulation dedup, and
+ * imported idle profiles flowing through the facade.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "api/batch.hh"
+#include "api/experiment.hh"
+#include "api/sweep.hh"
+#include "store/profile_store.hh"
+#include "store/serialize.hh"
+#include "trace/profile.hh"
+
+namespace
+{
+
+namespace fs = std::filesystem;
+using namespace lsim;
+using namespace lsim::api;
+using namespace lsim::store;
+
+constexpr std::uint64_t kInsts = 20000;
+
+/** Fresh per-test directory under gtest's temp root. */
+std::string
+freshDir(const std::string &name)
+{
+    const fs::path dir = fs::path(::testing::TempDir()) /
+        ("lsim_store_" + name);
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    return dir.string();
+}
+
+harness::WorkloadSim
+simulateSmall(const std::string &bench)
+{
+    return Experiment::builder()
+        .workload(bench)
+        .insts(kInsts)
+        .session()
+        .sim();
+}
+
+void
+expectBitExact(const harness::WorkloadSim &a,
+               const harness::WorkloadSim &b)
+{
+    EXPECT_EQ(a.name, b.name);
+    EXPECT_EQ(a.num_fus, b.num_fus);
+
+    EXPECT_EQ(a.sim.cycles, b.sim.cycles);
+    EXPECT_EQ(a.sim.committed, b.sim.committed);
+    EXPECT_EQ(a.sim.ipc, b.sim.ipc);
+    EXPECT_EQ(a.sim.bpred.lookups, b.sim.bpred.lookups);
+    EXPECT_EQ(a.sim.bpred.cond_branches, b.sim.bpred.cond_branches);
+    EXPECT_EQ(a.sim.bpred.dir_mispredicts,
+              b.sim.bpred.dir_mispredicts);
+    EXPECT_EQ(a.sim.bpred.target_mispredicts,
+              b.sim.bpred.target_mispredicts);
+    EXPECT_EQ(a.sim.bpred.btb_cold_misses,
+              b.sim.bpred.btb_cold_misses);
+    EXPECT_EQ(a.sim.bpred.ras_pushes, b.sim.bpred.ras_pushes);
+    EXPECT_EQ(a.sim.bpred.ras_pops, b.sim.bpred.ras_pops);
+    EXPECT_EQ(a.sim.l1i.accesses, b.sim.l1i.accesses);
+    EXPECT_EQ(a.sim.l1i.misses, b.sim.l1i.misses);
+    EXPECT_EQ(a.sim.l1i.writebacks, b.sim.l1i.writebacks);
+    EXPECT_EQ(a.sim.l1d.accesses, b.sim.l1d.accesses);
+    EXPECT_EQ(a.sim.l1d.misses, b.sim.l1d.misses);
+    EXPECT_EQ(a.sim.l2.accesses, b.sim.l2.accesses);
+    EXPECT_EQ(a.sim.l2.misses, b.sim.l2.misses);
+    EXPECT_EQ(a.sim.itlb.accesses, b.sim.itlb.accesses);
+    EXPECT_EQ(a.sim.itlb.misses, b.sim.itlb.misses);
+    EXPECT_EQ(a.sim.dtlb.accesses, b.sim.dtlb.accesses);
+    EXPECT_EQ(a.sim.dtlb.misses, b.sim.dtlb.misses);
+    EXPECT_EQ(a.sim.fu_utilization, b.sim.fu_utilization);
+    EXPECT_EQ(a.sim.mean_fu_idle_fraction,
+              b.sim.mean_fu_idle_fraction);
+
+    // The sufficient statistic must survive exactly.
+    EXPECT_EQ(a.idle.intervals, b.idle.intervals);
+    EXPECT_EQ(a.idle.active_cycles, b.idle.active_cycles);
+    EXPECT_EQ(a.idle.idle_cycles, b.idle.idle_cycles);
+    EXPECT_EQ(a.idle.num_fus, b.idle.num_fus);
+
+    ASSERT_EQ(a.idle_hist.numBuckets(), b.idle_hist.numBuckets());
+    EXPECT_EQ(a.idle_hist.clampValue(), b.idle_hist.clampValue());
+    EXPECT_EQ(a.idle_hist.totalCount(), b.idle_hist.totalCount());
+    for (std::size_t i = 0; i < a.idle_hist.numBuckets(); ++i)
+        EXPECT_EQ(a.idle_hist.bucketWeight(i),
+                  b.idle_hist.bucketWeight(i));
+}
+
+TEST(Serialize, WorkloadSimRoundTripIsBitExact)
+{
+    const auto original = simulateSmall("gcc");
+
+    std::ostringstream out;
+    BinaryWriter w(out);
+    writeWorkloadSim(w, original);
+    const std::string bytes = out.str();
+
+    std::istringstream in(bytes);
+    BinaryReader r(in, bytes.size());
+    const auto restored = readWorkloadSim(r);
+    EXPECT_TRUE(r.exhausted());
+    expectBitExact(original, restored);
+}
+
+TEST(Serialize, TruncatedPayloadThrows)
+{
+    const auto original = simulateSmall("mst");
+    std::ostringstream out;
+    BinaryWriter w(out);
+    writeWorkloadSim(w, original);
+    const std::string bytes = out.str();
+
+    for (std::size_t cut : {std::size_t{0}, std::size_t{5},
+                            bytes.size() / 2, bytes.size() - 1}) {
+        std::istringstream in(bytes.substr(0, cut));
+        BinaryReader r(in, cut);
+        EXPECT_THROW((void)readWorkloadSim(r), StoreError)
+            << "at cut " << cut;
+    }
+}
+
+TEST(SimKey, FingerprintSeparatesEveryKnob)
+{
+    const auto base = [] {
+        SimKey key;
+        key.profile = trace::profileByName("gcc");
+        key.fus = 2;
+        key.insts = kInsts;
+        key.seed = 1;
+        return key;
+    };
+    const std::string reference = base().fingerprint();
+    EXPECT_EQ(reference, base().fingerprint()) << "not deterministic";
+    EXPECT_EQ(reference.substr(0, 4), "gcc-");
+
+    SimKey other = base();
+    other.fus = 3;
+    EXPECT_NE(reference, other.fingerprint());
+    other = base();
+    other.insts = kInsts + 1;
+    EXPECT_NE(reference, other.fingerprint());
+    other = base();
+    other.seed = 2;
+    EXPECT_NE(reference, other.fingerprint());
+    other = base();
+    other.profile.frac_load += 0.01;
+    EXPECT_NE(reference, other.fingerprint());
+    other = base();
+    other.base = other.base.withL2Latency(32);
+    EXPECT_NE(reference, other.fingerprint());
+}
+
+TEST(ProfileStore, SaveLoadRoundTrip)
+{
+    const std::string dir = freshDir("roundtrip");
+    const ProfileStore db(dir);
+    const auto sim = simulateSmall("gcc");
+    db.save("gcc-test", sim);
+
+    const auto loaded = db.load("gcc-test");
+    ASSERT_TRUE(loaded.has_value());
+    expectBitExact(sim, *loaded);
+
+    EXPECT_FALSE(db.load("no-such-key").has_value());
+
+    const auto entries = db.list();
+    ASSERT_EQ(entries.size(), 1u);
+    EXPECT_EQ(entries[0].key, "gcc-test");
+}
+
+TEST(ProfileStore, CorruptedEntryIsRejected)
+{
+    const std::string dir = freshDir("corrupt");
+    const ProfileStore db(dir);
+    db.save("entry", simulateSmall("mst"));
+    const std::string path =
+        dir + "/entry" + std::string(ProfileStore::kExtension);
+
+    // Flip one byte in the middle of the payload.
+    std::fstream f(path,
+                   std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(f.is_open());
+    f.seekg(0, std::ios::end);
+    const auto size = static_cast<std::streamoff>(f.tellg());
+    f.seekp(size / 2);
+    f.put('\xff');
+    f.close();
+
+    EXPECT_FALSE(db.load("entry").has_value());
+}
+
+TEST(ProfileStore, TruncatedEntryIsRejected)
+{
+    const std::string dir = freshDir("truncated");
+    const ProfileStore db(dir);
+    db.save("entry", simulateSmall("mst"));
+    const std::string path =
+        dir + "/entry" + std::string(ProfileStore::kExtension);
+    fs::resize_file(path, fs::file_size(path) / 2);
+    EXPECT_FALSE(db.load("entry").has_value());
+}
+
+TEST(ProfileStore, VersionMismatchIsRejected)
+{
+    const std::string dir = freshDir("version");
+    const ProfileStore db(dir);
+    db.save("entry", simulateSmall("mst"));
+    const std::string path =
+        dir + "/entry" + std::string(ProfileStore::kExtension);
+
+    // The format version is the 4 bytes right after the magic.
+    std::fstream f(path,
+                   std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(8);
+    f.put('\x7f');
+    f.close();
+    EXPECT_FALSE(db.load("entry").has_value());
+}
+
+SweepConfig
+smallSweep(const std::string &cache_dir)
+{
+    SweepConfig cfg;
+    cfg.workloads = {"gcc"};
+    cfg.technologies = pSweep(0.05, 0.5, 3);
+    cfg.insts = kInsts;
+    cfg.threads = 2;
+    cfg.cache_dir = cache_dir;
+    return cfg;
+}
+
+std::string
+csvOf(const SweepResult &result)
+{
+    std::ostringstream ss;
+    result.writeCsv(ss);
+    return ss.str();
+}
+
+std::string
+jsonOf(const SweepResult &result)
+{
+    std::ostringstream ss;
+    result.writeJson(ss);
+    return ss.str();
+}
+
+TEST(CachedSweep, WarmRunIsByteIdenticalAndSkipsPhase1)
+{
+    const std::string dir = freshDir("warm");
+
+    const auto cold = SweepRunner(smallSweep(dir)).run();
+    EXPECT_EQ(cold.stats.sims_run, 1u);
+    EXPECT_EQ(cold.stats.cache_hits, 0u);
+
+    const auto warm = SweepRunner(smallSweep(dir)).run();
+    EXPECT_EQ(warm.stats.sims_run, 0u) << "phase 1 must be skipped";
+    EXPECT_EQ(warm.stats.cache_hits, 1u);
+
+    EXPECT_EQ(csvOf(cold), csvOf(warm));
+    EXPECT_EQ(jsonOf(cold), jsonOf(warm));
+
+    // And both match an uncached reference run.
+    auto uncached_cfg = smallSweep("");
+    const auto uncached = SweepRunner(uncached_cfg).run();
+    EXPECT_EQ(csvOf(uncached), csvOf(warm));
+    EXPECT_EQ(jsonOf(uncached), jsonOf(warm));
+}
+
+TEST(CachedSweep, CorruptedCacheEntryIsResimulated)
+{
+    const std::string dir = freshDir("resim");
+    const auto cold = SweepRunner(smallSweep(dir)).run();
+
+    // Corrupt every stored entry.
+    for (const auto &de : fs::directory_iterator(dir)) {
+        std::fstream f(de.path(), std::ios::in | std::ios::out |
+                                      std::ios::binary);
+        f.seekp(static_cast<std::streamoff>(
+            fs::file_size(de.path()) / 2));
+        f.put('\x55');
+    }
+
+    const auto retry = SweepRunner(smallSweep(dir)).run();
+    EXPECT_EQ(retry.stats.sims_run, 1u)
+        << "a corrupted entry must be re-simulated, never trusted";
+    EXPECT_EQ(retry.stats.cache_hits, 0u);
+    EXPECT_EQ(csvOf(cold), csvOf(retry));
+
+    // The re-simulation healed the store.
+    const auto healed = SweepRunner(smallSweep(dir)).run();
+    EXPECT_EQ(healed.stats.cache_hits, 1u);
+}
+
+TEST(CachedSweep, DifferentConfigsDoNotShareEntries)
+{
+    const std::string dir = freshDir("keyed");
+    (void)SweepRunner(smallSweep(dir)).run();
+
+    auto other = smallSweep(dir);
+    other.seed = 7;
+    const auto run = SweepRunner(other).run();
+    EXPECT_EQ(run.stats.sims_run, 1u)
+        << "a different seed must miss the cache";
+}
+
+TEST(Batch, SharedWorkloadSimulatesExactlyOnce)
+{
+    // The acceptance criterion: two configs sharing one workload
+    // run that workload's timing simulation exactly once.
+    SweepConfig a;
+    a.workloads = {"gcc", "mst"};
+    a.technologies = pSweep(0.05, 0.5, 3);
+    a.insts = kInsts;
+
+    SweepConfig b;
+    b.workloads = {"gcc"};
+    b.policies = {"max-sleep", "timeout:64"};
+    b.technologies = pSweep(0.1, 0.4, 2);
+    b.insts = kInsts;
+
+    BatchConfig batch;
+    batch.sweeps = {a, b};
+    batch.threads = 2;
+    const auto result = BatchRunner(batch).run();
+
+    EXPECT_EQ(result.stats.requested_sims, 3u);
+    EXPECT_EQ(result.stats.unique_sims, 2u) << "gcc must dedup";
+    EXPECT_EQ(result.stats.sims_run, 2u);
+    EXPECT_EQ(result.stats.cache_hits, 0u);
+
+    // Each result is byte-identical to running its config alone.
+    ASSERT_EQ(result.sweeps.size(), 2u);
+    EXPECT_EQ(csvOf(result.sweeps[0]), csvOf(SweepRunner(a).run()));
+    EXPECT_EQ(jsonOf(result.sweeps[1]),
+              jsonOf(SweepRunner(b).run()));
+}
+
+TEST(Batch, ConsultsTheSharedStore)
+{
+    const std::string dir = freshDir("batchcache");
+    (void)SweepRunner(smallSweep(dir)).run(); // prime with gcc
+
+    SweepConfig a = smallSweep("");
+    SweepConfig b = smallSweep("");
+    b.workloads = {"gcc", "mst"};
+
+    BatchConfig batch;
+    batch.sweeps = {a, b};
+    batch.cache_dir = dir;
+    const auto result = BatchRunner(batch).run();
+    EXPECT_EQ(result.stats.unique_sims, 2u);
+    EXPECT_EQ(result.stats.cache_hits, 1u) << "gcc was primed";
+    EXPECT_EQ(result.stats.sims_run, 1u) << "only mst is new";
+}
+
+TEST(Batch, HonorsPerSweepCacheDirs)
+{
+    // With no batch-level cache_dir, each sweep's own store must be
+    // consulted and updated.
+    const std::string dir_a = freshDir("persweep_a");
+    const std::string dir_b = freshDir("persweep_b");
+    (void)SweepRunner(smallSweep(dir_b)).run(); // prime B with gcc
+
+    SweepConfig a = smallSweep(dir_a); // cold store
+    SweepConfig b = smallSweep(dir_b); // warm store
+
+    BatchConfig batch;
+    batch.sweeps = {a, b};
+    const auto result = BatchRunner(batch).run();
+    // The shared gcc task may be served from either sweep's store —
+    // B's is warm, so nothing should simulate.
+    EXPECT_EQ(result.stats.unique_sims, 1u);
+    EXPECT_EQ(result.stats.cache_hits, 1u);
+    EXPECT_EQ(result.stats.sims_run, 0u);
+}
+
+TEST(Imports, IdleProfileJsonFlowsThroughSweep)
+{
+    const std::string dir = freshDir("imports");
+    const std::string path = dir + "/measured.json";
+    {
+        std::ofstream out(path);
+        out << R"({"name": "measured-alu", "num_fus": 2,
+                   "active_cycles": 7300, "idle_cycles": 2700,
+                   "intervals": [[1, 700], [2, 500], [10, 100]]})";
+    }
+
+    SweepConfig cfg;
+    cfg.workloads = {"gcc"};
+    cfg.imports = {path};
+    cfg.technologies = pSweep(0.05, 0.5, 2);
+    cfg.insts = kInsts;
+    const auto result = SweepRunner(cfg).run();
+
+    ASSERT_EQ(result.workloads.size(), 2u);
+    EXPECT_EQ(result.workloads[1], "measured-alu");
+    EXPECT_EQ(result.stats.imported, 1u);
+    EXPECT_EQ(result.stats.sims_run, 1u) << "only gcc simulates";
+
+    // The imported cell must equal a direct facade evaluation of
+    // the same idle profile.
+    const harness::IdleProfile &idle = result.sims[1].idle;
+    EXPECT_EQ(idle.idle_cycles, 2700u);
+    const auto direct =
+        evaluateProfile(idle, result.technologies[0]);
+    const auto &cell = result.cell(1, 0).policies;
+    ASSERT_EQ(cell.size(), direct.size());
+    for (std::size_t i = 0; i < cell.size(); ++i) {
+        EXPECT_EQ(cell[i].name, direct[i].name);
+        EXPECT_EQ(cell[i].energy, direct[i].energy);
+    }
+}
+
+TEST(Imports, ShadowingASimulatedWorkloadIsRejected)
+{
+    const std::string dir = freshDir("shadow");
+    const std::string path = dir + "/gcc.json";
+    std::ofstream(path) <<
+        R"({"name": "gcc", "num_fus": 1, "active_cycles": 10,
+            "idle_cycles": 2, "intervals": [[2, 1]]})";
+
+    // Explicitly requested gcc, and defaulted (full-suite) gcc,
+    // must both refuse to be silently replaced by external data.
+    SweepConfig cfg;
+    cfg.workloads = {"gcc"};
+    cfg.imports = {path};
+    cfg.technologies = pSweep(0.05, 0.5, 2);
+    EXPECT_THROW(SweepRunner{cfg}, std::invalid_argument);
+
+    SweepConfig whole_suite;
+    whole_suite.imports = {path};
+    whole_suite.technologies = pSweep(0.05, 0.5, 2);
+    EXPECT_THROW(SweepRunner{whole_suite}, std::invalid_argument);
+}
+
+TEST(Imports, MalformedIdleProfileIsRejected)
+{
+    const std::string dir = freshDir("badimports");
+
+    const auto rejects = [&](const char *text) {
+        const std::string path = dir + "/bad.json";
+        std::ofstream(path) << text;
+        SweepConfig cfg;
+        cfg.workloads = {"gcc"};
+        cfg.imports = {path};
+        cfg.technologies = pSweep(0.05, 0.5, 2);
+        EXPECT_THROW(SweepRunner{cfg}, std::invalid_argument)
+            << text;
+    };
+    // Interval cycles disagree with idle_cycles.
+    rejects(R"({"name": "x", "num_fus": 1, "active_cycles": 10,
+                "idle_cycles": 99, "intervals": [[1, 1]]})");
+    // Non-increasing interval lengths.
+    rejects(R"({"name": "x", "num_fus": 1, "active_cycles": 10,
+                "idle_cycles": 4, "intervals": [[2, 1], [2, 1]]})");
+    // Unknown field.
+    rejects(R"({"name": "x", "num_fus": 1, "active_cycles": 10,
+                "idle_cycles": 1, "intervals": [[1, 1]],
+                "bogus": 1})");
+}
+
+TEST(Exports, ExportImportRoundTripsThroughAFile)
+{
+    const std::string dir = freshDir("export");
+    const auto sim = simulateSmall("gcc");
+    const std::string path = dir + "/gcc.lsimprof";
+    exportSim(path, "gcc-somekey", sim);
+
+    const auto imported = importSimFile(path);
+    EXPECT_EQ(imported.key, "gcc-somekey");
+    expectBitExact(sim, imported.sim);
+
+    // importAnySim sniffs the binary format too.
+    const auto any = importAnySim(path);
+    expectBitExact(sim, any.sim);
+}
+
+} // namespace

@@ -12,6 +12,8 @@
 
 #include <cstdint>
 #include <cstring>
+#include <filesystem>
+#include <fstream>
 #include <limits>
 #include <iostream>
 #include <map>
@@ -21,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "api/batch.hh"
 #include "api/experiment.hh"
 #include "api/sweep.hh"
 #include "circuit/fu_circuit.hh"
@@ -30,7 +33,9 @@
 #include "energy/breakeven.hh"
 #include "harness/report.hh"
 #include "sleep/policy_registry.hh"
+#include "store/profile_store.hh"
 #include "trace/profile.hh"
+#include "trace/profile_json.hh"
 
 namespace
 {
@@ -246,6 +251,8 @@ commands()
          {{"insts", "N", "committed instructions (default 500000)"},
           {"fus", "N", "integer FU count, or 'auto' (default: paper)"},
           {"seed", "N", "trace generator seed (default 1)"},
+          {"profile", "FILE",
+           "custom workload JSON instead of <bench>"},
           {"json", nullptr, "emit JSON instead of a table"},
           kHelpFlag}},
         {"policies", "<bench> <p> [insts]", 3,
@@ -256,6 +263,8 @@ commands()
           {"fus", "N", "integer FU count, or 'auto' (default: paper)"},
           {"seed", "N", "trace generator seed (default 1)"},
           {"alpha", "A", "activity factor (default 0.5)"},
+          {"profile", "FILE",
+           "custom workload JSON instead of <bench>"},
           {"json", nullptr, "emit JSON instead of a table"},
           {"csv", nullptr, "emit CSV instead of a table"},
           kHelpFlag}},
@@ -272,8 +281,35 @@ commands()
           {"insts", "N", "committed instructions (default 500000)"},
           {"seed", "N", "trace generator seed (default 1)"},
           {"threads", "N", "worker threads (default: hardware)"},
+          {"profiles", "f,g,...", "custom workload JSON files"},
+          {"imports", "f,g,...",
+           "imported .lsimprof / idle-profile JSON workloads"},
+          {"cache-dir", "DIR",
+           "profile store shared across runs (skips warm phase-1 "
+           "simulations)"},
           {"json", nullptr, "emit JSON instead of a table"},
           {"csv", nullptr, "emit CSV instead of a table"},
+          kHelpFlag}},
+        {"batch", "<spec.json>", 1,
+         "run many sweeps at once, deduping shared simulations",
+         {{"cache-dir", "DIR", "profile store shared by the batch"},
+          {"threads", "N", "worker threads (default: hardware)"},
+          {"out-dir", "DIR",
+           "write sweep_<i>.csv + sweep_<i>.json files here"},
+          {"json", nullptr, "emit one JSON document on stdout"},
+          {"csv", nullptr,
+           "emit CSV on stdout ('# sweep <i>' separators)"},
+          kHelpFlag}},
+        {"profile", "<export|import|ls> [arg]", 2,
+         "export, import, and list stored simulation profiles",
+         {{"out", "FILE", "export/import: write a .lsimprof here"},
+          {"cache-dir", "DIR", "profile store directory"},
+          {"insts", "N", "export: instructions (default 500000)"},
+          {"seed", "N", "export: trace seed (default 1)"},
+          {"fus", "N",
+           "export: FU count, or 'auto' (default: paper)"},
+          {"profile", "FILE",
+           "export: custom workload JSON instead of <bench>"},
           kHelpFlag}},
         {"list", "", 0, "list benchmarks (or policies)",
          {{"policies", nullptr, "list registered policy specs"},
@@ -318,12 +354,24 @@ printCommandHelp(const CommandSpec &spec)
 
 // ---------------------------------------------------------- commands
 
-/** Shared simulate/policies builder setup from parsed args. */
+/**
+ * Shared simulate/policies builder setup from parsed args. The
+ * workload is either the named Table 3 benchmark or, with
+ * --profile FILE, a custom JSON-loaded profile.
+ */
 api::ExperimentBuilder
 builderFor(const Args &args, const std::string &bench,
            std::size_t insts_pos, std::size_t fus_pos)
 {
-    auto builder = api::Experiment::builder().workload(bench);
+    auto builder = api::Experiment::builder();
+    if (args.has("profile")) {
+        if (!bench.empty())
+            die("give either <bench> or --profile, not both");
+        builder.profile(trace::loadWorkloadProfile(
+            args.flagOrPositional("profile", ~std::size_t{0})));
+    } else {
+        builder.workload(bench);
+    }
     if (const auto insts = args.u64("insts", insts_pos))
         builder.insts(*insts);
     if (const auto seed = args.u64("seed", ~std::size_t{0}))
@@ -401,7 +449,7 @@ int
 cmdSimulate(const Args &args)
 {
     const std::string bench = args.positional(0);
-    if (bench.empty())
+    if (bench.empty() && !args.has("profile"))
         die("simulate: missing <bench> (see 'lsim list')");
     const auto ws =
         builderFor(args, bench, 1, 2).session().sim();
@@ -433,10 +481,12 @@ cmdSimulate(const Args &args)
 int
 cmdPolicies(const Args &args)
 {
-    const std::string bench = args.positional(0);
-    if (bench.empty())
+    // With --profile the positionals shift left: <p> [insts].
+    const bool custom = args.has("profile");
+    const std::string bench = custom ? "" : args.positional(0);
+    if (bench.empty() && !custom)
         die("policies: missing <bench> (see 'lsim list')");
-    const std::string p_text = args.positional(1);
+    const std::string p_text = args.positional(custom ? 0 : 1);
     if (p_text.empty())
         die("policies: missing <p> (leakage factor, e.g. 0.05)");
     const double p = parseDouble(p_text, "<p>");
@@ -444,7 +494,7 @@ cmdPolicies(const Args &args)
         args.number("alpha", ~std::size_t{0}).value_or(0.5);
 
     auto builder =
-        builderFor(args, bench, 2, ~std::size_t{0})
+        builderFor(args, bench, custom ? 1 : 2, ~std::size_t{0})
             .technology(p, alpha);
     if (args.has("policies"))
         builder.policies(
@@ -496,8 +546,23 @@ cmdSweep(const Args &args)
         args.flagOrPositional("threads", ~std::size_t{0});
     cfg.threads =
         threads_text.empty() ? 0 : parseU32(threads_text, "--threads");
+    if (args.has("profiles"))
+        for (const auto &path : splitList(
+                 args.flagOrPositional("profiles", ~std::size_t{0})))
+            cfg.profiles.push_back(trace::loadWorkloadProfile(path));
+    if (args.has("imports"))
+        cfg.imports = splitList(
+            args.flagOrPositional("imports", ~std::size_t{0}));
+    cfg.cache_dir = args.flagOrPositional("cache-dir", ~std::size_t{0});
 
     const auto result = api::SweepRunner(cfg).run();
+
+    // Provenance goes to stderr so CSV/JSON on stdout stays clean
+    // and byte-comparable between cold and warm runs.
+    if (!cfg.cache_dir.empty())
+        std::cerr << "lsim: cache '" << cfg.cache_dir << "': "
+                  << result.stats.sims_run << " simulated, "
+                  << result.stats.cache_hits << " reused\n";
 
     if (args.has("json")) {
         result.writeJson(std::cout);
@@ -531,6 +596,285 @@ cmdSweep(const Args &args)
     std::cout << "\n(mean energy relative to 100% compute across "
               << result.workloads.size() << " workload(s); use "
                  "--csv/--json for per-benchmark data)\n";
+    return 0;
+}
+
+// ------------------------------------------------- profile command
+
+/** One summary row per stored/exported simulation. */
+void
+printSimSummary(Table &t, const std::string &key,
+                const harness::WorkloadSim &ws)
+{
+    t.addRow({key, ws.name, std::to_string(ws.num_fus),
+              std::to_string(ws.sim.committed),
+              fixed(ws.sim.ipc, 3),
+              fixed(ws.idle.idleFraction(), 3),
+              std::to_string(ws.idle.numIntervals())});
+}
+
+Table
+simSummaryTable()
+{
+    return Table({"key", "benchmark", "fus", "committed", "ipc",
+                  "idle frac", "intervals"});
+}
+
+int
+cmdProfileExport(const Args &args)
+{
+    const std::string bench = args.positional(1);
+    if (bench.empty() && !args.has("profile"))
+        die("profile export: missing <bench> (or --profile FILE)");
+    const std::string out =
+        args.flagOrPositional("out", ~std::size_t{0});
+    const std::string cache_dir =
+        args.flagOrPositional("cache-dir", ~std::size_t{0});
+    if (out.empty() && cache_dir.empty())
+        die("profile export: need --out FILE and/or --cache-dir DIR");
+
+    // The store key must describe the *request*, exactly as a sweep
+    // would fingerprint it.
+    api::detail::SimTask task;
+    if (args.has("profile")) {
+        if (!bench.empty())
+            die("give either <bench> or --profile, not both");
+        task.profile = trace::loadWorkloadProfile(
+            args.flagOrPositional("profile", ~std::size_t{0}));
+    } else {
+        task.profile = trace::profileByName(bench);
+    }
+    task.insts =
+        args.u64("insts", ~std::size_t{0}).value_or(500'000);
+    task.seed = args.u64("seed", ~std::size_t{0}).value_or(1);
+    const std::string fus = args.flagOrPositional("fus", ~std::size_t{0});
+    if (fus == "auto")
+        task.fus = api::auto_select;
+    else if (!fus.empty())
+        task.fus = parseU32(fus, "--fus");
+
+    const std::string key = task.fingerprint();
+    const auto ws = task.run();
+    if (!cache_dir.empty())
+        store::ProfileStore(cache_dir).save(key, ws);
+    if (!out.empty())
+        store::exportSim(out, key, ws);
+
+    Table t = simSummaryTable();
+    printSimSummary(t, key, ws);
+    t.print(std::cout);
+    return 0;
+}
+
+int
+cmdProfileImport(const Args &args)
+{
+    const std::string file = args.positional(1);
+    if (file.empty())
+        die("profile import: missing <file>");
+    const std::string out =
+        args.flagOrPositional("out", ~std::size_t{0});
+    const std::string cache_dir =
+        args.flagOrPositional("cache-dir", ~std::size_t{0});
+    if (out.empty() && cache_dir.empty())
+        die("profile import: need --out FILE and/or --cache-dir DIR");
+
+    const store::ImportedSim entry = store::importAnySim(file);
+    if (!cache_dir.empty()) {
+        if (entry.key.empty())
+            die("profile import: '" + file +
+                "' carries no generating configuration (JSON idle "
+                "profiles cannot join the cache; use --out, then "
+                "'sweep --imports')");
+        store::ProfileStore(cache_dir).save(entry.key, entry.sim);
+    }
+    if (!out.empty())
+        store::exportSim(out, entry.key, entry.sim);
+
+    Table t = simSummaryTable();
+    printSimSummary(t, entry.key.empty() ? "(imported)" : entry.key,
+                    entry.sim);
+    t.print(std::cout);
+    return 0;
+}
+
+int
+cmdProfileLs(const Args &args)
+{
+    const std::string cache_dir =
+        args.flagOrPositional("cache-dir", ~std::size_t{0});
+    if (cache_dir.empty())
+        die("profile ls: missing --cache-dir DIR");
+    Table t = simSummaryTable();
+    for (const auto &entry : store::ProfileStore(cache_dir).list())
+        printSimSummary(t, entry.key, entry.sim);
+    t.print(std::cout);
+    return 0;
+}
+
+int
+cmdProfile(const Args &args)
+{
+    const std::string action = args.positional(0);
+    if (action == "export")
+        return cmdProfileExport(args);
+    if (action == "import")
+        return cmdProfileImport(args);
+    if (action == "ls")
+        return cmdProfileLs(args);
+    die("profile: unknown action '" + action +
+        "' (expected export, import, or ls)");
+}
+
+// --------------------------------------------------- batch command
+
+/** Translate one batch-spec sweep object into a SweepConfig. */
+api::SweepConfig
+sweepConfigFromJson(const JsonValue &v, std::size_t index)
+{
+    const std::string where =
+        "batch spec sweep " + std::to_string(index);
+    if (!v.isObject())
+        die(where + ": expected a JSON object");
+
+    api::SweepConfig cfg;
+    double p_min = 0.05, p_max = 1.0, alpha = 0.5;
+    unsigned steps = 20;
+    const auto asU32 = [](const JsonValue &value,
+                          const char *field) {
+        const std::uint64_t n = value.asU64();
+        if (n > std::numeric_limits<unsigned>::max())
+            throw std::invalid_argument(std::string(field) +
+                                        ": value too large");
+        return static_cast<unsigned>(n);
+    };
+    try {
+        for (const auto &[key, value] : v.members()) {
+            if (key == "benchmarks") {
+                for (const auto &name : value.items())
+                    cfg.workloads.push_back(name.asString());
+            } else if (key == "policies") {
+                for (const auto &spec : value.items())
+                    cfg.policies.push_back(spec.asString());
+            } else if (key == "profiles") {
+                for (const auto &path : value.items())
+                    cfg.profiles.push_back(
+                        trace::loadWorkloadProfile(path.asString()));
+            } else if (key == "imports") {
+                for (const auto &path : value.items())
+                    cfg.imports.push_back(path.asString());
+            } else if (key == "p_min") {
+                p_min = value.asNumber();
+            } else if (key == "p_max") {
+                p_max = value.asNumber();
+            } else if (key == "steps") {
+                steps = asU32(value, "steps");
+            } else if (key == "alpha") {
+                alpha = value.asNumber();
+            } else if (key == "insts") {
+                cfg.insts = value.asU64();
+            } else if (key == "seed") {
+                cfg.seed = value.asU64();
+            } else if (key == "fus") {
+                if (value.isString() && value.asString() == "auto")
+                    cfg.fus = api::auto_select;
+                else
+                    cfg.fus = asU32(value, "fus");
+            } else {
+                die(where + ": unknown field '" + key + "'");
+            }
+        }
+        cfg.technologies = api::pSweep(p_min, p_max, steps, alpha);
+    } catch (const std::invalid_argument &err) {
+        die(where + ": " + err.what());
+    }
+    return cfg;
+}
+
+int
+cmdBatch(const Args &args)
+{
+    const std::string spec_path = args.positional(0);
+    if (spec_path.empty())
+        die("batch: missing <spec.json>");
+
+    api::BatchConfig batch;
+    const JsonValue doc = parseJsonFile(spec_path);
+    if (!doc.isObject() || !doc.find("sweeps"))
+        die("batch: spec must be an object with a 'sweeps' array");
+    for (const auto &[key, value] : doc.members()) {
+        (void)value;
+        if (key != "sweeps")
+            die("batch: unknown field '" + key + "'");
+    }
+    const auto &sweeps = doc.at("sweeps").items();
+    if (sweeps.empty())
+        die("batch: 'sweeps' is empty");
+    for (std::size_t i = 0; i < sweeps.size(); ++i)
+        batch.sweeps.push_back(sweepConfigFromJson(sweeps[i], i));
+
+    batch.cache_dir =
+        args.flagOrPositional("cache-dir", ~std::size_t{0});
+    const std::string threads_text =
+        args.flagOrPositional("threads", ~std::size_t{0});
+    batch.threads =
+        threads_text.empty() ? 0 : parseU32(threads_text, "--threads");
+
+    const auto result = api::BatchRunner(batch).run();
+    std::cerr << "lsim: batch: " << result.stats.requested_sims
+              << " simulation(s) requested, "
+              << result.stats.unique_sims << " unique, "
+              << result.stats.sims_run << " simulated, "
+              << result.stats.cache_hits << " reused\n";
+
+    const std::string out_dir =
+        args.flagOrPositional("out-dir", ~std::size_t{0});
+    if (!out_dir.empty()) {
+        std::filesystem::create_directories(out_dir);
+        for (std::size_t i = 0; i < result.sweeps.size(); ++i) {
+            const std::string stem =
+                (std::filesystem::path(out_dir) /
+                 ("sweep_" + std::to_string(i)))
+                    .string();
+            std::ofstream csv(stem + ".csv");
+            result.sweeps[i].writeCsv(csv);
+            std::ofstream json(stem + ".json");
+            result.sweeps[i].writeJson(json);
+            if (!csv || !json)
+                die("batch: cannot write '" + stem + ".{csv,json}'");
+            std::cout << stem << ".csv\n" << stem << ".json\n";
+        }
+        return 0;
+    }
+    if (args.has("json")) {
+        std::cout << "{\"sweeps\":[\n";
+        for (std::size_t i = 0; i < result.sweeps.size(); ++i) {
+            if (i)
+                std::cout << ",";
+            result.sweeps[i].writeJson(std::cout);
+        }
+        std::cout << "]}\n";
+        return 0;
+    }
+    if (args.has("csv")) {
+        for (std::size_t i = 0; i < result.sweeps.size(); ++i) {
+            std::cout << "# sweep " << i << "\n";
+            result.sweeps[i].writeCsv(std::cout);
+        }
+        return 0;
+    }
+    Table t({"sweep", "workloads", "points", "policies", "cells"});
+    for (std::size_t i = 0; i < result.sweeps.size(); ++i) {
+        const auto &s = result.sweeps[i];
+        t.addRow({std::to_string(i),
+                  std::to_string(s.workloads.size()),
+                  std::to_string(s.technologies.size()),
+                  std::to_string(s.policy_keys.size()),
+                  std::to_string(s.cells.size())});
+    }
+    t.print(std::cout);
+    std::cout << "\n(use --out-dir, --csv, or --json for the "
+                 "per-cell data)\n";
     return 0;
 }
 
@@ -578,9 +922,15 @@ main(int argc, char **argv)
             return cmdPolicies(args);
         if (cmd == "sweep")
             return cmdSweep(args);
+        if (cmd == "batch")
+            return cmdBatch(args);
+        if (cmd == "profile")
+            return cmdProfile(args);
         if (cmd == "list")
             return cmdList(args);
     } catch (const std::invalid_argument &err) {
+        die(err.what());
+    } catch (const lsim::store::StoreError &err) {
         die(err.what());
     }
     die("unknown command '" + cmd + "'");
