@@ -7,40 +7,49 @@
  * perfect-knowledge oracle against the paper's four policies on the
  * real benchmark idle distributions.
  *
+ * Runs on api::SweepRunner with registry-named policies: the suite
+ * is simulated once and both technology points replay each profile
+ * through the multi-point engine (the Adaptive policy exercises its
+ * sequential fallback path).
+ *
  * Arguments: insts=<n> (default 500000), seed=<n>.
  */
 
 #include <iostream>
-#include <memory>
 
+#include "api/sweep.hh"
+#include "args.hh"
 #include "common/logging.hh"
 #include "common/table.hh"
 #include "energy/breakeven.hh"
-#include "harness/benchmarks.hh"
 
 int
 main(int argc, char **argv)
 {
     using namespace lsim;
-    using namespace lsim::harness;
 
     setInformEnabled(false);
-    SuiteOptions opts;
-    opts.insts = 500'000;
-    opts.parseArgs(argc, argv);
+    bench::Args opts(500'000);
+    opts.parse(argc, argv);
 
-    const SuiteRun suite = runSuite(opts);
+    // "gradual" and "timeout" default to the breakeven-derived slice
+    // count / timeout at each technology point, matching the legacy
+    // hand-built controller set; "no-overhead" is the normalizer.
+    api::SweepConfig cfg;
+    cfg.insts = opts.insts;
+    cfg.seed = opts.seed;
+    cfg.technologies = {api::analysisPoint(0.05),
+                        api::analysisPoint(0.5)};
+    cfg.policies = {"max-sleep", "gradual",  "always-active",
+                    "timeout",   "adaptive", "oracle",
+                    "weighted-gradual", "no-overhead"};
+    const auto sweep = api::SweepRunner(cfg).run();
 
-    for (double p : {0.05, 0.5}) {
-        energy::ModelParams mp;
-        mp.p = p;
-        mp.alpha = 0.5;
-        mp.k = 0.001;
-        mp.s = 0.01;
+    for (std::size_t t = 0; t < cfg.technologies.size(); ++t) {
+        const auto &mp = cfg.technologies[t];
         const double be = energy::breakevenInterval(mp);
-        const auto timeout = static_cast<Cycle>(std::llround(be));
 
-        std::cout << "Complex-control ablation, p = " << fixed(p, 2)
+        std::cout << "Complex-control ablation, p = " << fixed(mp.p, 2)
                   << " (breakeven = " << fixed(be, 1)
                   << ")\nPer-benchmark energy relative to "
                      "NoOverhead:\n\n";
@@ -48,38 +57,17 @@ main(int argc, char **argv)
                      "AlwaysActive", "Timeout", "Adaptive",
                      "Oracle", "WeightedGS"});
         double sums[7] = {};
-        for (const auto &ws : suite.sims) {
-            sleep::ControllerSet set;
-            set.push_back(
-                std::make_unique<sleep::MaxSleepController>());
-            set.push_back(
-                std::make_unique<sleep::GradualSleepController>(
-                    std::max<unsigned>(1, timeout)));
-            set.push_back(
-                std::make_unique<sleep::AlwaysActiveController>());
-            set.push_back(
-                std::make_unique<sleep::TimeoutController>(timeout));
-            set.push_back(
-                std::make_unique<sleep::AdaptiveController>(be));
-            set.push_back(
-                std::make_unique<sleep::OracleController>(be));
-            set.push_back(std::make_unique<
-                sleep::WeightedGradualSleepController>(
-                sleep::WeightedGradualSleepController::
-                    datapathWeights()));
-            set.push_back(
-                std::make_unique<sleep::NoOverheadController>());
-            const auto res =
-                evaluatePolicies(ws.idle, mp, std::move(set));
+        for (std::size_t w = 0; w < sweep.workloads.size(); ++w) {
+            const auto &res = sweep.cell(w, t).policies;
             const double no = res[7].energy;
-            std::vector<std::string> row{ws.name};
+            std::vector<std::string> row{sweep.workloads[w]};
             for (int i = 0; i < 7; ++i) {
                 row.push_back(fixed(res[i].energy / no, 3));
                 sums[i] += res[i].energy / no;
             }
             table.addRow(row);
         }
-        const auto n = static_cast<double>(suite.sims.size());
+        const auto n = static_cast<double>(sweep.workloads.size());
         std::vector<std::string> avg{"Average"};
         for (double s : sums)
             avg.push_back(fixed(s / n, 3));

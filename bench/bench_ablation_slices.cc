@@ -7,71 +7,74 @@
  * AlwaysActive behavior."
  *
  * Evaluated on the real benchmark idle-interval distributions at
- * p = 0.05 and p = 0.5.
+ * p = 0.05 and p = 0.5, via api::SweepRunner: every slice count is a
+ * registry policy ("gradual:<n>") in one sweep, so the suite is
+ * simulated once and each profile is replayed at both technology
+ * points in a single multi-point engine pass over all 12 policies.
  *
  * Arguments: insts=<n> (default 500000), seed=<n>.
  */
 
 #include <iostream>
-#include <memory>
 
+#include "api/sweep.hh"
+#include "args.hh"
 #include "common/logging.hh"
 #include "common/table.hh"
 #include "energy/breakeven.hh"
-#include "harness/benchmarks.hh"
 
 int
 main(int argc, char **argv)
 {
     using namespace lsim;
-    using namespace lsim::harness;
 
     setInformEnabled(false);
-    SuiteOptions opts;
-    opts.insts = 500'000;
-    opts.parseArgs(argc, argv);
+    bench::Args opts(500'000);
+    opts.parse(argc, argv);
 
-    const SuiteRun suite = runSuite(opts);
+    const std::vector<unsigned> slice_counts = {1,  2,  4,   8,  16,
+                                                32, 64, 128, 512};
 
-    for (double p : {0.05, 0.5}) {
-        energy::ModelParams mp;
-        mp.p = p;
-        mp.alpha = 0.5;
-        mp.k = 0.001;
-        mp.s = 0.01;
-        const double be = energy::breakevenInterval(mp);
+    api::SweepConfig cfg;
+    cfg.insts = opts.insts;
+    cfg.seed = opts.seed;
+    cfg.technologies = {api::analysisPoint(0.05),
+                        api::analysisPoint(0.5)};
+    for (unsigned slices : slice_counts)
+        cfg.policies.push_back("gradual:" + std::to_string(slices));
+    cfg.policies.push_back("max-sleep");
+    cfg.policies.push_back("always-active");
+    cfg.policies.push_back("no-overhead");
+    const auto sweep = api::SweepRunner(cfg).run();
 
+    const std::size_t ms = slice_counts.size();     // max-sleep
+    const std::size_t aa = slice_counts.size() + 1; // always-active
+    const std::size_t no = slice_counts.size() + 2; // no-overhead
+    const auto n = static_cast<double>(sweep.workloads.size());
+
+    for (std::size_t t = 0; t < cfg.technologies.size(); ++t) {
+        const auto &mp = cfg.technologies[t];
         std::cout << "GradualSleep slice-count ablation, p = "
-                  << fixed(p, 2) << " (breakeven = " << fixed(be, 1)
+                  << fixed(mp.p, 2) << " (breakeven = "
+                  << fixed(energy::breakevenInterval(mp), 1)
                   << " cycles)\nSuite-average energy relative to "
                      "NoOverhead:\n\n";
 
         Table table({"slices", "GradualSleep", "MaxSleep",
                      "AlwaysActive"});
-        for (unsigned slices : {1u, 2u, 4u, 8u, 16u, 32u, 64u, 128u,
-                                512u}) {
-            double gs = 0.0, ms = 0.0, aa = 0.0;
-            for (const auto &ws : suite.sims) {
-                sleep::ControllerSet set;
-                set.push_back(
-                    std::make_unique<sleep::GradualSleepController>(
-                        slices));
-                set.push_back(
-                    std::make_unique<sleep::MaxSleepController>());
-                set.push_back(
-                    std::make_unique<sleep::AlwaysActiveController>());
-                set.push_back(
-                    std::make_unique<sleep::NoOverheadController>());
-                auto res = evaluatePolicies(ws.idle, mp,
-                                            std::move(set));
-                const double no = res[3].energy;
-                gs += res[0].energy / no;
-                ms += res[1].energy / no;
-                aa += res[2].energy / no;
+        for (std::size_t s = 0; s < slice_counts.size(); ++s) {
+            double gs_sum = 0.0, ms_sum = 0.0, aa_sum = 0.0;
+            for (std::size_t w = 0; w < sweep.workloads.size();
+                 ++w) {
+                const auto &res = sweep.cell(w, t).policies;
+                const double base = res[no].energy;
+                gs_sum += res[s].energy / base;
+                ms_sum += res[ms].energy / base;
+                aa_sum += res[aa].energy / base;
             }
-            const auto n = static_cast<double>(suite.sims.size());
-            table.addRow({std::to_string(slices), fixed(gs / n, 3),
-                          fixed(ms / n, 3), fixed(aa / n, 3)});
+            table.addRow({std::to_string(slice_counts[s]),
+                          fixed(gs_sum / n, 3), fixed(ms_sum / n, 3),
+                          fixed(aa_sum / n, 3)});
         }
         table.print(std::cout);
         std::cout << "\nExpected: slices -> 1 converges to MaxSleep; "

@@ -11,6 +11,7 @@
 
 #include <iostream>
 
+#include "api/experiment.hh"
 #include "common/table.hh"
 #include "energy/policy_model.hh"
 
@@ -35,11 +36,9 @@ printPlane(const char *title, double idle_interval,
     Table table(header);
     for (int step = 1; step <= 20; ++step) {
         const double p = step * 0.05;
-        ModelParams mp;
-        mp.p = p;
-        mp.alpha = 0.5;
-        mp.k = 0.001;
-        mp.s = 0.01;
+        // The facade's single definition of the paper's analysis
+        // point (k = 0.001, s = 0.01).
+        const ModelParams mp = api::analysisPoint(p);
         std::vector<std::string> row{fixed(p, 2)};
         for (double u : usages) {
             WorkloadPoint w;

@@ -7,6 +7,7 @@
 
 #include <iostream>
 
+#include "api/experiment.hh"
 #include "common/table.hh"
 #include "energy/breakeven.hh"
 
@@ -23,14 +24,9 @@ main()
     for (int step = 1; step <= 40; ++step) {
         const double p = step * 0.025;
         std::vector<std::string> row{fixed(p, 3)};
-        for (double alpha : {0.1, 0.5, 0.9}) {
-            ModelParams mp;
-            mp.p = p;
-            mp.alpha = alpha;
-            mp.k = 0.001;
-            mp.s = 0.01;
-            row.push_back(fixed(breakevenInterval(mp), 2));
-        }
+        for (double alpha : {0.1, 0.5, 0.9})
+            row.push_back(fixed(
+                breakevenInterval(api::analysisPoint(p, alpha)), 2));
         table.addRow(row);
     }
     table.print(std::cout);

@@ -8,6 +8,7 @@
 
 #include <iostream>
 
+#include "api/experiment.hh"
 #include "common/table.hh"
 #include "energy/breakeven.hh"
 #include "energy/gradual_sleep_model.hh"
@@ -18,11 +19,7 @@ main()
     using namespace lsim;
     using namespace lsim::energy;
 
-    ModelParams mp;
-    mp.p = 0.05;
-    mp.alpha = 0.5;
-    mp.k = 0.001;
-    mp.s = 0.01;
+    const ModelParams mp = api::analysisPoint(0.05);
 
     const GradualSleepModel gs(mp);
     std::cout << "Figure 5c: energy to transition to the sleep mode "

@@ -16,6 +16,7 @@
 #include <iostream>
 
 #include "api/batch.hh"
+#include "args.hh"
 #include "common/logging.hh"
 #include "common/table.hh"
 #include "harness/benchmarks.hh"
@@ -27,9 +28,8 @@ main(int argc, char **argv)
     using namespace lsim::harness;
 
     setInformEnabled(false);
-    SuiteOptions opts;
-    opts.insts = 1'000'000;
-    opts.parseArgs(argc, argv);
+    bench::Args opts(1'000'000);
+    opts.parse(argc, argv);
 
     std::cout << "Figure 7: distribution of idle intervals "
                  "(fraction of total FU time per bucket)\n\n";
@@ -37,13 +37,12 @@ main(int argc, char **argv)
     api::SweepConfig cfg12;
     cfg12.insts = opts.insts;
     cfg12.seed = opts.seed;
-    cfg12.base = opts.base;
     // Phase 2 is irrelevant here — Figure 7 only needs the phase-1
     // idle statistics — so evaluate a single technology point.
     cfg12.technologies = {api::analysisPoint(0.05)};
 
     api::SweepConfig cfg32 = cfg12;
-    cfg32.base = opts.base.withL2Latency(32);
+    cfg32.base = cpu::CoreConfig{}.withL2Latency(32);
 
     api::BatchConfig batch;
     batch.sweeps = {cfg12, cfg32};

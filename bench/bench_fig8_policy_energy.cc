@@ -9,7 +9,8 @@
  *
  * Built on api::Experiment sessions: each benchmark is simulated
  * once, and all six (p, alpha) evaluation points replay its cached
- * IdleProfile.
+ * IdleProfile in a single engine pass (Session::policiesAt with the
+ * whole point list).
  *
  * Arguments: insts=<n> (default 1000000), seed=<n>.
  */
@@ -18,9 +19,9 @@
 #include <vector>
 
 #include "api/experiment.hh"
+#include "args.hh"
 #include "common/logging.hh"
 #include "common/table.hh"
-#include "harness/benchmarks.hh"
 #include "trace/profile.hh"
 
 namespace
@@ -52,10 +53,13 @@ printFigure(const std::vector<api::Session> &sessions, double p)
     double sum[4] = {0, 0, 0, 0};
     for (const auto &session : sessions) {
         const auto &ws = session.sim();
-        // policiesAt avoids copying the WorkloadSim per point.
-        const auto res = session.policiesAt(params(p, 0.5));
-        const auto lo = session.policiesAt(params(p, 0.25));
-        const auto hi = session.policiesAt(params(p, 0.75));
+        // All three alpha variants in one pass over the interval
+        // multiset (and no WorkloadSim copies per point).
+        const auto at = session.policiesAt(std::vector{
+            params(p, 0.5), params(p, 0.25), params(p, 0.75)});
+        const auto &res = at[0];
+        const auto &lo = at[1];
+        const auto &hi = at[2];
         for (int i = 0; i < 4; ++i)
             sum[i] += res[i].relative_to_base;
         table.addRow({
@@ -106,12 +110,10 @@ int
 main(int argc, char **argv)
 {
     using namespace lsim;
-    using namespace lsim::harness;
 
     setInformEnabled(false);
-    SuiteOptions opts;
-    opts.insts = 1'000'000;
-    opts.parseArgs(argc, argv);
+    bench::Args opts(1'000'000);
+    opts.parse(argc, argv);
 
     std::vector<api::Session> sessions;
     for (const auto &profile : trace::table3Profiles())
@@ -119,7 +121,6 @@ main(int argc, char **argv)
                                .workload(profile.name)
                                .insts(opts.insts)
                                .seed(opts.seed)
-                               .config(opts.base)
                                .session());
 
     printFigure(sessions, 0.05);

@@ -16,6 +16,7 @@
 #include <iostream>
 
 #include "api/sweep.hh"
+#include "args.hh"
 #include "common/logging.hh"
 #include "common/table.hh"
 #include "harness/benchmarks.hh"
@@ -27,14 +28,12 @@ main(int argc, char **argv)
     using namespace lsim::harness;
 
     setInformEnabled(false);
-    SuiteOptions opts;
-    opts.insts = 1'000'000;
-    opts.parseArgs(argc, argv);
+    bench::Args opts(1'000'000);
+    opts.parse(argc, argv);
 
     api::SweepConfig cfg;
     cfg.insts = opts.insts;
     cfg.seed = opts.seed;
-    cfg.base = opts.base;
     // 20 evenly spaced points: p = 0.05, 0.10, ..., 1.00.
     cfg.technologies = api::pSweep(0.05, 1.0, 20);
     const auto sweep = api::SweepRunner(cfg).run();

@@ -1,0 +1,253 @@
+/**
+ * @file
+ * Phase-2 replay performance: scalar per-cell replay (one pass over
+ * the interval multiset per technology point — the pre-engine
+ * SweepRunner hot loop) versus the multi-point engine (all points in
+ * one pass, deduped accumulators) across grid sizes.
+ *
+ * Emits BENCH_replay.json for the perf-regression trajectory and
+ * prints a table. The reference grid is 8 technology points x 4
+ * workloads under the paper's four policies; CI gates on the engine
+ * being at least 2x the scalar path there (--min-speedup).
+ *
+ * Both paths are timed single-threaded so the ratio measures the
+ * algorithmic win, not pool scheduling. Before timing, the engine's
+ * results are checked against the scalar path (bit-exact), so a
+ * broken engine can never post a winning number.
+ *
+ * Arguments:
+ *   insts=<n>          committed instructions per workload (200000)
+ *   seed=<n>           trace generator seed (1)
+ *   --json <file>      output path (default BENCH_replay.json)
+ *   --min-speedup <x>  exit 1 if the reference-grid speedup is
+ *                      below <x> (default 0 = report only)
+ */
+
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "api/experiment.hh"
+#include "api/sweep.hh"
+#include "args.hh"
+#include "common/json.hh"
+#include "common/logging.hh"
+#include "common/table.hh"
+#include "replay/engine.hh"
+#include "sleep/policy_registry.hh"
+#include "trace/profile.hh"
+
+namespace
+{
+
+using namespace lsim;
+
+constexpr const char *kWorkloads[] = {"gcc", "mcf", "vortex", "mst"};
+
+/** Wall time of @p fn, best of enough repeats to exceed ~20 ms per
+ * measurement (replays on small profiles run in microseconds). */
+template <typename Fn>
+double
+timeMs(Fn &&fn)
+{
+    using clock = std::chrono::steady_clock;
+    std::size_t iters = 1;
+    for (;;) {
+        const auto start = clock::now();
+        for (std::size_t i = 0; i < iters; ++i)
+            fn();
+        const double ms =
+            std::chrono::duration<double, std::milli>(clock::now() -
+                                                      start)
+                .count();
+        if (ms >= 20.0)
+            return ms / static_cast<double>(iters);
+        iters *= ms < 2.0 ? 8 : 2;
+    }
+}
+
+struct GridResult
+{
+    std::size_t points = 0;
+    std::size_t workloads = 0;
+    std::size_t distinct_intervals = 0; ///< summed over workloads
+    std::size_t units = 0;              ///< engine accumulators
+    double scalar_ms = 0.0;
+    double multi_ms = 0.0;
+
+    double speedup() const
+    {
+        return multi_ms > 0.0 ? scalar_ms / multi_ms : 0.0;
+    }
+};
+
+bool
+sameResults(const std::vector<sleep::PolicyResult> &a,
+            const std::vector<sleep::PolicyResult> &b)
+{
+    if (a.size() != b.size())
+        return false;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        if (a[i].name != b[i].name || a[i].energy != b[i].energy ||
+            a[i].relative_to_base != b[i].relative_to_base)
+            return false;
+    return true;
+}
+
+GridResult
+measureGrid(const std::vector<harness::WorkloadSim> &sims,
+            std::size_t num_points)
+{
+    const auto points = api::pSweep(0.05, 1.0,
+                                    static_cast<unsigned>(num_points));
+    const auto &keys = sleep::PolicyRegistry::paperSpecs();
+
+    GridResult grid;
+    grid.points = num_points;
+    grid.workloads = sims.size();
+
+    // Correctness gate: the engine must reproduce the scalar path
+    // bit-exactly before its time can count.
+    for (const auto &ws : sims) {
+        const auto multi =
+            replay::replayProfile(ws.idle, points, keys);
+        for (std::size_t t = 0; t < points.size(); ++t) {
+            const auto scalar =
+                api::evaluateProfile(ws.idle, points[t], keys);
+            if (!sameResults(multi[t], scalar))
+                fatal("engine/scalar mismatch: %s at p=%g",
+                      ws.name.c_str(), points[t].p);
+        }
+        replay::MultiPointReplay probe(
+            replay::IntervalSet::fromProfile(ws.idle), points, keys);
+        grid.distinct_intervals += probe.intervals().numDistinct();
+        grid.units += probe.numUnits();
+    }
+
+    // The scalar phase 2: one evaluateProfile per (workload, point)
+    // cell, exactly what detail::fillCell runs under scalar_replay.
+    grid.scalar_ms = timeMs([&] {
+        for (const auto &ws : sims)
+            for (const auto &mp : points)
+                api::evaluateProfile(ws.idle, mp, keys);
+    });
+
+    // The engine phase 2: per workload, one pass over the multiset
+    // for all points (construction included — it is part of the
+    // per-cell cost the sweep pays).
+    grid.multi_ms = timeMs([&] {
+        for (const auto &ws : sims)
+            replay::replayProfile(ws.idle, points, keys);
+    });
+    return grid;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    setInformEnabled(false);
+
+    std::string json_path = "BENCH_replay.json";
+    double min_speedup = 0.0;
+    std::vector<char *> passthrough{argv[0]};
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc)
+            json_path = argv[++i];
+        else if (std::strcmp(argv[i], "--min-speedup") == 0 &&
+                 i + 1 < argc)
+            min_speedup = std::strtod(argv[++i], nullptr);
+        else
+            passthrough.push_back(argv[i]);
+    }
+    bench::Args opts(200'000);
+    opts.parse(static_cast<int>(passthrough.size()),
+               passthrough.data());
+
+    // Phase 1 once: the replay benchmarks share the simulations.
+    std::vector<harness::WorkloadSim> sims;
+    for (const char *name : kWorkloads)
+        sims.push_back(api::Experiment::builder()
+                           .workload(name)
+                           .insts(opts.insts)
+                           .seed(opts.seed)
+                           .session()
+                           .sim());
+
+    const std::size_t grids[] = {1, 4, 8, 20};
+    constexpr std::size_t kReferencePoints = 8;
+    std::vector<GridResult> results;
+    GridResult reference;
+    for (std::size_t points : grids) {
+        results.push_back(measureGrid(sims, points));
+        if (points == kReferencePoints)
+            reference = results.back();
+    }
+
+    Table table({"points", "workloads", "intervals", "units",
+                 "scalar (ms)", "multi (ms)", "speedup"});
+    for (const auto &g : results)
+        table.addRow({std::to_string(g.points),
+                      std::to_string(g.workloads),
+                      std::to_string(g.distinct_intervals),
+                      std::to_string(g.units),
+                      fixed(g.scalar_ms, 3), fixed(g.multi_ms, 3),
+                      fixed(g.speedup(), 2)});
+    table.print(std::cout);
+    std::cout << "\nReference grid (" << kReferencePoints
+              << " points x " << sims.size()
+              << " workloads): " << fixed(reference.speedup(), 2)
+              << "x\n";
+
+    std::ofstream out(json_path);
+    if (!out) {
+        std::cerr << "bench_replay_perf: cannot write '" << json_path
+                  << "'\n";
+        return 2;
+    }
+    {
+        JsonWriter w(out);
+        w.beginObject();
+        w.field("bench", "replay_perf");
+        w.field("insts", opts.insts);
+        w.field("seed", opts.seed);
+        w.beginArray("grids");
+        for (const auto &g : results) {
+            w.beginObject();
+            w.field("points", static_cast<std::uint64_t>(g.points));
+            w.field("workloads",
+                    static_cast<std::uint64_t>(g.workloads));
+            w.field("distinct_intervals",
+                    static_cast<std::uint64_t>(g.distinct_intervals));
+            w.field("units", static_cast<std::uint64_t>(g.units));
+            w.field("scalar_ms", g.scalar_ms);
+            w.field("multi_ms", g.multi_ms);
+            w.field("speedup", g.speedup());
+            w.endObject();
+        }
+        w.endArray();
+        w.beginObject("reference");
+        w.field("points",
+                static_cast<std::uint64_t>(reference.points));
+        w.field("workloads",
+                static_cast<std::uint64_t>(reference.workloads));
+        w.field("speedup", reference.speedup());
+        w.field("min_required", min_speedup);
+        w.endObject();
+        w.endObject();
+        out << "\n";
+    }
+    std::cout << "wrote " << json_path << "\n";
+
+    if (min_speedup > 0.0 && reference.speedup() < min_speedup) {
+        std::cerr << "bench_replay_perf: reference speedup "
+                  << fixed(reference.speedup(), 2) << "x below the "
+                  << fixed(min_speedup, 2) << "x gate\n";
+        return 1;
+    }
+    return 0;
+}

@@ -2,11 +2,14 @@
  * @file
  * Reproduces Table 1: OR8 gate characteristics (70 nm, Vdd = 1 V,
  * 4 GHz) for the low-Vt, dual-Vt, and dual-Vt-with-sleep-mode
- * circuit styles.
+ * circuit styles, plus the analytical-model point the facade derives
+ * from this characterization (api::circuitPoint — the bridge the
+ * Figure 3/4a reproductions evaluate at).
  */
 
 #include <iostream>
 
+#include "api/experiment.hh"
 #include "circuit/domino_gate.hh"
 #include "common/table.hh"
 
@@ -51,5 +54,11 @@ main()
                  "sleep 16.0 ps, dynamic 22.2 fJ,\n"
                  "  LO 7.1e-04 fJ, HI 1.4 fJ, sleep transistor "
                  "0.14 fJ\n";
+
+    const auto mp = api::circuitPoint();
+    std::cout << "\nDerived model point (api::circuitPoint, "
+                 "alpha = duty = 0.5): p = "
+              << sci(mp.p, 2) << ", k = " << sci(mp.k, 2)
+              << ", s = " << sci(mp.s, 2) << "\n";
     return 0;
 }

@@ -5,27 +5,29 @@
  * FU count selected by the paper's methodology (minimum count with
  * >= 95% of the 4-FU IPC), and the IPC achieved at that count.
  *
+ * Built on the api facade: each benchmark's selection comes from an
+ * Experiment session with fus(api::auto_select), whose FuSelection
+ * record carries the full 1..4-FU IPC ladder.
+ *
  * Arguments: insts=<n> (default 1000000), seed=<n>.
  */
 
 #include <iostream>
 
+#include "api/experiment.hh"
+#include "args.hh"
 #include "common/logging.hh"
 #include "common/table.hh"
-#include "harness/benchmarks.hh"
-#include "harness/experiment.hh"
 #include "trace/profile.hh"
 
 int
 main(int argc, char **argv)
 {
     using namespace lsim;
-    using namespace lsim::harness;
 
     setInformEnabled(false);
-    SuiteOptions opts;
-    opts.insts = 1'000'000;
-    opts.parseArgs(argc, argv);
+    bench::Args opts(1'000'000);
+    opts.parse(argc, argv);
 
     const cpu::CoreConfig cfg;
     std::cout << "Table 2: architectural parameters\n\n";
@@ -69,8 +71,13 @@ main(int argc, char **argv)
               "FUs (sim)", "Max IPC (paper)", "IPC (paper)",
               "FUs (paper)"});
     for (const auto &p : trace::table3Profiles()) {
-        const auto sel =
-            selectFuCount(p, opts.insts, cfg, 0.95, opts.seed);
+        const auto session = api::Experiment::builder()
+                                 .workload(p.name)
+                                 .insts(opts.insts)
+                                 .seed(opts.seed)
+                                 .fus(api::auto_select)
+                                 .session();
+        const auto &sel = *session.fuSelection();
         t3.addRow({
             p.name,
             p.suite,

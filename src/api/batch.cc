@@ -123,18 +123,14 @@ BatchRunner::run() const
         }
     }
 
-    // Phase 2: one flat task list over every request's replay grid,
-    // so a small sweep's cells never wait on a big sweep's phase.
-    std::vector<std::pair<std::size_t, std::size_t>> cells;
+    // Phase 2: the shared driver flattens every request's replay
+    // grid into one task list — multi-point engine jobs per
+    // (workload, chunk), scalar cells for flagged sweeps — so a
+    // small sweep's cells never wait on a big sweep's phase.
+    detail::ReplayDriver driver;
     for (std::size_t s = 0; s < result.sweeps.size(); ++s)
-        for (std::size_t i = 0; i < result.sweeps[s].cells.size();
-             ++i)
-            cells.emplace_back(s, i);
-    detail::parallelFor(cells.size(), config_.threads,
-                        [&](std::size_t i) {
-        detail::fillCell(result.sweeps[cells[i].first],
-                         cells[i].second);
-    });
+        driver.add(result.sweeps[s], runners_[s].config());
+    driver.run(config_.threads);
     return result;
 }
 

@@ -8,6 +8,7 @@
 #include "common/json.hh"
 #include "common/table.hh"
 #include "harness/report.hh"
+#include "replay/engine.hh"
 #include "sleep/policy_registry.hh"
 
 namespace lsim::api
@@ -125,7 +126,7 @@ Session::evaluate(const energy::ModelParams &params) const
     result.sim = sim_;
     result.technology = params;
     result.policy_keys = policy_keys_;
-    result.policies = evaluateProfile(sim_.idle, params, policy_keys_);
+    result.policies = policiesAt(params);
     result.fu_selection = fu_selection_;
     return result;
 }
@@ -139,7 +140,19 @@ Session::evaluate(double p, double alpha) const
 std::vector<sleep::PolicyResult>
 Session::policiesAt(const energy::ModelParams &params) const
 {
-    return evaluateProfile(sim_.idle, params, policy_keys_);
+    // Single-point replay still goes through the engine so every
+    // facade evaluation exercises the same code path; with one point
+    // and one chunk it performs the scalar call sequence exactly.
+    return replay::replayProfile(sim_.idle, {params},
+                                 policy_keys_)
+        .front();
+}
+
+std::vector<std::vector<sleep::PolicyResult>>
+Session::policiesAt(const std::vector<energy::ModelParams> &points)
+    const
+{
+    return replay::replayProfile(sim_.idle, points, policy_keys_);
 }
 
 ExperimentBuilder &

@@ -137,6 +137,15 @@ class Session
     std::vector<sleep::PolicyResult>
     policiesAt(const energy::ModelParams &params) const;
 
+    /**
+     * Evaluate every point in @p points with a single pass over the
+     * cached idle-interval multiset (the replay::MultiPointReplay
+     * fast path). Results[t] is bit-identical to policiesAt(
+     * points[t]) evaluated alone.
+     */
+    std::vector<std::vector<sleep::PolicyResult>>
+    policiesAt(const std::vector<energy::ModelParams> &points) const;
+
     /** The underlying simulation. */
     const harness::WorkloadSim &sim() const { return sim_; }
 
@@ -243,6 +252,13 @@ struct Experiment
  * policies — the facade-level replacement for
  * harness::evaluatePolicies + sleep::makePaperControllers. An empty
  * @p policy_keys means the paper's four policies.
+ *
+ * This is the *scalar* reference path: one walk over the interval
+ * multiset per call. Session and SweepRunner route their replays
+ * through replay::MultiPointReplay instead, which is bit-identical
+ * (see that header's contract) but amortizes one pass across all
+ * technology points; this function remains the ground truth the
+ * engine is tested against.
  */
 std::vector<sleep::PolicyResult>
 evaluateProfile(const harness::IdleProfile &idle,

@@ -8,6 +8,7 @@
 #include "common/json.hh"
 #include "common/logging.hh"
 #include "harness/report.hh"
+#include "replay/engine.hh"
 #include "sleep/policy_registry.hh"
 #include "store/profile_store.hh"
 
@@ -159,6 +160,98 @@ detail::fillCell(SweepResult &result, std::size_t i)
     c.policies = evaluateProfile(result.sims[c.workload].idle,
                                  result.technologies[c.technology],
                                  result.policy_keys);
+}
+
+// -------------------------------------------------- ReplayDriver
+
+/** One workload's multi-point replay within one result. The engine
+ * is built in run()'s parallel pre-stage, not in add(): flattening
+ * the interval map and constructing per-point controller sets is
+ * O(intervals + points) per workload, too much to serialize ahead
+ * of the pool on wide grids. */
+struct detail::ReplayDriver::EngineJob
+{
+    SweepResult *result;
+    std::size_t workload;
+    std::size_t chunk_intervals;
+    std::optional<replay::MultiPointReplay> engine;
+};
+
+detail::ReplayDriver::ReplayDriver() = default;
+detail::ReplayDriver::~ReplayDriver() = default;
+
+void
+detail::ReplayDriver::add(SweepResult &result,
+                          const SweepConfig &config)
+{
+    if (config.scalar_replay) {
+        for (std::size_t i = 0; i < result.cells.size(); ++i)
+            scalar_cells_.emplace_back(&result, i);
+        return;
+    }
+    for (std::size_t w = 0; w < result.workloads.size(); ++w)
+        jobs_.push_back(
+            {&result, w, config.chunk_intervals, std::nullopt});
+}
+
+void
+detail::ReplayDriver::run(unsigned threads)
+{
+    // Pre-stage: construct the engines in parallel (each writes only
+    // its own slot). Policy specs were validated by the runner
+    // constructors, so construction cannot throw here.
+    parallelFor(jobs_.size(), threads, [&](std::size_t j) {
+        EngineJob &job = jobs_[j];
+        replay::ReplayOptions options;
+        options.chunk_intervals = job.chunk_intervals;
+        job.engine.emplace(
+            replay::IntervalSet::fromProfile(
+                job.result->sims[job.workload].idle),
+            job.result->technologies, job.result->policy_keys,
+            options);
+    });
+
+    // One flat list over every registered result: scalar cells plus
+    // each engine job's (workload, chunk) tasks, so a small sweep's
+    // work never waits on a big sweep's phase, and one long
+    // simulation spreads across workers.
+    struct Piece
+    {
+        std::size_t job;  ///< index into jobs_, or npos for scalar
+        std::size_t task; ///< engine task or scalar_cells_ index
+    };
+    constexpr std::size_t npos = ~std::size_t{0};
+    std::vector<Piece> pieces;
+    for (std::size_t j = 0; j < jobs_.size(); ++j)
+        for (std::size_t t = 0; t < jobs_[j].engine->numTasks();
+             ++t)
+            pieces.push_back({j, t});
+    for (std::size_t i = 0; i < scalar_cells_.size(); ++i)
+        pieces.push_back({npos, i});
+
+    parallelFor(pieces.size(), threads, [&](std::size_t i) {
+        const Piece &piece = pieces[i];
+        if (piece.job == npos)
+            fillCell(*scalar_cells_[piece.task].first,
+                     scalar_cells_[piece.task].second);
+        else
+            jobs_[piece.job].engine->runTask(piece.task);
+    });
+
+    // Merge + scatter into cells; independent per job.
+    parallelFor(jobs_.size(), threads, [&](std::size_t j) {
+        EngineJob &job = jobs_[j];
+        auto results = job.engine->finalize();
+        const std::size_t num_tech =
+            job.result->technologies.size();
+        for (std::size_t t = 0; t < num_tech; ++t) {
+            SweepCell &cell =
+                job.result->cells[job.workload * num_tech + t];
+            cell.workload = job.workload;
+            cell.technology = t;
+            cell.policies = std::move(results[t]);
+        }
+    });
 }
 
 // ---------------------------------------------------- SweepRunner
@@ -323,13 +416,14 @@ SweepRunner::run() const
     result.stats.cache_hits = cache_hits.load();
     result.stats.imported = imported_.size();
 
-    // Phase 2: replay every profile at every technology point.
+    // Phase 2: replay every profile at every technology point — all
+    // points of a workload in one pass over its interval multiset
+    // (or per-cell scalar passes under config().scalar_replay).
     result.cells.resize(result.workloads.size() *
                         result.technologies.size());
-    detail::parallelFor(result.cells.size(), config_.threads,
-                        [&](std::size_t i) {
-        detail::fillCell(result, i);
-    });
+    detail::ReplayDriver driver;
+    driver.add(result, config_);
+    driver.run(config_.threads);
     return result;
 }
 

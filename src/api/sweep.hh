@@ -94,6 +94,24 @@ struct SweepConfig
      * CSV/JSON output.
      */
     std::string cache_dir;
+
+    /**
+     * Run phase 2 on the legacy scalar path (one pass over the
+     * interval multiset per cell) instead of the multi-point replay
+     * engine. The engine is bit-identical below its auto-shard
+     * threshold, so this exists for equivalence testing and as an
+     * escape hatch, not as a tuning knob.
+     */
+    bool scalar_replay = false;
+
+    /**
+     * Phase-2 shard size: maximum distinct idle-interval lengths per
+     * replay chunk (see replay::ReplayOptions). 0 = auto — a single
+     * chunk for typical workloads (bit-identical to the scalar
+     * path), sharded only for very long simulations whose interval
+     * sets pass the auto threshold.
+     */
+    std::size_t chunk_intervals = 0;
 };
 
 /**
@@ -184,8 +202,42 @@ struct SimTask
     harness::WorkloadSim run() const;
 };
 
-/** Compute cell @p i of @p result from its sims (phase 2 unit). */
+/** Compute cell @p i of @p result from its sims (the scalar phase-2
+ * unit, kept for SweepConfig::scalar_replay). */
 void fillCell(SweepResult &result, std::size_t i);
+
+/**
+ * Shared phase-2 executor: fills the cells of every registered
+ * SweepResult by fanning replay work across one thread pool. The
+ * unit of parallelism is finer than a cell — one task per
+ * (workload, interval chunk) on the multi-point engine — so a
+ * single very long simulation still spreads across workers.
+ * Scalar-flagged sweeps contribute per-cell fillCell tasks instead.
+ *
+ * Usage: add() every (result, config) pair — cells resized and sims
+ * filled — then run() once. Results are deterministic for any
+ * thread count.
+ */
+class ReplayDriver
+{
+  public:
+    ReplayDriver();
+    ~ReplayDriver(); ///< out of line: EngineJob is incomplete here
+
+    /** Register @p result for phase 2 under @p config's replay
+     * settings. The result's sims must already be populated. */
+    void add(SweepResult &result, const SweepConfig &config);
+
+    /** Execute all registered phase-2 work; call once. */
+    void run(unsigned threads);
+
+  private:
+    struct EngineJob;
+
+    std::vector<EngineJob> jobs_;
+    /** Scalar-path cells: (result, cell index). */
+    std::vector<std::pair<SweepResult *, std::size_t>> scalar_cells_;
+};
 
 } // namespace detail
 

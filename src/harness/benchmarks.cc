@@ -1,29 +1,9 @@
 #include "harness/benchmarks.hh"
 
-#include <cstdlib>
-#include <cstring>
-
 #include "common/logging.hh"
 
 namespace lsim::harness
 {
-
-void
-SuiteOptions::parseArgs(int argc, char **argv)
-{
-    for (int i = 1; i < argc; ++i) {
-        const char *arg = argv[i];
-        if (std::strncmp(arg, "insts=", 6) == 0) {
-            insts = std::strtoull(arg + 6, nullptr, 0);
-            if (insts == 0)
-                fatal("bad insts= argument '%s'", arg);
-        } else if (std::strncmp(arg, "seed=", 5) == 0) {
-            seed = std::strtoull(arg + 5, nullptr, 0);
-        } else {
-            warn("ignoring unrecognized argument '%s'", arg);
-        }
-    }
-}
 
 const WorkloadSim &
 SuiteRun::byName(const std::string &name) const

@@ -34,12 +34,6 @@ struct SuiteOptions
 
     /** Base machine configuration. */
     cpu::CoreConfig base;
-
-    /**
-     * Parse "insts=<n>" / "seed=<n>" command-line overrides
-     * (each bench forwards its argv here).
-     */
-    void parseArgs(int argc, char **argv);
 };
 
 /** Results of simulating the whole suite. */

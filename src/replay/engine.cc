@@ -1,0 +1,364 @@
+#include "replay/engine.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/logging.hh"
+#include "common/stats.hh"
+#include "sleep/controllers.hh"
+#include "sleep/policy_registry.hh"
+
+namespace lsim::replay
+{
+
+namespace
+{
+
+/** Clamp matching the Log2Histogram default the profiles use. */
+constexpr Cycle kBucketClamp = 8192;
+
+/** Exact-double spelling for dedup keys (hexfloat round-trips). */
+std::string
+hexDouble(double v)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%a", v);
+    return buf;
+}
+
+/**
+ * Identity of a controller's *configuration*: two controllers with
+ * the same key accumulate bit-identical CycleCounts from the same
+ * interval stream, so they can share one accumulator unit. The
+ * second member is false for history-dependent controllers, whose
+ * replay cannot be sharded into chunks.
+ */
+struct UnitIdentity
+{
+    std::string key;
+    bool shardable = true;
+    bool known = true;
+};
+
+UnitIdentity
+identify(const sleep::SleepController &ctrl)
+{
+    using namespace lsim::sleep;
+    if (dynamic_cast<const AlwaysActiveController *>(&ctrl))
+        return {"aa", true, true};
+    if (dynamic_cast<const MaxSleepController *>(&ctrl))
+        return {"ms", true, true};
+    if (dynamic_cast<const NoOverheadController *>(&ctrl))
+        return {"no", true, true};
+    if (const auto *gs =
+            dynamic_cast<const GradualSleepController *>(&ctrl)) {
+        std::string key = "gs:";
+        key += std::to_string(gs->numSlices());
+        return {std::move(key), true, true};
+    }
+    if (const auto *wg =
+            dynamic_cast<const WeightedGradualSleepController *>(
+                &ctrl)) {
+        std::string key = "wg";
+        for (double w : wg->weights()) {
+            key += ':';
+            key += hexDouble(w);
+        }
+        return {std::move(key), true, true};
+    }
+    if (const auto *to =
+            dynamic_cast<const TimeoutController *>(&ctrl)) {
+        std::string key = "to:";
+        key += std::to_string(to->timeout());
+        return {std::move(key), true, true};
+    }
+    if (const auto *orc =
+            dynamic_cast<const OracleController *>(&ctrl)) {
+        std::string key = "or:";
+        key += hexDouble(orc->breakeven());
+        return {std::move(key), true, true};
+    }
+    if (const auto *ad =
+            dynamic_cast<const AdaptiveController *>(&ctrl)) {
+        // Deterministic but history-dependent: dedupable across
+        // points with equal parameters, never shardable.
+        std::string key = "ad:";
+        key += hexDouble(ad->breakeven());
+        key += ':';
+        key += hexDouble(ad->ewmaWeight());
+        return {std::move(key), false, true};
+    }
+    // Unknown registry additions: assume nothing — no dedup (the
+    // configuration accessors are unknown) and no sharding (the
+    // policy may carry history).
+    return {"", false, false};
+}
+
+/**
+ * A fresh controller with the same configuration as @p proto, for
+ * per-chunk partial accumulation. Only called for shardable known
+ * kinds (identify() gates the rest onto the prototype path).
+ */
+std::unique_ptr<sleep::SleepController>
+freshInstance(const sleep::SleepController &proto)
+{
+    using namespace lsim::sleep;
+    if (dynamic_cast<const AlwaysActiveController *>(&proto))
+        return std::make_unique<AlwaysActiveController>();
+    if (dynamic_cast<const MaxSleepController *>(&proto))
+        return std::make_unique<MaxSleepController>();
+    if (dynamic_cast<const NoOverheadController *>(&proto))
+        return std::make_unique<NoOverheadController>();
+    if (const auto *gs =
+            dynamic_cast<const GradualSleepController *>(&proto))
+        return std::make_unique<GradualSleepController>(
+            gs->numSlices());
+    if (const auto *wg =
+            dynamic_cast<const WeightedGradualSleepController *>(
+                &proto))
+        return std::make_unique<WeightedGradualSleepController>(
+            wg->weights());
+    if (const auto *to =
+            dynamic_cast<const TimeoutController *>(&proto))
+        return std::make_unique<TimeoutController>(to->timeout());
+    if (const auto *orc =
+            dynamic_cast<const OracleController *>(&proto))
+        return std::make_unique<OracleController>(orc->breakeven());
+    fatal("replay: no fresh instance for controller '%s'",
+          proto.name().c_str());
+}
+
+/**
+ * Chunk boundaries over the sorted distinct-length array: contiguous
+ * ranges of at most @p max_per_chunk lengths, snapped to
+ * Log2Histogram bucket edges where possible (a bucket bigger than
+ * the chunk size is split plainly). Always yields at least one
+ * chunk, even for an empty set — no divisions are involved, so
+ * empty-histogram cells cannot divide by zero here.
+ */
+std::vector<std::size_t>
+chunkBounds(const IntervalSet &intervals, std::size_t max_per_chunk)
+{
+    const std::size_t n = intervals.numDistinct();
+    std::vector<std::size_t> bounds{0};
+    if (max_per_chunk == 0 || max_per_chunk >= n) {
+        bounds.push_back(n);
+        return bounds;
+    }
+
+    // Bucket edges: indices where floorLog2(min(len, clamp)) steps.
+    std::vector<std::size_t> edges;
+    int last_bucket = -1;
+    for (std::size_t i = 0; i < n; ++i) {
+        const int b = stats::floorLog2(
+            std::min(intervals.lengths[i], kBucketClamp));
+        if (b != last_bucket) {
+            edges.push_back(i);
+            last_bucket = b;
+        }
+    }
+    edges.push_back(n);
+
+    std::size_t start = 0;
+    for (std::size_t e = 1; e < edges.size(); ++e) {
+        const std::size_t bucket_begin = edges[e - 1];
+        const std::size_t bucket_end = edges[e];
+        if (bucket_end - start <= max_per_chunk)
+            continue; // bucket still fits in the open chunk
+        // Close the open chunk at the bucket edge when it is
+        // non-empty, then split any oversized bucket plainly.
+        if (bucket_begin > start) {
+            bounds.push_back(bucket_begin);
+            start = bucket_begin;
+        }
+        while (bucket_end - start > max_per_chunk) {
+            start += max_per_chunk;
+            bounds.push_back(start);
+        }
+    }
+    if (bounds.back() != n)
+        bounds.push_back(n);
+    return bounds;
+}
+
+} // namespace
+
+IntervalSet
+IntervalSet::fromProfile(const harness::IdleProfile &idle)
+{
+    IntervalSet set;
+    set.active_cycles = idle.active_cycles;
+    set.lengths.reserve(idle.intervals.size());
+    set.counts.reserve(idle.intervals.size());
+    // std::map iterates keys ascending — the same order the scalar
+    // path feeds controllers, which the equivalence contract needs.
+    for (const auto &[len, count] : idle.intervals) {
+        if (len == 0 || count == 0)
+            continue; // PolicyEvaluator::feedRuns drops these too
+        set.lengths.push_back(len);
+        set.counts.push_back(count);
+        set.idle_cycles += len * count;
+    }
+    return set;
+}
+
+MultiPointReplay::MultiPointReplay(
+    IntervalSet intervals, std::vector<energy::ModelParams> points,
+    std::vector<std::string> policy_keys, ReplayOptions options)
+    : intervals_(std::move(intervals)), points_(std::move(points)),
+      policy_keys_(policy_keys.empty()
+                       ? sleep::PolicyRegistry::paperSpecs()
+                       : std::move(policy_keys))
+{
+    const std::size_t num_policies = policy_keys_.size();
+    unit_of_.resize(points_.size() * num_policies);
+
+    // Build one controller set per point, deduplicating accumulator
+    // units by exact configuration: the per-interval accounting of a
+    // point-invariant policy is computed once and fanned out to every
+    // consuming (point, policy) slot at finalize() time.
+    std::vector<std::string> unit_keys;
+    for (std::size_t t = 0; t < points_.size(); ++t) {
+        auto set = sleep::PolicyRegistry::instance().makeSet(
+            policy_keys_, points_[t]);
+        for (std::size_t k = 0; k < num_policies; ++k) {
+            const UnitIdentity id = identify(*set[k]);
+            std::size_t unit = units_.size();
+            if (id.known) {
+                for (std::size_t u = 0; u < units_.size(); ++u) {
+                    if (unit_keys[u] == id.key) {
+                        unit = u;
+                        break;
+                    }
+                }
+            }
+            if (unit == units_.size()) {
+                Unit fresh;
+                fresh.proto = std::move(set[k]);
+                fresh.shardable = id.shardable;
+                units_.push_back(std::move(fresh));
+                unit_keys.push_back(id.known ? id.key : std::string());
+            }
+            unit_of_[t * num_policies + k] = unit;
+        }
+    }
+
+    std::size_t chunk_intervals = options.chunk_intervals;
+    if (chunk_intervals == 0)
+        chunk_intervals =
+            intervals_.numDistinct() >=
+                    ReplayOptions::auto_shard_threshold
+                ? ReplayOptions::auto_chunk_intervals
+                : intervals_.numDistinct();
+    chunk_bounds_ = chunkBounds(intervals_, chunk_intervals);
+    num_chunks_ = chunk_bounds_.size() - 1;
+
+    for (std::size_t u = 0; u < units_.size(); ++u) {
+        if (units_[u].shardable && num_chunks_ > 1) {
+            units_[u].partials.resize(num_chunks_);
+            for (std::size_t c = 0; c < num_chunks_; ++c)
+                tasks_.push_back({u, c});
+        } else {
+            tasks_.push_back({u, Task::npos});
+        }
+    }
+}
+
+void
+MultiPointReplay::replayRange(sleep::SleepController &ctrl,
+                              std::size_t begin, std::size_t end,
+                              bool with_active) const
+{
+    // The exact scalar call sequence (harness::evaluatePolicies via
+    // PolicyEvaluator): the active total first, skipped when zero,
+    // then each distinct interval length ascending.
+    if (with_active && intervals_.active_cycles > 0)
+        ctrl.activeRun(intervals_.active_cycles);
+    for (std::size_t i = begin; i < end; ++i)
+        ctrl.idleRuns(intervals_.lengths[i], intervals_.counts[i]);
+}
+
+void
+MultiPointReplay::runTask(std::size_t index)
+{
+    const Task task = tasks_.at(index);
+    Unit &unit = units_[task.unit];
+    if (task.chunk == Task::npos) {
+        replayRange(*unit.proto, 0, intervals_.numDistinct(), true);
+        return;
+    }
+    // Sharded: a fresh controller accumulates this chunk's partial
+    // counts; the activeRun prefix belongs to chunk 0 so the merged
+    // total matches the sequential accounting.
+    auto ctrl = freshInstance(*unit.proto);
+    replayRange(*ctrl, chunk_bounds_[task.chunk],
+                chunk_bounds_[task.chunk + 1], task.chunk == 0);
+    unit.partials[task.chunk] = ctrl->counts();
+}
+
+void
+MultiPointReplay::runAll()
+{
+    for (std::size_t i = 0; i < tasks_.size(); ++i)
+        runTask(i);
+}
+
+std::vector<std::vector<sleep::PolicyResult>>
+MultiPointReplay::finalize()
+{
+    if (finalized_)
+        fatal("MultiPointReplay::finalize: called twice");
+    finalized_ = true;
+
+    for (Unit &unit : units_) {
+        if (unit.partials.empty()) {
+            unit.counts = unit.proto->counts();
+            continue;
+        }
+        // Merge partials in chunk order: deterministic for any
+        // thread assignment (though the reduction order differs
+        // from the unsharded sequential accumulation).
+        for (const auto &partial : unit.partials)
+            unit.counts += partial;
+    }
+
+    // Per-point results in the exact arithmetic of
+    // PolicyEvaluator::results().
+    const auto total = static_cast<double>(intervals_.totalCycles());
+    std::vector<std::vector<sleep::PolicyResult>> results;
+    results.reserve(points_.size());
+    for (std::size_t t = 0; t < points_.size(); ++t) {
+        const energy::EnergyModel model(points_[t]);
+        const double base = model.activeCycleEnergy() * total;
+        std::vector<sleep::PolicyResult> at_point;
+        at_point.reserve(policy_keys_.size());
+        for (std::size_t k = 0; k < policy_keys_.size(); ++k) {
+            const Unit &unit =
+                units_[unit_of_[t * policy_keys_.size() + k]];
+            sleep::PolicyResult r;
+            r.name = unit.proto->name();
+            r.counts = unit.counts;
+            r.breakdown = model.breakdown(r.counts);
+            r.energy = r.breakdown.total();
+            r.relative_to_base = base > 0.0 ? r.energy / base : 0.0;
+            r.leakage_fraction = r.breakdown.leakageFraction();
+            at_point.push_back(std::move(r));
+        }
+        results.push_back(std::move(at_point));
+    }
+    return results;
+}
+
+std::vector<std::vector<sleep::PolicyResult>>
+replayProfile(const harness::IdleProfile &idle,
+              const std::vector<energy::ModelParams> &points,
+              const std::vector<std::string> &policy_keys,
+              ReplayOptions options)
+{
+    MultiPointReplay engine(IntervalSet::fromProfile(idle), points,
+                            policy_keys, options);
+    engine.runAll();
+    return engine.finalize();
+}
+
+} // namespace lsim::replay

@@ -324,6 +324,7 @@ class AdaptiveController : public SleepController
 
     double prediction() const { return predicted_; }
     double ewmaWeight() const { return weight_; }
+    double breakeven() const { return breakeven_; }
 
   protected:
     void doIdleRun(Cycle len) override;

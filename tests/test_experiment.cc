@@ -122,15 +122,6 @@ TEST(Harness, SelectFuCountPrefersFewerForSerialWorkloads)
     EXPECT_LE(mcf.chosen, vortex.chosen);
 }
 
-TEST(Harness, SuiteOptionsParseArgs)
-{
-    lsim::harness::SuiteOptions opts;
-    const char *argv[] = {"prog", "insts=12345", "seed=9"};
-    opts.parseArgs(3, const_cast<char **>(argv));
-    EXPECT_EQ(opts.insts, 12345u);
-    EXPECT_EQ(opts.seed, 9u);
-}
-
 TEST(Harness, PolicyResultsOrderedAsPaper)
 {
     IdleProfile ip;

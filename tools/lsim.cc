@@ -287,6 +287,11 @@ commands()
           {"cache-dir", "DIR",
            "profile store shared across runs (skips warm phase-1 "
            "simulations)"},
+          {"scalar-replay", nullptr,
+           "legacy per-cell phase-2 replay (equivalence testing)"},
+          {"chunk-intervals", "N",
+           "distinct interval lengths per phase-2 replay chunk "
+           "(default 0 = auto)"},
           {"json", nullptr, "emit JSON instead of a table"},
           {"csv", nullptr, "emit CSV instead of a table"},
           kHelpFlag}},
@@ -554,6 +559,12 @@ cmdSweep(const Args &args)
         cfg.imports = splitList(
             args.flagOrPositional("imports", ~std::size_t{0}));
     cfg.cache_dir = args.flagOrPositional("cache-dir", ~std::size_t{0});
+    cfg.scalar_replay = args.has("scalar-replay");
+    const std::string chunk_text =
+        args.flagOrPositional("chunk-intervals", ~std::size_t{0});
+    cfg.chunk_intervals = chunk_text.empty()
+        ? 0
+        : parseU64(chunk_text, "--chunk-intervals");
 
     const auto result = api::SweepRunner(cfg).run();
 
