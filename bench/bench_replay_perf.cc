@@ -1,29 +1,52 @@
 /**
  * @file
- * Phase-2 replay performance: scalar per-cell replay (one pass over
- * the interval multiset per technology point — the pre-engine
- * SweepRunner hot loop) versus the multi-point engine (all points in
- * one pass, deduped accumulators) across grid sizes.
+ * Phase-2 replay performance across three dimensions:
  *
- * Emits BENCH_replay.json for the perf-regression trajectory and
- * prints a table. The reference grid is 8 technology points x 4
- * workloads under the paper's four policies; CI gates on the engine
- * being at least 2x the scalar path there (--min-speedup).
+ *  1. Workload grids — scalar per-cell replay (one pass over the
+ *     interval multiset per technology point, the pre-engine
+ *     SweepRunner hot loop) versus the multi-point engine across
+ *     grid sizes on simulated Table 3 workloads. The reference grid
+ *     is 20 technology points x 4 workloads under the paper's four
+ *     policies; CI gates on the engine being at least --min-speedup
+ *     times the scalar path there.
+ *  2. Kernel vs virtual — the batched closed-form kernels versus the
+ *     same engine with per-unit virtual dispatch
+ *     (ReplayOptions::use_kernels = false, the PR 3 inner loop), on
+ *     a dense synthetic 20-point grid whose interval multiset is
+ *     rich enough (kDenseDistinct distinct lengths) that replay
+ *     work, not per-sweep setup, dominates — the regime the kernels
+ *     exist for. CI gates with --min-kernel-speedup.
+ *  3. Sharded/threaded — the chunk-sharded engine on an interval
+ *     multiset above the auto-shard threshold, replayed at 1/4/8
+ *     threads through the same parallelFor the sweep runner uses.
+ *     CI gates the best multi-thread speedup with
+ *     --min-threaded-speedup.
  *
- * Both paths are timed single-threaded so the ratio measures the
- * algorithmic win, not pool scheduling. Before timing, the engine's
- * results are checked against the scalar path (bit-exact), so a
- * broken engine can never post a winning number.
+ * Emits BENCH_replay.json for the perf-regression trajectory
+ * (tools/bench_trend.py diffs these across runs) and prints tables.
+ *
+ * Single-thread dimensions are timed on one thread so ratios measure
+ * the algorithmic win, not pool scheduling. Before timing, engine
+ * results are checked against the scalar path (bit-exact for
+ * unchunked runs, 1e-12 relative for the chunked configuration), so
+ * a broken engine can never post a winning number.
  *
  * Arguments:
- *   insts=<n>          committed instructions per workload (200000)
- *   seed=<n>           trace generator seed (1)
- *   --json <file>      output path (default BENCH_replay.json)
- *   --min-speedup <x>  exit 1 if the reference-grid speedup is
- *                      below <x> (default 0 = report only)
+ *   insts=<n>                committed instructions per workload
+ *                            (200000)
+ *   seed=<n>                 trace generator seed (1)
+ *   --json <file>            output path (default BENCH_replay.json)
+ *   --min-speedup <x>        exit 1 if the reference-grid
+ *                            engine-vs-scalar speedup is below <x>
+ *                            (default 0 = report only)
+ *   --min-kernel-speedup <x> exit 1 if the dense-grid
+ *                            kernel-vs-virtual speedup is below <x>
+ *   --min-threaded-speedup <x> exit 1 if the best sharded
+ *                            multi-thread speedup is below <x>
  */
 
 #include <chrono>
+#include <cmath>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -31,6 +54,7 @@
 #include <vector>
 
 #include "api/experiment.hh"
+#include "api/parallel.hh"
 #include "api/sweep.hh"
 #include "args.hh"
 #include "common/json.hh"
@@ -46,6 +70,15 @@ namespace
 using namespace lsim;
 
 constexpr const char *kWorkloads[] = {"gcc", "mcf", "vortex", "mst"};
+constexpr std::size_t kReferencePoints = 20;
+
+/** Distinct interval lengths in the dense kernel-vs-virtual grid
+ * (kept below the auto-shard threshold: single chunk, bit-exact). */
+constexpr std::size_t kDenseDistinct = 3500;
+
+/** Distinct lengths in the sharded/threaded grid (above the
+ * auto-shard threshold, so chunking engages as in production). */
+constexpr std::size_t kShardedDistinct = 24'000;
 
 /** Wall time of @p fn, best of enough repeats to exceed ~20 ms per
  * measurement (replays on small profiles run in microseconds). */
@@ -76,12 +109,26 @@ struct GridResult
     std::size_t distinct_intervals = 0; ///< summed over workloads
     std::size_t units = 0;              ///< engine accumulators
     double scalar_ms = 0.0;
-    double multi_ms = 0.0;
+    double multi_ms = 0.0;   ///< the engine (kernel path)
+    double virtual_ms = 0.0; ///< the engine, use_kernels = false
 
     double speedup() const
     {
         return multi_ms > 0.0 ? scalar_ms / multi_ms : 0.0;
     }
+
+    double kernelSpeedup() const
+    {
+        return multi_ms > 0.0 ? virtual_ms / multi_ms : 0.0;
+    }
+};
+
+/** One sharded measurement at a thread count. */
+struct ThreadedResult
+{
+    unsigned threads = 0;
+    double ms = 0.0;
+    double speedup = 0.0; ///< vs the 1-thread sharded run
 };
 
 bool
@@ -97,6 +144,50 @@ sameResults(const std::vector<sleep::PolicyResult> &a,
     return true;
 }
 
+bool
+nearResults(const std::vector<sleep::PolicyResult> &a,
+            const std::vector<sleep::PolicyResult> &b)
+{
+    if (a.size() != b.size())
+        return false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        const double scale = std::max(
+            {1.0, std::abs(a[i].energy), std::abs(b[i].energy)});
+        if (a[i].name != b[i].name ||
+            std::abs(a[i].energy - b[i].energy) > 1e-12 * scale)
+            return false;
+    }
+    return true;
+}
+
+/**
+ * Equivalence gate shared by every dimension: the kernel engine and
+ * the virtual engine must both reproduce the scalar path bit for
+ * bit on @p idle before any of their times can count.
+ */
+void
+checkEquivalence(const harness::IdleProfile &idle,
+                 const std::vector<energy::ModelParams> &points,
+                 const std::vector<std::string> &keys,
+                 const char *what)
+{
+    replay::ReplayOptions virt;
+    virt.use_kernels = false;
+    const auto kernel = replay::replayProfile(idle, points, keys);
+    const auto virtual_path =
+        replay::replayProfile(idle, points, keys, virt);
+    for (std::size_t t = 0; t < points.size(); ++t) {
+        const auto scalar =
+            api::evaluateProfile(idle, points[t], keys);
+        if (!sameResults(kernel[t], scalar))
+            fatal("kernel/scalar mismatch: %s at p=%g", what,
+                  points[t].p);
+        if (!sameResults(virtual_path[t], scalar))
+            fatal("virtual/scalar mismatch: %s at p=%g", what,
+                  points[t].p);
+    }
+}
+
 GridResult
 measureGrid(const std::vector<harness::WorkloadSim> &sims,
             std::size_t num_points)
@@ -109,18 +200,8 @@ measureGrid(const std::vector<harness::WorkloadSim> &sims,
     grid.points = num_points;
     grid.workloads = sims.size();
 
-    // Correctness gate: the engine must reproduce the scalar path
-    // bit-exactly before its time can count.
     for (const auto &ws : sims) {
-        const auto multi =
-            replay::replayProfile(ws.idle, points, keys);
-        for (std::size_t t = 0; t < points.size(); ++t) {
-            const auto scalar =
-                api::evaluateProfile(ws.idle, points[t], keys);
-            if (!sameResults(multi[t], scalar))
-                fatal("engine/scalar mismatch: %s at p=%g",
-                      ws.name.c_str(), points[t].p);
-        }
+        checkEquivalence(ws.idle, points, keys, ws.name.c_str());
         replay::MultiPointReplay probe(
             replay::IntervalSet::fromProfile(ws.idle), points, keys);
         grid.distinct_intervals += probe.intervals().numDistinct();
@@ -142,7 +223,129 @@ measureGrid(const std::vector<harness::WorkloadSim> &sims,
         for (const auto &ws : sims)
             replay::replayProfile(ws.idle, points, keys);
     });
+    replay::ReplayOptions virt;
+    virt.use_kernels = false;
+    grid.virtual_ms = timeMs([&] {
+        for (const auto &ws : sims)
+            replay::replayProfile(ws.idle, points, keys, virt);
+    });
     return grid;
+}
+
+/**
+ * Deterministic synthetic idle profile with @p distinct interval
+ * lengths under a power-law-ish count decay — the interval-rich
+ * regime of production-scale traces, which the simulated 200k-inst
+ * workloads (only ~125 distinct lengths each) cannot reach.
+ */
+harness::IdleProfile
+syntheticProfile(std::size_t distinct)
+{
+    harness::IdleProfile idle;
+    idle.num_fus = 2;
+    idle.active_cycles = 50'000'000;
+    for (Cycle len = 1; len <= distinct; ++len) {
+        const std::uint64_t count =
+            1 + 2'000'000 / (len * len + 100);
+        idle.intervals[len] = count;
+        idle.idle_cycles += len * count;
+    }
+    return idle;
+}
+
+/**
+ * Kernel-vs-virtual on the dense synthetic grid. The IntervalSet is
+ * flattened once outside the timed region (a sweep flattens once per
+ * workload regardless of replay path); each iteration pays engine
+ * construction, replay, and finalize.
+ */
+GridResult
+measureDense(const harness::IdleProfile &idle)
+{
+    const auto points = api::pSweep(
+        0.05, 1.0, static_cast<unsigned>(kReferencePoints));
+    const auto &keys = sleep::PolicyRegistry::paperSpecs();
+    checkEquivalence(idle, points, keys, "dense");
+
+    const auto set = replay::IntervalSet::fromProfile(idle);
+    GridResult grid;
+    grid.points = kReferencePoints;
+    grid.workloads = 1;
+    grid.distinct_intervals = set.numDistinct();
+    {
+        replay::MultiPointReplay probe(set, points, keys);
+        grid.units = probe.numUnits();
+    }
+
+    grid.scalar_ms = timeMs([&] {
+        for (const auto &mp : points)
+            api::evaluateProfile(idle, mp, keys);
+    });
+    grid.multi_ms = timeMs([&] {
+        replay::MultiPointReplay engine(set, points, keys);
+        engine.runAll();
+        (void)engine.finalize();
+    });
+    replay::ReplayOptions virt;
+    virt.use_kernels = false;
+    grid.virtual_ms = timeMs([&] {
+        replay::MultiPointReplay engine(set, points, keys, virt);
+        engine.runAll();
+        (void)engine.finalize();
+    });
+    return grid;
+}
+
+/**
+ * The sharded/threaded configuration: chunked replay through the
+ * same parallelFor the sweep runner uses (thread spawn included —
+ * that is what a sweep pays per workload batch).
+ */
+std::vector<ThreadedResult>
+measureThreaded(const harness::IdleProfile &idle)
+{
+    const auto points = api::pSweep(
+        0.05, 1.0, static_cast<unsigned>(kReferencePoints));
+    const auto &keys = sleep::PolicyRegistry::paperSpecs();
+    const auto set = replay::IntervalSet::fromProfile(idle);
+
+    // Chunked results must agree with the unchunked engine to 1e-12
+    // before the sharded configuration may post a time.
+    {
+        replay::ReplayOptions unchunked;
+        unchunked.chunk_intervals = set.numDistinct();
+        replay::MultiPointReplay ref(set, points, keys, unchunked);
+        ref.runAll();
+        const auto ref_results = ref.finalize();
+
+        replay::MultiPointReplay chunked(set, points, keys);
+        if (chunked.numChunks() < 2)
+            fatal("sharded grid did not auto-shard (%zu distinct)",
+                  set.numDistinct());
+        chunked.runAll();
+        const auto chunk_results = chunked.finalize();
+        for (std::size_t t = 0; t < points.size(); ++t)
+            if (!nearResults(chunk_results[t], ref_results[t]))
+                fatal("chunked/unchunked mismatch at p=%g",
+                      points[t].p);
+    }
+
+    std::vector<ThreadedResult> results;
+    for (unsigned threads : {1u, 4u, 8u}) {
+        ThreadedResult r;
+        r.threads = threads;
+        r.ms = timeMs([&] {
+            replay::MultiPointReplay engine(set, points, keys);
+            api::detail::parallelFor(engine.numTasks(), threads,
+                                     [&](std::size_t i) {
+                engine.runTask(i);
+            });
+            (void)engine.finalize();
+        });
+        r.speedup = results.empty() ? 1.0 : results[0].ms / r.ms;
+        results.push_back(r);
+    }
+    return results;
 }
 
 } // namespace
@@ -154,6 +357,8 @@ main(int argc, char **argv)
 
     std::string json_path = "BENCH_replay.json";
     double min_speedup = 0.0;
+    double min_kernel_speedup = 0.0;
+    double min_threaded_speedup = 0.0;
     std::vector<char *> passthrough{argv[0]};
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc)
@@ -161,6 +366,13 @@ main(int argc, char **argv)
         else if (std::strcmp(argv[i], "--min-speedup") == 0 &&
                  i + 1 < argc)
             min_speedup = std::strtod(argv[++i], nullptr);
+        else if (std::strcmp(argv[i], "--min-kernel-speedup") == 0 &&
+                 i + 1 < argc)
+            min_kernel_speedup = std::strtod(argv[++i], nullptr);
+        else if (std::strcmp(argv[i], "--min-threaded-speedup") ==
+                     0 &&
+                 i + 1 < argc)
+            min_threaded_speedup = std::strtod(argv[++i], nullptr);
         else
             passthrough.push_back(argv[i]);
     }
@@ -179,7 +391,6 @@ main(int argc, char **argv)
                            .sim());
 
     const std::size_t grids[] = {1, 4, 8, 20};
-    constexpr std::size_t kReferencePoints = 8;
     std::vector<GridResult> results;
     GridResult reference;
     for (std::size_t points : grids) {
@@ -187,21 +398,46 @@ main(int argc, char **argv)
         if (points == kReferencePoints)
             reference = results.back();
     }
+    const GridResult dense =
+        measureDense(syntheticProfile(kDenseDistinct));
+    const std::vector<ThreadedResult> threaded =
+        measureThreaded(syntheticProfile(kShardedDistinct));
+    double best_threaded = 0.0;
+    for (const auto &t : threaded)
+        if (t.threads > 1)
+            best_threaded = std::max(best_threaded, t.speedup);
 
-    Table table({"points", "workloads", "intervals", "units",
-                 "scalar (ms)", "multi (ms)", "speedup"});
-    for (const auto &g : results)
-        table.addRow({std::to_string(g.points),
-                      std::to_string(g.workloads),
+    Table table({"grid", "points", "intervals", "units",
+                 "scalar (ms)", "virtual (ms)", "kernel (ms)",
+                 "vs scalar", "vs virtual"});
+    const auto addRow = [&](const char *name, const GridResult &g) {
+        table.addRow({name, std::to_string(g.points),
                       std::to_string(g.distinct_intervals),
                       std::to_string(g.units),
-                      fixed(g.scalar_ms, 3), fixed(g.multi_ms, 3),
-                      fixed(g.speedup(), 2)});
+                      fixed(g.scalar_ms, 3), fixed(g.virtual_ms, 3),
+                      fixed(g.multi_ms, 3), fixed(g.speedup(), 2),
+                      fixed(g.kernelSpeedup(), 2)});
+    };
+    for (const auto &g : results)
+        addRow("workloads", g);
+    addRow("dense", dense);
     table.print(std::cout);
+
+    Table tthr({"threads", "sharded (ms)", "speedup"});
+    for (const auto &t : threaded)
+        tthr.addRow({std::to_string(t.threads), fixed(t.ms, 3),
+                     fixed(t.speedup, 2)});
+    std::cout << "\nSharded grid (" << kShardedDistinct
+              << " distinct intervals x " << kReferencePoints
+              << " points):\n";
+    tthr.print(std::cout);
+
     std::cout << "\nReference grid (" << kReferencePoints
               << " points x " << sims.size()
               << " workloads): " << fixed(reference.speedup(), 2)
-              << "x\n";
+              << "x vs scalar; dense kernel path "
+              << fixed(dense.kernelSpeedup(), 2)
+              << "x vs virtual dispatch\n";
 
     std::ofstream out(json_path);
     if (!out) {
@@ -226,7 +462,32 @@ main(int argc, char **argv)
             w.field("units", static_cast<std::uint64_t>(g.units));
             w.field("scalar_ms", g.scalar_ms);
             w.field("multi_ms", g.multi_ms);
+            w.field("virtual_ms", g.virtual_ms);
             w.field("speedup", g.speedup());
+            w.field("kernel_speedup", g.kernelSpeedup());
+            w.endObject();
+        }
+        w.endArray();
+        w.beginObject("dense");
+        w.field("points", static_cast<std::uint64_t>(dense.points));
+        w.field("distinct_intervals",
+                static_cast<std::uint64_t>(dense.distinct_intervals));
+        w.field("units", static_cast<std::uint64_t>(dense.units));
+        w.field("scalar_ms", dense.scalar_ms);
+        w.field("multi_ms", dense.multi_ms);
+        w.field("virtual_ms", dense.virtual_ms);
+        w.field("speedup", dense.speedup());
+        w.field("kernel_speedup", dense.kernelSpeedup());
+        w.endObject();
+        w.beginArray("threaded");
+        for (const auto &t : threaded) {
+            w.beginObject();
+            w.field("threads",
+                    static_cast<std::uint64_t>(t.threads));
+            w.field("distinct_intervals",
+                    static_cast<std::uint64_t>(kShardedDistinct));
+            w.field("ms", t.ms);
+            w.field("speedup", t.speedup);
             w.endObject();
         }
         w.endArray();
@@ -236,18 +497,38 @@ main(int argc, char **argv)
         w.field("workloads",
                 static_cast<std::uint64_t>(reference.workloads));
         w.field("speedup", reference.speedup());
+        w.field("kernel_speedup", dense.kernelSpeedup());
+        w.field("threaded_speedup", best_threaded);
         w.field("min_required", min_speedup);
+        w.field("min_kernel_required", min_kernel_speedup);
+        w.field("min_threaded_required", min_threaded_speedup);
         w.endObject();
         w.endObject();
         out << "\n";
     }
     std::cout << "wrote " << json_path << "\n";
 
+    int rc = 0;
     if (min_speedup > 0.0 && reference.speedup() < min_speedup) {
         std::cerr << "bench_replay_perf: reference speedup "
                   << fixed(reference.speedup(), 2) << "x below the "
                   << fixed(min_speedup, 2) << "x gate\n";
-        return 1;
+        rc = 1;
     }
-    return 0;
+    if (min_kernel_speedup > 0.0 &&
+        dense.kernelSpeedup() < min_kernel_speedup) {
+        std::cerr << "bench_replay_perf: dense kernel speedup "
+                  << fixed(dense.kernelSpeedup(), 2)
+                  << "x below the "
+                  << fixed(min_kernel_speedup, 2) << "x gate\n";
+        rc = 1;
+    }
+    if (min_threaded_speedup > 0.0 &&
+        best_threaded < min_threaded_speedup) {
+        std::cerr << "bench_replay_perf: best sharded speedup "
+                  << fixed(best_threaded, 2) << "x below the "
+                  << fixed(min_threaded_speedup, 2) << "x gate\n";
+        rc = 1;
+    }
+    return rc;
 }

@@ -1,7 +1,7 @@
 #include "replay/engine.hh"
 
 #include <algorithm>
-#include <cstdio>
+#include <utility>
 
 #include "common/logging.hh"
 #include "common/stats.hh"
@@ -17,115 +17,50 @@ namespace
 /** Clamp matching the Log2Histogram default the profiles use. */
 constexpr Cycle kBucketClamp = 8192;
 
-/** Exact-double spelling for dedup keys (hexfloat round-trips). */
-std::string
-hexDouble(double v)
-{
-    char buf[40];
-    std::snprintf(buf, sizeof(buf), "%a", v);
-    return buf;
-}
-
 /**
- * Identity of a controller's *configuration*: two controllers with
- * the same key accumulate bit-identical CycleCounts from the same
- * interval stream, so they can share one accumulator unit. The
- * second member is false for history-dependent controllers, whose
- * replay cannot be sharded into chunks.
+ * Identity of a controller's *configuration*: two controllers that
+ * compare equal accumulate bit-identical CycleCounts from the same
+ * interval stream, so they can share one accumulator unit.
+ * History-free controllers are identified by their KernelSpec;
+ * Adaptive is deterministic but history-dependent, so it dedups by
+ * its parameters yet can never shard or kernelize. Unknown registry
+ * additions compare equal to nothing.
  */
-struct UnitIdentity
+struct UnitConfig
 {
-    std::string key;
-    bool shardable = true;
-    bool known = true;
+    sleep::KernelSpec spec;   ///< valid when spec.historyFree()
+    bool adaptive = false;
+    double ad_breakeven = 0.0;
+    double ad_weight = 0.0;
+
+    bool dedupable() const { return spec.historyFree() || adaptive; }
+
+    bool matches(const UnitConfig &o) const
+    {
+        if (spec.historyFree())
+            return o.spec.historyFree() && spec == o.spec;
+        if (adaptive)
+            return o.adaptive && ad_breakeven == o.ad_breakeven &&
+                   ad_weight == o.ad_weight;
+        return false;
+    }
 };
 
-UnitIdentity
-identify(const sleep::SleepController &ctrl)
+UnitConfig
+configOf(const sleep::SleepController &ctrl)
 {
-    using namespace lsim::sleep;
-    if (dynamic_cast<const AlwaysActiveController *>(&ctrl))
-        return {"aa", true, true};
-    if (dynamic_cast<const MaxSleepController *>(&ctrl))
-        return {"ms", true, true};
-    if (dynamic_cast<const NoOverheadController *>(&ctrl))
-        return {"no", true, true};
-    if (const auto *gs =
-            dynamic_cast<const GradualSleepController *>(&ctrl)) {
-        std::string key = "gs:";
-        key += std::to_string(gs->numSlices());
-        return {std::move(key), true, true};
-    }
-    if (const auto *wg =
-            dynamic_cast<const WeightedGradualSleepController *>(
-                &ctrl)) {
-        std::string key = "wg";
-        for (double w : wg->weights()) {
-            key += ':';
-            key += hexDouble(w);
+    UnitConfig cfg;
+    cfg.spec = ctrl.kernelSpec();
+    if (!cfg.spec.historyFree()) {
+        if (const auto *ad =
+                dynamic_cast<const sleep::AdaptiveController *>(
+                    &ctrl)) {
+            cfg.adaptive = true;
+            cfg.ad_breakeven = ad->breakeven();
+            cfg.ad_weight = ad->ewmaWeight();
         }
-        return {std::move(key), true, true};
     }
-    if (const auto *to =
-            dynamic_cast<const TimeoutController *>(&ctrl)) {
-        std::string key = "to:";
-        key += std::to_string(to->timeout());
-        return {std::move(key), true, true};
-    }
-    if (const auto *orc =
-            dynamic_cast<const OracleController *>(&ctrl)) {
-        std::string key = "or:";
-        key += hexDouble(orc->breakeven());
-        return {std::move(key), true, true};
-    }
-    if (const auto *ad =
-            dynamic_cast<const AdaptiveController *>(&ctrl)) {
-        // Deterministic but history-dependent: dedupable across
-        // points with equal parameters, never shardable.
-        std::string key = "ad:";
-        key += hexDouble(ad->breakeven());
-        key += ':';
-        key += hexDouble(ad->ewmaWeight());
-        return {std::move(key), false, true};
-    }
-    // Unknown registry additions: assume nothing — no dedup (the
-    // configuration accessors are unknown) and no sharding (the
-    // policy may carry history).
-    return {"", false, false};
-}
-
-/**
- * A fresh controller with the same configuration as @p proto, for
- * per-chunk partial accumulation. Only called for shardable known
- * kinds (identify() gates the rest onto the prototype path).
- */
-std::unique_ptr<sleep::SleepController>
-freshInstance(const sleep::SleepController &proto)
-{
-    using namespace lsim::sleep;
-    if (dynamic_cast<const AlwaysActiveController *>(&proto))
-        return std::make_unique<AlwaysActiveController>();
-    if (dynamic_cast<const MaxSleepController *>(&proto))
-        return std::make_unique<MaxSleepController>();
-    if (dynamic_cast<const NoOverheadController *>(&proto))
-        return std::make_unique<NoOverheadController>();
-    if (const auto *gs =
-            dynamic_cast<const GradualSleepController *>(&proto))
-        return std::make_unique<GradualSleepController>(
-            gs->numSlices());
-    if (const auto *wg =
-            dynamic_cast<const WeightedGradualSleepController *>(
-                &proto))
-        return std::make_unique<WeightedGradualSleepController>(
-            wg->weights());
-    if (const auto *to =
-            dynamic_cast<const TimeoutController *>(&proto))
-        return std::make_unique<TimeoutController>(to->timeout());
-    if (const auto *orc =
-            dynamic_cast<const OracleController *>(&proto))
-        return std::make_unique<OracleController>(orc->breakeven());
-    fatal("replay: no fresh instance for controller '%s'",
-          proto.name().c_str());
+    return cfg;
 }
 
 /**
@@ -213,20 +148,33 @@ MultiPointReplay::MultiPointReplay(
     const std::size_t num_policies = policy_keys_.size();
     unit_of_.resize(points_.size() * num_policies);
 
-    // Build one controller set per point, deduplicating accumulator
-    // units by exact configuration: the per-interval accounting of a
-    // point-invariant policy is computed once and fanned out to every
-    // consuming (point, policy) slot at finalize() time.
-    std::vector<std::string> unit_keys;
+    // Resolve each spec once (parse + registry lookup), then build
+    // one controller per (point, policy), deduplicating accumulator
+    // units by structural configuration: the per-interval accounting
+    // of a point-invariant policy is computed once and fanned out to
+    // every consuming (point, policy) slot at finalize() time.
+    std::vector<sleep::PolicyRegistry::ResolvedSpec> resolved;
+    resolved.reserve(num_policies);
+    for (const auto &key : policy_keys_)
+        resolved.push_back(
+            sleep::PolicyRegistry::instance().resolve(key));
+
+    std::vector<UnitConfig> unit_configs;
     for (std::size_t t = 0; t < points_.size(); ++t) {
-        auto set = sleep::PolicyRegistry::instance().makeSet(
-            policy_keys_, points_[t]);
         for (std::size_t k = 0; k < num_policies; ++k) {
-            const UnitIdentity id = identify(*set[k]);
+            // SpecFn-registered policies classify without building a
+            // controller; the rest are built and asked (configOf).
+            UnitConfig cfg;
+            std::unique_ptr<sleep::SleepController> ctrl;
+            cfg.spec = resolved[k].trySpec(points_[t]);
+            if (!cfg.spec.historyFree()) {
+                ctrl = resolved[k].make(points_[t]);
+                cfg = configOf(*ctrl);
+            }
             std::size_t unit = units_.size();
-            if (id.known) {
+            if (cfg.dedupable()) {
                 for (std::size_t u = 0; u < units_.size(); ++u) {
-                    if (unit_keys[u] == id.key) {
+                    if (cfg.matches(unit_configs[u])) {
                         unit = u;
                         break;
                     }
@@ -234,10 +182,11 @@ MultiPointReplay::MultiPointReplay(
             }
             if (unit == units_.size()) {
                 Unit fresh;
-                fresh.proto = std::move(set[k]);
-                fresh.shardable = id.shardable;
+                fresh.proto = ctrl ? std::move(ctrl)
+                                   : cfg.spec.makeController();
+                fresh.spec = cfg.spec;
                 units_.push_back(std::move(fresh));
-                unit_keys.push_back(id.known ? id.key : std::string());
+                unit_configs.push_back(std::move(cfg));
             }
             unit_of_[t * num_policies + k] = unit;
         }
@@ -253,15 +202,108 @@ MultiPointReplay::MultiPointReplay(
     chunk_bounds_ = chunkBounds(intervals_, chunk_intervals);
     num_chunks_ = chunk_bounds_.size() - 1;
 
-    for (std::size_t u = 0; u < units_.size(); ++u) {
-        if (units_[u].shardable && num_chunks_ > 1) {
-            units_[u].partials.resize(num_chunks_);
-            for (std::size_t c = 0; c < num_chunks_; ++c)
-                tasks_.push_back({u, c});
-        } else {
-            tasks_.push_back({u, Task::npos});
+    // Kernel path: gather history-free units into one batch per
+    // policy kind — one SoA lane per deduplicated configuration, so
+    // a single pass over the interval arrays fills every technology
+    // point's accumulator for that policy.
+    if (options.use_kernels) {
+        for (std::size_t u = 0; u < units_.size(); ++u) {
+            if (!units_[u].spec.historyFree())
+                continue;
+            KernelGroup *group = nullptr;
+            for (auto &g : groups_)
+                if (g.batch.kind() == units_[u].spec.kind)
+                    group = &g;
+            if (!group) {
+                groups_.push_back(
+                    KernelGroup{kernels::KernelBatch(
+                                    units_[u].spec.kind),
+                                {}, {}, {}});
+                group = &groups_.back();
+            }
+            group->batch.addLane(units_[u].spec);
+            group->units.push_back(u);
+            units_[u].kernel = true;
         }
     }
+
+    // Schedulable tasks: one per (group, chunk) for kernel batches,
+    // one per (unit, chunk) for shardable fallback units, one whole-
+    // stream task for everything history-dependent or unknown.
+    for (std::size_t g = 0; g < groups_.size(); ++g) {
+        if (num_chunks_ > 1) {
+            groups_[g].partial_banks.resize(num_chunks_);
+            for (std::size_t c = 0; c < num_chunks_; ++c) {
+                groups_[g].partial_banks[c].resize(
+                    groups_[g].batch.lanes());
+                tasks_.push_back({true, g, c});
+            }
+        } else {
+            groups_[g].bank.resize(groups_[g].batch.lanes());
+            tasks_.push_back({true, g, Task::npos});
+        }
+    }
+    for (std::size_t u = 0; u < units_.size(); ++u) {
+        if (units_[u].kernel)
+            continue;
+        if (units_[u].spec.historyFree() && num_chunks_ > 1) {
+            units_[u].partials.resize(num_chunks_);
+            for (std::size_t c = 0; c < num_chunks_; ++c)
+                tasks_.push_back({false, u, c});
+        } else {
+            tasks_.push_back({false, u, Task::npos});
+        }
+    }
+}
+
+MultiPointReplay::MultiPointReplay(MultiPointReplay &&other) noexcept
+    : intervals_(std::move(other.intervals_)),
+      points_(std::move(other.points_)),
+      policy_keys_(std::move(other.policy_keys_)),
+      units_(std::move(other.units_)),
+      unit_of_(std::move(other.unit_of_)),
+      groups_(std::move(other.groups_)),
+      chunk_bounds_(std::move(other.chunk_bounds_)),
+      num_chunks_(other.num_chunks_), tasks_(std::move(other.tasks_)),
+      finalized_(other.finalized_), moved_from_(other.moved_from_)
+{
+    other.moved_from_ = true;
+}
+
+MultiPointReplay &
+MultiPointReplay::operator=(MultiPointReplay &&other) noexcept
+{
+    if (this == &other)
+        return *this;
+    intervals_ = std::move(other.intervals_);
+    points_ = std::move(other.points_);
+    policy_keys_ = std::move(other.policy_keys_);
+    units_ = std::move(other.units_);
+    unit_of_ = std::move(other.unit_of_);
+    groups_ = std::move(other.groups_);
+    chunk_bounds_ = std::move(other.chunk_bounds_);
+    num_chunks_ = other.num_chunks_;
+    tasks_ = std::move(other.tasks_);
+    finalized_ = other.finalized_;
+    moved_from_ = other.moved_from_;
+    other.moved_from_ = true;
+    return *this;
+}
+
+void
+MultiPointReplay::assertUsable(const char *call) const
+{
+    if (moved_from_)
+        fatal("MultiPointReplay::%s: engine was moved from", call);
+}
+
+std::size_t
+MultiPointReplay::numKernelUnits() const
+{
+    std::size_t n = 0;
+    for (const auto &unit : units_)
+        n += unit.kernel ? 1 : 0;
+    return n;
 }
 
 void
@@ -281,16 +323,31 @@ MultiPointReplay::replayRange(sleep::SleepController &ctrl,
 void
 MultiPointReplay::runTask(std::size_t index)
 {
+    assertUsable("runTask");
     const Task task = tasks_.at(index);
-    Unit &unit = units_[task.unit];
+    if (task.kernel) {
+        KernelGroup &group = groups_[task.index];
+        if (task.chunk == Task::npos) {
+            group.batch.run(intervals_, 0, intervals_.numDistinct(),
+                            true, group.bank);
+        } else {
+            // The activeRun prefix belongs to chunk 0 so the merged
+            // total matches the sequential accounting.
+            group.batch.run(intervals_, chunk_bounds_[task.chunk],
+                            chunk_bounds_[task.chunk + 1],
+                            task.chunk == 0,
+                            group.partial_banks[task.chunk]);
+        }
+        return;
+    }
+    Unit &unit = units_[task.index];
     if (task.chunk == Task::npos) {
         replayRange(*unit.proto, 0, intervals_.numDistinct(), true);
         return;
     }
-    // Sharded: a fresh controller accumulates this chunk's partial
-    // counts; the activeRun prefix belongs to chunk 0 so the merged
-    // total matches the sequential accounting.
-    auto ctrl = freshInstance(*unit.proto);
+    // Sharded fallback: a fresh controller (reconstructed from the
+    // unit's KernelSpec) accumulates this chunk's partial counts.
+    auto ctrl = unit.spec.makeController();
     replayRange(*ctrl, chunk_bounds_[task.chunk],
                 chunk_bounds_[task.chunk + 1], task.chunk == 0);
     unit.partials[task.chunk] = ctrl->counts();
@@ -299,6 +356,7 @@ MultiPointReplay::runTask(std::size_t index)
 void
 MultiPointReplay::runAll()
 {
+    assertUsable("runAll");
     for (std::size_t i = 0; i < tasks_.size(); ++i)
         runTask(i);
 }
@@ -306,11 +364,14 @@ MultiPointReplay::runAll()
 std::vector<std::vector<sleep::PolicyResult>>
 MultiPointReplay::finalize()
 {
+    assertUsable("finalize");
     if (finalized_)
         fatal("MultiPointReplay::finalize: called twice");
     finalized_ = true;
 
     for (Unit &unit : units_) {
+        if (unit.kernel)
+            continue; // gathered from its kernel group below
         if (unit.partials.empty()) {
             unit.counts = unit.proto->counts();
             continue;
@@ -320,6 +381,18 @@ MultiPointReplay::finalize()
         // from the unsharded sequential accumulation).
         for (const auto &partial : unit.partials)
             unit.counts += partial;
+    }
+    for (const KernelGroup &group : groups_) {
+        for (std::size_t lane = 0; lane < group.units.size();
+             ++lane) {
+            Unit &unit = units_[group.units[lane]];
+            if (group.partial_banks.empty()) {
+                unit.counts = group.bank.counts(lane);
+                continue;
+            }
+            for (const auto &bank : group.partial_banks)
+                unit.counts += bank.counts(lane);
+        }
     }
 
     // Per-point results in the exact arithmetic of

@@ -6,7 +6,7 @@
  * The scalar path (harness::evaluatePolicies) walks a workload's
  * interval multiset once per (technology point) cell — O(points x
  * intervals) work for a p-sweep, the hottest loop in the codebase.
- * This engine restructures that replay around three observations:
+ * This engine restructures that replay around four observations:
  *
  *  1. Most policies are *point-invariant*: an AlwaysActive, MaxSleep
  *     or NoOverhead controller accumulates the identical CycleCounts
@@ -15,32 +15,49 @@
  *     point only through its slice count, which collides across
  *     nearby points. The engine keeps a bank of accumulators indexed
  *     by (policy, point) but deduplicates them by the exact
- *     controller configuration, so the paper's four policies over a
+ *     controller configuration — compared structurally via
+ *     sleep::KernelSpec — so the paper's four policies over a
  *     20-point sweep accumulate ~13 units instead of 80.
  *  2. The interval multiset can be flattened once per workload into
  *     sorted, contiguous length/count arrays (IntervalSet) that every
  *     unit streams over, instead of re-walking a std::map per cell
  *     and re-feeding the evaluator's idle recorder.
- *  3. For very long simulations the sorted interval array can be
+ *  3. For a history-free policy (any controller reporting a
+ *     KernelSpec) the per-interval accounting is a closed form of
+ *     the interval length, so the units that dedup could NOT
+ *     collapse — per-point gradual slice counts, timeout and oracle
+ *     thresholds — replay as one *batched kernel* pass per policy
+ *     kind: a struct-of-arrays accumulator bank filled by
+ *     branch-regular, auto-vectorizable array kernels
+ *     (replay/kernels.hh) instead of one virtual dispatch per
+ *     (unit, length). This is the default; ReplayOptions::use_kernels
+ *     = false restores per-unit virtual dispatch for equivalence
+ *     testing and benchmarking.
+ *  4. For very long simulations the sorted interval array can be
  *     sharded into chunks aligned to Log2Histogram bucket boundaries;
- *     chunks replay into independent partial accumulators (one fresh
- *     controller per chunk) that are merged in chunk order, so phase
- *     2 parallelizes below cell granularity yet stays deterministic
- *     for any thread count.
+ *     chunks replay into independent partial accumulators (a fresh
+ *     controller or kernel bank per chunk) that are merged in chunk
+ *     order, so phase 2 parallelizes below cell granularity yet
+ *     stays deterministic for any thread count.
  *
  * Equivalence contract: with a single chunk (the default below the
- * auto-shard threshold) every accumulator receives the exact call
- * sequence of the scalar path — activeRun(active_cycles) then
- * idleRuns(len, count) in ascending length order on the same
- * controller implementations — so results are bit-identical to
- * harness::evaluatePolicies. With multiple chunks the per-chunk
- * partial sums are merged in chunk order; the reduction order
- * differs, so results agree only to ~1e-12 relative (tested), which
- * is why sharding engages only above the threshold or on request.
+ * auto-shard threshold) every accumulator receives the exact
+ * floating-point operation sequence of the scalar path —
+ * activeRun(active_cycles) then idleRuns(len, count) in ascending
+ * length order, whether executed through the controller virtuals or
+ * the batch kernels (which replicate the controllers' arithmetic
+ * expression for expression) — so results are bit-identical to
+ * harness::evaluatePolicies either way, and no equivalence flag
+ * guards the kernel path. With multiple chunks the per-chunk partial
+ * sums are merged in chunk order; the reduction order differs, so
+ * results agree only to ~1e-12 relative (tested), which is why
+ * sharding engages only above the threshold or on request.
  *
- * History-dependent policies (Adaptive, unknown registry additions)
- * cannot be sharded: they replay the whole interval set sequentially
- * per distinct configuration, as their own parallel task.
+ * History-dependent policies (Adaptive) and external registrations
+ * that do not override SleepController::kernelSpec() cannot be
+ * kernelized or sharded: they replay the whole interval set
+ * sequentially per distinct configuration, as their own parallel
+ * task (the fallback path).
  */
 
 #ifndef LSIM_REPLAY_ENGINE_HH
@@ -54,6 +71,7 @@
 #include "common/types.hh"
 #include "energy/model.hh"
 #include "harness/experiment.hh"
+#include "replay/kernels.hh"
 #include "sleep/accumulator.hh"
 
 namespace lsim::replay
@@ -93,6 +111,14 @@ struct ReplayOptions
      */
     std::size_t chunk_intervals = 0;
 
+    /**
+     * Replay history-free policies through the batched closed-form
+     * kernels (bit-exact; the default). false restores the per-unit
+     * virtual-dispatch replay — same results, kept for equivalence
+     * tests and the kernel-vs-virtual benchmark dimension.
+     */
+    bool use_kernels = true;
+
     /** Auto mode shards only above this many distinct lengths. */
     static constexpr std::size_t auto_shard_threshold = 4096;
 
@@ -130,8 +156,13 @@ class MultiPointReplay
                      std::vector<std::string> policy_keys,
                      ReplayOptions options = {});
 
-    MultiPointReplay(MultiPointReplay &&) = default;
-    MultiPointReplay &operator=(MultiPointReplay &&) = default;
+    /**
+     * Moves transfer the whole replay; the moved-from engine keeps
+     * no usable state and its runTask()/runAll()/finalize() entry
+     * points fatal() instead of silently replaying emptied vectors.
+     */
+    MultiPointReplay(MultiPointReplay &&other) noexcept;
+    MultiPointReplay &operator=(MultiPointReplay &&other) noexcept;
 
     /** Independent replay tasks (>= 1 unless there are no points). */
     std::size_t numTasks() const { return tasks_.size(); }
@@ -167,6 +198,12 @@ class MultiPointReplay
      */
     std::size_t numUnits() const { return units_.size(); }
 
+    /** Batched kernel invocations (one per history-free kind). */
+    std::size_t numKernelGroups() const { return groups_.size(); }
+
+    /** Units replayed through batch kernels (vs the fallback). */
+    std::size_t numKernelUnits() const;
+
     /** Chunks the interval stream was sharded into (>= 1). */
     std::size_t numChunks() const { return num_chunks_; }
 
@@ -176,25 +213,43 @@ class MultiPointReplay
     /** One deduplicated (policy-config, point-set) accumulator. */
     struct Unit
     {
-        /** Prototype controller; accumulates directly for unchunked
-         * units and supplies name() + fresh chunk instances. */
+        /** Prototype controller; supplies name(), and accumulates
+         * directly for unchunked fallback units. */
         std::unique_ptr<sleep::SleepController> proto;
 
-        /** History-free units may replay as per-chunk partials. */
-        bool shardable = false;
+        /** Closed-form self-classification. historyFree() units may
+         * shard and (by default) replay through batch kernels;
+         * Kind::None units take the sequential fallback path. */
+        sleep::KernelSpec spec;
 
-        /** Per-chunk partial counts (chunk order), when sharded. */
+        /** True when a kernel group lane accumulates this unit. */
+        bool kernel = false;
+
+        /** Per-chunk partial counts (chunk order), when the unit is
+         * sharded on the fallback/virtual path. */
         std::vector<energy::CycleCounts> partials;
 
         /** Merged counts, filled by finalize(). */
         energy::CycleCounts counts;
     };
 
+    /** One batched kernel: every kernelized unit of one policy kind,
+     * one SoA accumulator lane per unit. */
+    struct KernelGroup
+    {
+        kernels::KernelBatch batch;
+        std::vector<std::size_t> units; ///< lane -> units_ index
+        kernels::AccumulatorBank bank;  ///< unchunked accumulators
+        /** Per-chunk partial banks (chunk order), when sharded. */
+        std::vector<kernels::AccumulatorBank> partial_banks;
+    };
+
     /** A schedulable piece: one chunk (or the whole stream) of one
-     * unit. chunk == npos replays the full set into the prototype. */
+     * unit or kernel group. chunk == npos spans the full set. */
     struct Task
     {
-        std::size_t unit = 0;
+        bool kernel = false; ///< index addresses groups_, not units_
+        std::size_t index = 0;
         std::size_t chunk = npos;
         static constexpr std::size_t npos = ~std::size_t{0};
     };
@@ -204,6 +259,9 @@ class MultiPointReplay
     void replayRange(sleep::SleepController &ctrl, std::size_t begin,
                      std::size_t end, bool with_active) const;
 
+    /** fatal() when this engine was moved from. */
+    void assertUsable(const char *call) const;
+
     IntervalSet intervals_;
     std::vector<energy::ModelParams> points_;
     std::vector<std::string> policy_keys_;
@@ -212,6 +270,8 @@ class MultiPointReplay
     /** unit_of_[point * numPolicies() + policy] -> units_ index. */
     std::vector<std::size_t> unit_of_;
 
+    std::vector<KernelGroup> groups_;
+
     /** Chunk boundaries into the interval arrays: chunk c covers
      * [chunk_bounds_[c], chunk_bounds_[c + 1]). */
     std::vector<std::size_t> chunk_bounds_;
@@ -219,6 +279,7 @@ class MultiPointReplay
 
     std::vector<Task> tasks_;
     bool finalized_ = false;
+    bool moved_from_ = false;
 };
 
 /**

@@ -27,6 +27,7 @@
 
 #include "common/types.hh"
 #include "energy/model.hh"
+#include "sleep/kernel_spec.hh"
 
 namespace lsim::sleep
 {
@@ -114,6 +115,17 @@ class SleepController
     /** Policy name for reports. */
     virtual std::string name() const = 0;
 
+    /**
+     * Self-classification for batch replay (see kernel_spec.hh):
+     * history-free policies report their closed-form parameters so
+     * the replay engine can deduplicate, shard, and kernelize them.
+     * The default — kept by history-dependent policies and any
+     * external registration that does not opt in — reports
+     * Kind::None, which routes the policy onto the virtual-dispatch
+     * fallback path.
+     */
+    virtual KernelSpec kernelSpec() const { return {}; }
+
     /** Accumulated operating-category counts. */
     const energy::CycleCounts &counts() const { return counts_; }
 
@@ -151,6 +163,13 @@ class AlwaysActiveController : public SleepController
   public:
     std::string name() const override { return "AlwaysActive"; }
 
+    KernelSpec kernelSpec() const override
+    {
+        KernelSpec spec;
+        spec.kind = KernelSpec::Kind::AlwaysActive;
+        return spec;
+    }
+
   protected:
     void doIdleRun(Cycle len) override;
     void doIdleRuns(Cycle len, std::uint64_t count) override;
@@ -161,6 +180,13 @@ class MaxSleepController : public SleepController
 {
   public:
     std::string name() const override { return "MaxSleep"; }
+
+    KernelSpec kernelSpec() const override
+    {
+        KernelSpec spec;
+        spec.kind = KernelSpec::Kind::MaxSleep;
+        return spec;
+    }
 
   protected:
     void doIdleRun(Cycle len) override;
@@ -175,6 +201,13 @@ class NoOverheadController : public SleepController
 {
   public:
     std::string name() const override { return "NoOverhead"; }
+
+    KernelSpec kernelSpec() const override
+    {
+        KernelSpec spec;
+        spec.kind = KernelSpec::Kind::NoOverhead;
+        return spec;
+    }
 
   protected:
     void doIdleRun(Cycle len) override;
@@ -200,6 +233,14 @@ class GradualSleepController : public SleepController
 
     std::string name() const override { return "GradualSleep"; }
     void reset() override;
+
+    KernelSpec kernelSpec() const override
+    {
+        KernelSpec spec;
+        spec.kind = KernelSpec::Kind::Gradual;
+        spec.slices = slices_;
+        return spec;
+    }
 
     unsigned numSlices() const { return slices_; }
 
@@ -231,6 +272,14 @@ class WeightedGradualSleepController : public SleepController
     std::string name() const override
     {
         return "WeightedGradualSleep";
+    }
+
+    KernelSpec kernelSpec() const override
+    {
+        KernelSpec spec;
+        spec.kind = KernelSpec::Kind::WeightedGradual;
+        spec.weights = weights_;
+        return spec;
     }
 
     const std::vector<double> &weights() const { return weights_; }
@@ -265,6 +314,14 @@ class TimeoutController : public SleepController
 
     std::string name() const override;
 
+    KernelSpec kernelSpec() const override
+    {
+        KernelSpec spec;
+        spec.kind = KernelSpec::Kind::Timeout;
+        spec.timeout = timeout_;
+        return spec;
+    }
+
     Cycle timeout() const { return timeout_; }
 
   protected:
@@ -291,6 +348,14 @@ class OracleController : public SleepController
     explicit OracleController(double breakeven);
 
     std::string name() const override { return "Oracle"; }
+
+    KernelSpec kernelSpec() const override
+    {
+        KernelSpec spec;
+        spec.kind = KernelSpec::Kind::Oracle;
+        spec.breakeven = breakeven_;
+        return spec;
+    }
 
     double breakeven() const { return breakeven_; }
 

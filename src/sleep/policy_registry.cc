@@ -98,52 +98,71 @@ parseWeights(const std::string &key, const std::string &arg)
 
 PolicyRegistry::PolicyRegistry()
 {
+    // History-free built-ins register their closed form (SpecFn):
+    // the registry derives controllers from the spec, and the replay
+    // engine classifies (point, policy) configurations without
+    // constructing one controller per technology point.
     add("always-active", "never asserts Sleep (all idle uncontrolled)",
-        [](const energy::ModelParams &, const std::string &) {
-            return std::make_unique<AlwaysActiveController>();
-        });
+        SpecFn([](const energy::ModelParams &, const std::string &) {
+            KernelSpec spec;
+            spec.kind = KernelSpec::Kind::AlwaysActive;
+            return spec;
+        }));
     add("max-sleep", "asserts Sleep on the first idle cycle",
-        [](const energy::ModelParams &, const std::string &) {
-            return std::make_unique<MaxSleepController>();
-        });
+        SpecFn([](const energy::ModelParams &, const std::string &) {
+            KernelSpec spec;
+            spec.kind = KernelSpec::Kind::MaxSleep;
+            return spec;
+        }));
     add("no-overhead",
         "MaxSleep with free transitions (unachievable lower bound)",
-        [](const energy::ModelParams &, const std::string &) {
-            return std::make_unique<NoOverheadController>();
-        });
+        SpecFn([](const energy::ModelParams &, const std::string &) {
+            KernelSpec spec;
+            spec.kind = KernelSpec::Kind::NoOverhead;
+            return spec;
+        }));
     add("gradual",
         "GradualSleep; slices = breakeven interval, or gradual:<n>",
-        [](const energy::ModelParams &params, const std::string &arg) {
-            const unsigned slices = arg.empty()
-                ? breakevenCycles(params)
-                : parseCount("gradual", arg);
-            return std::make_unique<GradualSleepController>(slices);
-        });
+        SpecFn([](const energy::ModelParams &params,
+                  const std::string &arg) {
+            KernelSpec spec;
+            spec.kind = KernelSpec::Kind::Gradual;
+            spec.slices = arg.empty() ? breakevenCycles(params)
+                                      : parseCount("gradual", arg);
+            return spec;
+        }));
     add("weighted-gradual",
         "GradualSleep with unequal slices; default 64-bit datapath "
         "weights, or weighted-gradual:<w1,w2,...> (sum to 1)",
-        [](const energy::ModelParams &, const std::string &arg) {
-            auto weights = arg.empty()
+        SpecFn([](const energy::ModelParams &,
+                  const std::string &arg) {
+            KernelSpec spec;
+            spec.kind = KernelSpec::Kind::WeightedGradual;
+            spec.weights = arg.empty()
                 ? WeightedGradualSleepController::datapathWeights()
                 : parseWeights("weighted-gradual", arg);
-            return std::make_unique<WeightedGradualSleepController>(
-                std::move(weights));
-        });
+            return spec;
+        }));
     add("timeout",
         "sleep once idle exceeds a timeout; default breakeven, or "
         "timeout:<cycles>",
-        [](const energy::ModelParams &params, const std::string &arg) {
-            const Cycle timeout = arg.empty()
-                ? breakevenTimeout(params)
-                : parseCount("timeout", arg);
-            return std::make_unique<TimeoutController>(timeout);
-        });
+        SpecFn([](const energy::ModelParams &params,
+                  const std::string &arg) {
+            KernelSpec spec;
+            spec.kind = KernelSpec::Kind::Timeout;
+            spec.timeout = arg.empty() ? breakevenTimeout(params)
+                                       : parseCount("timeout", arg);
+            return spec;
+        }));
     add("oracle",
         "knows each interval's length; sleeps iff >= breakeven",
-        [](const energy::ModelParams &params, const std::string &) {
-            return std::make_unique<OracleController>(
-                energy::breakevenInterval(params));
-        });
+        SpecFn([](const energy::ModelParams &params,
+                  const std::string &) {
+            KernelSpec spec;
+            spec.kind = KernelSpec::Kind::Oracle;
+            spec.breakeven = energy::breakevenInterval(params);
+            return spec;
+        }));
     add("adaptive",
         "EWMA interval predictor; default weight 0.25, or "
         "adaptive:<weight>",
@@ -169,18 +188,26 @@ PolicyRegistry::add(const std::string &key, const std::string &summary,
     if (key.empty() || key.find(':') != std::string::npos)
         throw std::invalid_argument("policy key '" + key +
                                     "' must be non-empty and ':'-free");
-    entries_[key] = Entry{summary, std::move(factory)};
+    entries_[key] = Entry{summary, std::move(factory), nullptr};
 }
 
-std::unique_ptr<SleepController>
-PolicyRegistry::make(const std::string &spec,
-                     const energy::ModelParams &params) const
+void
+PolicyRegistry::add(const std::string &key, const std::string &summary,
+                    SpecFn spec)
+{
+    if (key.empty() || key.find(':') != std::string::npos)
+        throw std::invalid_argument("policy key '" + key +
+                                    "' must be non-empty and ':'-free");
+    entries_[key] = Entry{summary, nullptr, std::move(spec)};
+}
+
+const PolicyRegistry::Entry &
+PolicyRegistry::entryFor(const std::string &spec,
+                         std::string &arg) const
 {
     const auto colon = spec.find(':');
-    const std::string key = spec.substr(0, colon);
-    const std::string arg =
-        colon == std::string::npos ? "" : spec.substr(colon + 1);
-    const auto it = entries_.find(key);
+    arg = colon == std::string::npos ? "" : spec.substr(colon + 1);
+    const auto it = entries_.find(spec.substr(0, colon));
     if (it == entries_.end()) {
         std::string known;
         for (const auto &[k, e] : entries_)
@@ -188,7 +215,37 @@ PolicyRegistry::make(const std::string &spec,
         throw std::invalid_argument("unknown policy '" + spec +
                                     "' (known: " + known + ")");
     }
-    return it->second.factory(params, arg);
+    return it->second;
+}
+
+PolicyRegistry::ResolvedSpec
+PolicyRegistry::resolve(const std::string &spec) const
+{
+    std::string arg;
+    const Entry &entry = entryFor(spec, arg);
+    return ResolvedSpec(entry.factory, entry.spec, std::move(arg));
+}
+
+std::unique_ptr<SleepController>
+PolicyRegistry::ResolvedSpec::make(
+    const energy::ModelParams &params) const
+{
+    if (spec_)
+        return spec_(params, arg_).makeController();
+    return factory_(params, arg_);
+}
+
+std::unique_ptr<SleepController>
+PolicyRegistry::make(const std::string &spec,
+                     const energy::ModelParams &params) const
+{
+    // Direct lookup-and-call: this is the scalar path's per-cell
+    // construction; no throwaway ResolvedSpec copies.
+    std::string arg;
+    const Entry &entry = entryFor(spec, arg);
+    if (entry.spec)
+        return entry.spec(params, arg).makeController();
+    return entry.factory(params, arg);
 }
 
 ControllerSet
@@ -247,8 +304,11 @@ PolicyRegistry::keyFor(const SleepController &ctrl)
             dynamic_cast<const WeightedGradualSleepController &>(
                 ctrl);
         std::string spec = "weighted-gradual:";
-        for (std::size_t i = 0; i < wg.weights().size(); ++i)
-            spec += (i ? "," : "") + compactNumber(wg.weights()[i]);
+        for (std::size_t i = 0; i < wg.weights().size(); ++i) {
+            if (i)
+                spec += ',';
+            spec += compactNumber(wg.weights()[i]);
+        }
         return spec;
     }
     if (name == "Oracle")

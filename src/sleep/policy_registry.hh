@@ -43,8 +43,67 @@ class PolicyRegistry
     using Factory = std::function<std::unique_ptr<SleepController>(
         const energy::ModelParams &params, const std::string &arg)>;
 
+    /**
+     * History-free policies may register a spec function instead of
+     * a factory: it computes the policy's closed-form KernelSpec at
+     * a technology point without constructing a controller, and the
+     * registry derives the factory as spec(params, arg)
+     * .makeController(). This lets the replay engine classify and
+     * deduplicate (point, policy) configurations allocation-free —
+     * a sweep constructs controllers only for distinct
+     * configurations. Same error contract as Factory.
+     */
+    using SpecFn = std::function<KernelSpec(
+        const energy::ModelParams &params, const std::string &arg)>;
+
     /** The process-wide registry, with built-ins registered. */
     static PolicyRegistry &instance();
+
+    /**
+     * A spec resolved once — key parsed, factory looked up — so a
+     * sweep can construct the same policy at many technology points
+     * without re-parsing the spec or walking the registry map per
+     * point. Obtained from resolve(); stays valid for the registry's
+     * lifetime (factories are owned by value).
+     */
+    class ResolvedSpec
+    {
+      public:
+        /** Construct the policy at technology point @p params. */
+        std::unique_ptr<SleepController>
+        make(const energy::ModelParams &params) const;
+
+        /**
+         * The policy's KernelSpec at @p params, when it was
+         * registered through a SpecFn — allocation-free
+         * classification for the replay engine. Kind::None for
+         * factory-registered (history-dependent/unknown) policies.
+         */
+        KernelSpec trySpec(const energy::ModelParams &params) const
+        {
+            return spec_ ? spec_(params, arg_) : KernelSpec{};
+        }
+
+      private:
+        friend class PolicyRegistry;
+        ResolvedSpec(Factory factory, SpecFn spec, std::string arg)
+            : factory_(std::move(factory)), spec_(std::move(spec)),
+              arg_(std::move(arg))
+        {
+        }
+
+        Factory factory_; ///< empty when spec_ is set
+        SpecFn spec_;
+        std::string arg_;
+    };
+
+    /**
+     * Parse @p spec and look up its factory once. Throws
+     * std::invalid_argument for unknown keys, exactly like make();
+     * malformed args surface on the first ResolvedSpec::make() call
+     * (args are factory-validated against the technology point).
+     */
+    ResolvedSpec resolve(const std::string &spec) const;
 
     /**
      * Register @p factory under @p key (no ':' allowed). Replaces an
@@ -54,6 +113,10 @@ class PolicyRegistry
      */
     void add(const std::string &key, const std::string &summary,
              Factory factory);
+
+    /** Register a history-free policy through its SpecFn. */
+    void add(const std::string &key, const std::string &summary,
+             SpecFn spec);
 
     /**
      * Construct the controller named by @p spec ("key" or
@@ -102,8 +165,14 @@ class PolicyRegistry
     struct Entry
     {
         std::string summary;
-        Factory factory;
+        Factory factory; ///< empty for SpecFn registrations
+        SpecFn spec;
     };
+
+    /** Split @p spec into key/arg and find its entry; throws the
+     * unknown-policy std::invalid_argument otherwise. */
+    const Entry &entryFor(const std::string &spec,
+                          std::string &arg) const;
 
     std::map<std::string, Entry> entries_;
 };

@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <limits>
@@ -290,6 +291,81 @@ ProfileStore::list() const
                   return a.key < b.key;
               });
     return out;
+}
+
+bool
+ProfileStore::remove(const std::string &key) const
+{
+    std::error_code ec;
+    return fs::remove(pathFor(key), ec) && !ec;
+}
+
+ProfileStore::GcStats
+ProfileStore::gc(const GcOptions &options) const
+{
+    struct Candidate
+    {
+        fs::path path;
+        fs::file_time_type mtime;
+        std::uint64_t bytes = 0;
+    };
+    std::vector<Candidate> entries;
+    GcStats stats;
+    for (const auto &de : fs::directory_iterator(dir_)) {
+        if (!de.is_regular_file() ||
+            de.path().extension() != kExtension)
+            continue;
+        std::error_code ec;
+        Candidate c;
+        c.path = de.path();
+        c.mtime = fs::last_write_time(c.path, ec);
+        if (ec)
+            continue; // raced with a concurrent eviction
+        c.bytes = de.file_size(ec);
+        if (ec)
+            continue;
+        stats.scanned += 1;
+        stats.bytes_before += c.bytes;
+        entries.push_back(std::move(c));
+    }
+    std::sort(entries.begin(), entries.end(),
+              [](const Candidate &a, const Candidate &b) {
+                  return a.mtime < b.mtime; // oldest first
+              });
+
+    stats.bytes_after = stats.bytes_before;
+    const auto now = fs::file_time_type::clock::now();
+    const auto evict = [&](const Candidate &c) {
+        std::error_code ec;
+        const bool removed = fs::remove(c.path, ec);
+        if (ec)
+            return; // unremovable: conservatively keep counting it
+        // Gone either way — we removed it, or a concurrent gc beat
+        // us to it; only the former counts as our eviction, but the
+        // bytes left the store in both cases.
+        stats.bytes_after -= c.bytes;
+        if (removed)
+            stats.removed += 1;
+    };
+    std::size_t kept_from = 0;
+    if (options.max_age_seconds) {
+        const auto limit = std::chrono::duration_cast<
+            fs::file_time_type::duration>(std::chrono::duration<
+            double>(*options.max_age_seconds));
+        while (kept_from < entries.size() &&
+               now - entries[kept_from].mtime > limit) {
+            evict(entries[kept_from]);
+            ++kept_from;
+        }
+    }
+    if (options.max_bytes) {
+        while (kept_from < entries.size() &&
+               stats.bytes_after > *options.max_bytes) {
+            evict(entries[kept_from]);
+            ++kept_from;
+        }
+    }
+    return stats;
 }
 
 void

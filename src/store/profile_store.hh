@@ -96,6 +96,41 @@ class ProfileStore
     /** All readable entries, sorted by key; unreadable files warn. */
     std::vector<StoreEntry> list() const;
 
+    /**
+     * Delete the entry stored under @p key.
+     * @return true when an entry was removed, false when absent.
+     */
+    bool remove(const std::string &key) const;
+
+    /** Eviction policy for gc(). Unset limits do not evict. */
+    struct GcOptions
+    {
+        /** Evict entries whose file is older than this, seconds. */
+        std::optional<double> max_age_seconds;
+        /** Then evict oldest-first until the store fits. */
+        std::optional<std::uint64_t> max_bytes;
+    };
+
+    /** What gc() scanned and removed. */
+    struct GcStats
+    {
+        std::size_t scanned = 0; ///< entries examined
+        std::size_t removed = 0; ///< entries deleted
+        std::uint64_t bytes_before = 0;
+        std::uint64_t bytes_after = 0;
+    };
+
+    /**
+     * Evict store entries by age and/or total size: entries older
+     * than max_age_seconds go first, then the oldest remaining
+     * entries until the store is within max_bytes. Only
+     * `*.lsimprof` files are touched; unreadable or corrupt entries
+     * are regular eviction candidates (their mtime decides), so a
+     * poisoned cache heals over time. Safe to run concurrently with
+     * sweeps: a hit on a just-evicted key is an ordinary miss.
+     */
+    GcStats gc(const GcOptions &options) const;
+
     const std::string &dir() const { return dir_; }
 
   private:

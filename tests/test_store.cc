@@ -9,6 +9,7 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -181,6 +182,90 @@ TEST(ProfileStore, SaveLoadRoundTrip)
     const auto entries = db.list();
     ASSERT_EQ(entries.size(), 1u);
     EXPECT_EQ(entries[0].key, "gcc-test");
+}
+
+TEST(ProfileStore, RemoveDeletesExactlyOneEntry)
+{
+    const std::string dir = freshDir("remove");
+    const ProfileStore db(dir);
+    const auto sim = simulateSmall("gcc");
+    db.save("keep", sim);
+    db.save("drop", sim);
+
+    EXPECT_TRUE(db.remove("drop"));
+    EXPECT_FALSE(db.remove("drop"));   // already gone
+    EXPECT_FALSE(db.remove("absent")); // never existed
+    EXPECT_FALSE(db.load("drop").has_value());
+    ASSERT_TRUE(db.load("keep").has_value());
+    EXPECT_EQ(db.list().size(), 1u);
+}
+
+TEST(ProfileStore, GcEvictsByAge)
+{
+    const std::string dir = freshDir("gc_age");
+    const ProfileStore db(dir);
+    const auto sim = simulateSmall("gcc");
+    db.save("old", sim);
+    db.save("fresh", sim);
+    // Backdate one entry past the age limit.
+    fs::last_write_time(fs::path(dir) / "old.lsimprof",
+                        fs::file_time_type::clock::now() -
+                            std::chrono::hours(48));
+
+    ProfileStore::GcOptions options;
+    options.max_age_seconds = 24.0 * 3600.0;
+    const auto stats = db.gc(options);
+    EXPECT_EQ(stats.scanned, 2u);
+    EXPECT_EQ(stats.removed, 1u);
+    EXPECT_LT(stats.bytes_after, stats.bytes_before);
+    EXPECT_FALSE(db.load("old").has_value());
+    EXPECT_TRUE(db.load("fresh").has_value());
+}
+
+TEST(ProfileStore, GcEvictsOldestFirstUntilUnderBudget)
+{
+    const std::string dir = freshDir("gc_bytes");
+    const ProfileStore db(dir);
+    const auto sim = simulateSmall("gcc");
+    const char *keys[] = {"a", "b", "c"};
+    const auto now = fs::file_time_type::clock::now();
+    for (int i = 0; i < 3; ++i) {
+        db.save(keys[i], sim);
+        // Distinct mtimes, oldest first: a, then b, then c.
+        fs::last_write_time(
+            fs::path(dir) / (std::string(keys[i]) + ".lsimprof"),
+            now - std::chrono::hours(3 - i));
+    }
+    const std::uint64_t each =
+        fs::file_size(fs::path(dir) / "a.lsimprof");
+
+    ProfileStore::GcOptions options;
+    options.max_bytes = 2 * each; // room for exactly two entries
+    const auto stats = db.gc(options);
+    EXPECT_EQ(stats.removed, 1u);
+    EXPECT_EQ(stats.bytes_after, 2 * each);
+    EXPECT_FALSE(db.load("a").has_value()); // oldest went first
+    EXPECT_TRUE(db.load("b").has_value());
+    EXPECT_TRUE(db.load("c").has_value());
+
+    // A zero-byte budget clears the store.
+    options.max_bytes = 0;
+    const auto wipe = db.gc(options);
+    EXPECT_EQ(wipe.removed, 2u);
+    EXPECT_EQ(wipe.bytes_after, 0u);
+    EXPECT_TRUE(db.list().empty());
+}
+
+TEST(ProfileStore, GcWithoutLimitsEvictsNothing)
+{
+    const std::string dir = freshDir("gc_noop");
+    const ProfileStore db(dir);
+    db.save("only", simulateSmall("gcc"));
+    const auto stats = db.gc({});
+    EXPECT_EQ(stats.scanned, 1u);
+    EXPECT_EQ(stats.removed, 0u);
+    EXPECT_EQ(stats.bytes_before, stats.bytes_after);
+    EXPECT_TRUE(db.load("only").has_value());
 }
 
 TEST(ProfileStore, CorruptedEntryIsRejected)

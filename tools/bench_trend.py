@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""Compare BENCH_replay.json files across runs.
+
+Diffs two or more bench_replay_perf outputs (oldest first) and
+prints per-grid speedup deltas, so the perf trajectory is visible
+across commits instead of only a static floor:
+
+    bench_trend.py old.json [mid.json ...] new.json
+    bench_trend.py --fail-below 0.6 baseline.json current.json
+
+Grids are matched by their technology-point count (plus the "dense"
+grid when both files carry one). For every metric present in both
+the first and the last file, the tool prints the ratio last/first;
+with --fail-below R it exits 1 when any per-grid engine-vs-scalar
+speedup ratio (or the dense kernel-vs-virtual ratio) drops below R.
+Files written by older bench versions simply lack the newer metrics
+and are compared on what they have.
+
+CI feeds this the previous run's artifact (restored from the
+actions cache) and the fresh build/BENCH_replay.json, so every push
+is judged against the run before it, not only the static
+--min-speedup floor.
+
+Exit codes: 0 ok, 1 regression (with --fail-below), 2 usage/input.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path) as fh:
+            doc = json.load(fh)
+    except (OSError, json.JSONDecodeError) as err:
+        sys.exit(f"bench_trend: cannot read '{path}': {err}")
+    if doc.get("bench") != "replay_perf":
+        sys.exit(f"bench_trend: '{path}' is not a "
+                 "bench_replay_perf output")
+    return doc
+
+
+def grid_key(grid):
+    return int(grid["points"])
+
+
+def metrics(doc):
+    """{(label, metric): value} for everything comparable."""
+    out = {}
+    for grid in doc.get("grids", []):
+        label = f"{grid_key(grid)}pt"
+        out[(label, "speedup")] = grid.get("speedup")
+        out[(label, "kernel_speedup")] = grid.get("kernel_speedup")
+    dense = doc.get("dense")
+    if dense:
+        out[("dense", "speedup")] = dense.get("speedup")
+        out[("dense", "kernel_speedup")] = dense.get("kernel_speedup")
+    for entry in doc.get("threaded", []):
+        out[(f"{entry['threads']}thr", "threaded_speedup")] = \
+            entry.get("speedup")
+    return {k: v for k, v in out.items() if v is not None}
+
+
+# (label, metric) pairs the --fail-below gate judges: the big-grid
+# engine-vs-scalar speedups and the dense kernel-vs-virtual speedup.
+# Micro grids (1/4 points) finish in microseconds and their ratios
+# swing tens of percent run to run; threaded speedups depend on
+# runner core counts, which the static --min-threaded-speedup floor
+# already covers. All are still reported.
+GATED = (("8pt", "speedup"), ("20pt", "speedup"),
+         ("dense", "speedup"), ("dense", "kernel_speedup"))
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="diff BENCH_replay.json files (oldest first)")
+    parser.add_argument("files", nargs="+",
+                        help="bench outputs, oldest first")
+    parser.add_argument("--fail-below", type=float, metavar="R",
+                        help="exit 1 when any gated last/first "
+                             "speedup ratio is below R")
+    args = parser.parse_args()
+    if len(args.files) < 2:
+        parser.error("need at least two files to compare")
+
+    docs = [load(path) for path in args.files]
+    per_file = [metrics(doc) for doc in docs]
+    first, last = per_file[0], per_file[-1]
+
+    keys = [k for k in first if k in last]
+    if not keys:
+        sys.exit("bench_trend: the first and last file share no "
+                 "comparable metrics")
+
+    name_w = max(len(f"{label} {metric}") for label, metric in keys)
+    headers = " ".join(f"{i:>9}" for i in range(len(args.files)))
+    print(f"{'grid metric':<{name_w}} {headers} {'ratio':>7}")
+    failures = []
+    for key in keys:
+        label, metric = key
+        cells = []
+        for snapshot in per_file:
+            value = snapshot.get(key)
+            cells.append(f"{value:9.2f}" if value is not None
+                         else f"{'-':>9}")
+        ratio = last[key] / first[key] if first[key] else float("inf")
+        print(f"{label + ' ' + metric:<{name_w}} "
+              f"{' '.join(cells)} {ratio:6.2f}x")
+        if (args.fail_below is not None and key in GATED
+                and ratio < args.fail_below):
+            failures.append((label, metric, ratio))
+
+    if failures:
+        for label, metric, ratio in failures:
+            print(f"bench_trend: {label} {metric} fell to "
+                  f"{ratio:.2f}x of the baseline "
+                  f"(--fail-below {args.fail_below})",
+                  file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -305,8 +305,8 @@ commands()
           {"csv", nullptr,
            "emit CSV on stdout ('# sweep <i>' separators)"},
           kHelpFlag}},
-        {"profile", "<export|import|ls> [arg]", 2,
-         "export, import, and list stored simulation profiles",
+        {"profile", "<export|import|ls|rm|gc> [arg]", 2,
+         "export, import, list, and evict stored simulation profiles",
          {{"out", "FILE", "export/import: write a .lsimprof here"},
           {"cache-dir", "DIR", "profile store directory"},
           {"insts", "N", "export: instructions (default 500000)"},
@@ -315,6 +315,12 @@ commands()
            "export: FU count, or 'auto' (default: paper)"},
           {"profile", "FILE",
            "export: custom workload JSON instead of <bench>"},
+          {"max-age", "AGE",
+           "gc: evict entries older than AGE (e.g. 30d, 12h, 900s; "
+           "plain numbers are days)"},
+          {"max-bytes", "SIZE",
+           "gc: then evict oldest entries until the store fits SIZE "
+           "(suffixes K/M/G)"},
           kHelpFlag}},
         {"list", "", 0, "list benchmarks (or policies)",
          {{"policies", nullptr, "list registered policy specs"},
@@ -723,6 +729,96 @@ cmdProfileLs(const Args &args)
     return 0;
 }
 
+/** "30d" / "12h" / "45m" / "900s" / plain days -> seconds. */
+double
+parseAge(const std::string &text)
+{
+    if (text.empty())
+        die("bad --max-age '': expected a duration");
+    std::string digits = text;
+    double unit = 24.0 * 3600.0; // plain numbers are days
+    switch (text.back()) {
+    case 's': unit = 1.0; digits.pop_back(); break;
+    case 'm': unit = 60.0; digits.pop_back(); break;
+    case 'h': unit = 3600.0; digits.pop_back(); break;
+    case 'd': unit = 24.0 * 3600.0; digits.pop_back(); break;
+    default: break;
+    }
+    const double value = parseDouble(digits, "--max-age");
+    if (value < 0.0)
+        die("bad --max-age '" + text + "': must be non-negative");
+    return value * unit;
+}
+
+/** "500M" / "2G" / "64K" / plain bytes -> bytes. */
+std::uint64_t
+parseSize(const std::string &text)
+{
+    if (text.empty())
+        die("bad --max-bytes '': expected a size");
+    std::string digits = text;
+    std::uint64_t unit = 1;
+    switch (text.back()) {
+    case 'K': case 'k':
+        unit = 1024ull;
+        digits.pop_back();
+        break;
+    case 'M': case 'm':
+        unit = 1024ull * 1024;
+        digits.pop_back();
+        break;
+    case 'G': case 'g':
+        unit = 1024ull * 1024 * 1024;
+        digits.pop_back();
+        break;
+    default:
+        break;
+    }
+    return parseU64(digits, "--max-bytes") * unit;
+}
+
+int
+cmdProfileRm(const Args &args)
+{
+    const std::string key = args.positional(1);
+    if (key.empty())
+        die("profile rm: missing <key> (see 'lsim profile ls')");
+    const std::string cache_dir =
+        args.flagOrPositional("cache-dir", ~std::size_t{0});
+    if (cache_dir.empty())
+        die("profile rm: missing --cache-dir DIR");
+    if (!store::ProfileStore(cache_dir).remove(key))
+        die("profile rm: no entry '" + key + "' in '" + cache_dir +
+            "'");
+    std::cout << "removed " << key << "\n";
+    return 0;
+}
+
+int
+cmdProfileGc(const Args &args)
+{
+    const std::string cache_dir =
+        args.flagOrPositional("cache-dir", ~std::size_t{0});
+    if (cache_dir.empty())
+        die("profile gc: missing --cache-dir DIR");
+    store::ProfileStore::GcOptions options;
+    if (args.has("max-age"))
+        options.max_age_seconds = parseAge(
+            args.flagOrPositional("max-age", ~std::size_t{0}));
+    if (args.has("max-bytes"))
+        options.max_bytes = parseSize(
+            args.flagOrPositional("max-bytes", ~std::size_t{0}));
+    if (!options.max_age_seconds && !options.max_bytes)
+        die("profile gc: need --max-age and/or --max-bytes");
+
+    const auto stats = store::ProfileStore(cache_dir).gc(options);
+    std::cout << "gc " << cache_dir << ": " << stats.scanned
+              << " entries scanned, " << stats.removed
+              << " evicted, " << stats.bytes_before << " -> "
+              << stats.bytes_after << " bytes\n";
+    return 0;
+}
+
 int
 cmdProfile(const Args &args)
 {
@@ -733,8 +829,12 @@ cmdProfile(const Args &args)
         return cmdProfileImport(args);
     if (action == "ls")
         return cmdProfileLs(args);
+    if (action == "rm")
+        return cmdProfileRm(args);
+    if (action == "gc")
+        return cmdProfileGc(args);
     die("profile: unknown action '" + action +
-        "' (expected export, import, or ls)");
+        "' (expected export, import, ls, rm, or gc)");
 }
 
 // --------------------------------------------------- batch command
