@@ -21,6 +21,11 @@
  *     threads through the same parallelFor the sweep runner uses.
  *     CI gates the best multi-thread speedup with
  *     --min-threaded-speedup.
+ *  4. Spool daemon — end-to-end `lsim serve` request latency
+ *     through a temp spool: cold (first request simulates) vs warm
+ *     (shared store + persistent pool, pure replay). Reported and
+ *     recorded for the trajectory; not gated (absolute latency is
+ *     machine-dependent).
  *
  * Emits BENCH_replay.json for the perf-regression trajectory
  * (tools/bench_trend.py diffs these across runs) and prints tables.
@@ -48,8 +53,10 @@
 #include <chrono>
 #include <cmath>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -61,6 +68,7 @@
 #include "common/logging.hh"
 #include "common/table.hh"
 #include "replay/engine.hh"
+#include "serve/daemon.hh"
 #include "sleep/policy_registry.hh"
 #include "trace/profile.hh"
 
@@ -348,6 +356,70 @@ measureThreaded(const harness::IdleProfile &idle)
     return results;
 }
 
+/** Spool-daemon request latency: cold (first request simulates)
+ * and warm (shared store + persistent pool, pure replay). */
+struct ServeResult
+{
+    std::size_t points = 0;
+    double cold_ms = 0.0;
+    double warm_ms = 0.0;
+};
+
+/**
+ * End-to-end daemon latency through a temp spool: drop a one-sweep
+ * gcc spec, drain, read nothing back (the daemon's own status/result
+ * writes are part of the serving cost being measured). The warm
+ * number is what an interactive client of `lsim serve` actually
+ * waits per request once the store knows the workload.
+ */
+ServeResult
+measureServe(std::uint64_t insts, std::uint64_t seed)
+{
+    namespace fs = std::filesystem;
+    constexpr std::size_t kPoints = 8;
+    const fs::path root =
+        fs::temp_directory_path() / "lsim_bench_serve";
+    fs::remove_all(root);
+
+    serve::ServeConfig cfg;
+    cfg.spool_dir = (root / "spool").string();
+    cfg.cache_dir = (root / "cache").string();
+    serve::Daemon daemon(cfg);
+
+    std::ostringstream spec;
+    spec << "{\"sweeps\": [{\"benchmarks\": [\"gcc\"], \"steps\": "
+         << kPoints << ", \"insts\": " << insts
+         << ", \"seed\": " << seed << "}]}";
+    std::size_t n = 0;
+    const auto drop = [&] {
+        std::ofstream out(fs::path(cfg.spool_dir) /
+                          ("req" + std::to_string(n++) + ".json"));
+        out << spec.str();
+    };
+
+    ServeResult result;
+    result.points = kPoints;
+    {
+        const auto start = std::chrono::steady_clock::now();
+        drop();
+        daemon.drainOnce();
+        result.cold_ms =
+            std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - start)
+                .count();
+    }
+    result.warm_ms = timeMs([&] {
+        drop();
+        daemon.drainOnce();
+    });
+    if (daemon.stats().failed != 0 ||
+        daemon.stats().done != daemon.stats().processed)
+        fatal("serve bench: %zu of %zu request(s) failed",
+              daemon.stats().failed, daemon.stats().processed);
+    fs::remove_all(root);
+    return result;
+}
+
 } // namespace
 
 int
@@ -402,6 +474,7 @@ main(int argc, char **argv)
         measureDense(syntheticProfile(kDenseDistinct));
     const std::vector<ThreadedResult> threaded =
         measureThreaded(syntheticProfile(kShardedDistinct));
+    const ServeResult served = measureServe(opts.insts, opts.seed);
     double best_threaded = 0.0;
     for (const auto &t : threaded)
         if (t.threads > 1)
@@ -431,6 +504,12 @@ main(int argc, char **argv)
               << " distinct intervals x " << kReferencePoints
               << " points):\n";
     tthr.print(std::cout);
+
+    std::cout << "\nSpool daemon (" << served.points
+              << "-point gcc spec, shared store + persistent "
+                 "pool): cold "
+              << fixed(served.cold_ms, 3) << " ms, warm "
+              << fixed(served.warm_ms, 3) << " ms/request\n";
 
     std::cout << "\nReference grid (" << kReferencePoints
               << " points x " << sims.size()
@@ -491,6 +570,12 @@ main(int argc, char **argv)
             w.endObject();
         }
         w.endArray();
+        w.beginObject("serve");
+        w.field("points",
+                static_cast<std::uint64_t>(served.points));
+        w.field("cold_request_ms", served.cold_ms);
+        w.field("warm_request_ms", served.warm_ms);
+        w.endObject();
         w.beginObject("reference");
         w.field("points",
                 static_cast<std::uint64_t>(reference.points));

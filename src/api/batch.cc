@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <map>
+#include <memory>
 
 #include "api/parallel.hh"
 #include "store/profile_store.hh"
@@ -26,6 +27,12 @@ BatchRunner::BatchRunner(BatchConfig config)
 
 BatchResult
 BatchRunner::run() const
+{
+    return run(BatchEnv{});
+}
+
+BatchResult
+BatchRunner::run(const BatchEnv &env) const
 {
     BatchResult result;
     result.sweeps.resize(runners_.size());
@@ -74,22 +81,34 @@ BatchRunner::run() const
     result.stats.unique_sims = unique.size();
 
     // One ProfileStore per distinct directory (creation validates
-    // the path up front, before any simulation time is spent).
-    std::map<std::string, store::ProfileStore> stores;
+    // the path up front, before any simulation time is spent). A
+    // caller-injected store is reused for its own directory so its
+    // in-memory index stays the single instance across requests.
+    std::map<std::string, store::ProfileStore *> stores;
+    std::vector<std::unique_ptr<store::ProfileStore>> owned_stores;
     for (const auto &dirs : task_dirs)
-        for (const auto &dir : dirs)
-            stores.try_emplace(dir, dir);
+        for (const auto &dir : dirs) {
+            if (stores.count(dir))
+                continue;
+            if (env.store && env.store->dir() == dir) {
+                stores.emplace(dir, env.store);
+                continue;
+            }
+            owned_stores.push_back(
+                std::make_unique<store::ProfileStore>(dir));
+            stores.emplace(dir, owned_stores.back().get());
+        }
 
     // Phase 1 over the deduped union: try every store a task's
     // sweeps named, and on a miss simulate once and install the
     // result into all of them.
     std::vector<harness::WorkloadSim> sims(unique.size());
     std::atomic<std::size_t> sims_run{0}, cache_hits{0};
-    detail::parallelFor(unique.size(), config_.threads,
-                        [&](std::size_t i) {
+    detail::runOn(env.pool, unique.size(), config_.threads,
+                  [&](std::size_t i) {
         for (const auto &dir : task_dirs[i]) {
             if (auto cached =
-                    stores.at(dir).load(unique_keys[i])) {
+                    stores.at(dir)->load(unique_keys[i])) {
                 sims[i] = std::move(*cached);
                 cache_hits.fetch_add(1);
                 return;
@@ -98,7 +117,7 @@ BatchRunner::run() const
         sims[i] = unique[i].run();
         sims_run.fetch_add(1);
         for (const auto &dir : task_dirs[i])
-            stores.at(dir).save(unique_keys[i], sims[i]);
+            stores.at(dir)->save(unique_keys[i], sims[i]);
     });
     result.stats.sims_run = sims_run.load();
     result.stats.cache_hits = cache_hits.load();
@@ -130,7 +149,7 @@ BatchRunner::run() const
     detail::ReplayDriver driver;
     for (std::size_t s = 0; s < result.sweeps.size(); ++s)
         driver.add(result.sweeps[s], runners_[s].config());
-    driver.run(config_.threads);
+    driver.run(config_.threads, env.pool);
     return result;
 }
 

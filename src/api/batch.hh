@@ -32,8 +32,18 @@
 
 #include "api/sweep.hh"
 
+namespace lsim::store
+{
+class ProfileStore;
+}
+
 namespace lsim::api
 {
+
+namespace detail
+{
+class ThreadPool;
+}
 
 /** A set of sweep requests executed as one unit. */
 struct BatchConfig
@@ -78,6 +88,23 @@ struct BatchResult
     BatchStats stats;
 };
 
+/**
+ * Long-lived resources a caller may inject into a batch run. A
+ * one-shot `lsim batch` leaves both null and the runner builds its
+ * own; the serve daemon passes its persistent pool (no per-request
+ * thread spawn) and its warm ProfileStore (index loaded once,
+ * LRU touch-times accumulated across requests).
+ */
+struct BatchEnv
+{
+    /** Used for every task whose cache dir equals store->dir()
+     * (other dirs still get per-run instances). */
+    store::ProfileStore *store = nullptr;
+
+    /** Runs both phases when set; config threads are ignored. */
+    detail::ThreadPool *pool = nullptr;
+};
+
 /** Executes BatchConfigs; stateless apart from the config. */
 class BatchRunner
 {
@@ -91,6 +118,9 @@ class BatchRunner
 
     /** Run the batch; deterministic for any thread count. */
     BatchResult run() const;
+
+    /** run() with injected resources; same results either way. */
+    BatchResult run(const BatchEnv &env) const;
 
   private:
     BatchConfig config_;

@@ -1,7 +1,12 @@
 /**
  * @file
- * The facade's shared thread-pool primitive, used by SweepRunner and
+ * The facade's shared thread-pool primitives, used by SweepRunner and
  * BatchRunner for both simulation and replay fan-out.
+ *
+ * Two forms: parallelFor() spawns a fresh pool per call (fine for a
+ * one-shot CLI sweep), and ThreadPool keeps its workers alive across
+ * calls — the serve daemon runs every request through one persistent
+ * pool so warm requests pay no thread-spawn latency.
  */
 
 #ifndef LSIM_API_PARALLEL_HH
@@ -9,7 +14,12 @@
 
 #include <algorithm>
 #include <atomic>
+#include <condition_variable>
 #include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -47,6 +57,140 @@ parallelFor(std::size_t count, unsigned threads, Fn &&fn)
     }
     for (auto &worker : pool)
         worker.join();
+}
+
+/**
+ * A persistent worker pool with the same execution contract as
+ * parallelFor(): run(count, fn) executes fn(0..count-1), each index
+ * exactly once, with the calling thread participating, and returns
+ * when every index has completed. Workers sleep between runs, so a
+ * long-lived owner (the serve daemon) pays thread creation once, not
+ * per request.
+ *
+ * Not reentrant: a task must not call run() on its own pool.
+ */
+class ThreadPool
+{
+  public:
+    /** @param threads worker count; 0 = hardware concurrency. */
+    explicit ThreadPool(unsigned threads = 0)
+    {
+        if (threads == 0)
+            threads =
+                std::max(1u, std::thread::hardware_concurrency());
+        workers_.reserve(threads);
+        for (unsigned t = 0; t < threads; ++t)
+            workers_.emplace_back([this] { workerLoop(); });
+    }
+
+    ~ThreadPool()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            stop_ = true;
+        }
+        wake_.notify_all();
+        for (auto &worker : workers_)
+            worker.join();
+    }
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    unsigned size() const
+    {
+        return static_cast<unsigned>(workers_.size());
+    }
+
+    /** Run fn(0..count-1) across the workers; blocks until done. */
+    void run(std::size_t count, std::function<void(std::size_t)> fn)
+    {
+        if (count == 0)
+            return;
+        // The job is heap-shared so a worker that wakes late — after
+        // this run() already finished and a new one started — still
+        // holds *its* generation's job, where every index is claimed
+        // and the stale wake degrades to a no-op.
+        auto job = std::make_shared<Job>();
+        job->fn = std::move(fn);
+        job->count = count;
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            job_ = job;
+            ++generation_;
+        }
+        wake_.notify_all();
+        work(*job);
+        std::unique_lock<std::mutex> lock(job->mu);
+        job->done_cv.wait(lock,
+                          [&] { return job->done == job->count; });
+    }
+
+  private:
+    struct Job
+    {
+        std::function<void(std::size_t)> fn;
+        std::size_t count = 0;
+        std::atomic<std::size_t> next{0};
+        std::atomic<std::size_t> done{0};
+        std::mutex mu;
+        std::condition_variable done_cv;
+    };
+
+    void work(Job &job)
+    {
+        for (std::size_t i = job.next.fetch_add(1); i < job.count;
+             i = job.next.fetch_add(1)) {
+            job.fn(i);
+            if (job.done.fetch_add(1) + 1 == job.count) {
+                // Lock pairs with the waiter's predicate check so
+                // the notify cannot slip between check and wait.
+                std::lock_guard<std::mutex> lock(job.mu);
+                job.done_cv.notify_all();
+            }
+        }
+    }
+
+    void workerLoop()
+    {
+        std::uint64_t seen = 0;
+        for (;;) {
+            std::shared_ptr<Job> job;
+            {
+                std::unique_lock<std::mutex> lock(mu_);
+                wake_.wait(lock, [&] {
+                    return stop_ || generation_ != seen;
+                });
+                if (stop_)
+                    return;
+                seen = generation_;
+                job = job_;
+            }
+            work(*job);
+        }
+    }
+
+    std::vector<std::thread> workers_;
+    std::mutex mu_;
+    std::condition_variable wake_;
+    std::shared_ptr<Job> job_;
+    std::uint64_t generation_ = 0;
+    bool stop_ = false;
+};
+
+/**
+ * Dispatch helper for code that optionally receives a persistent
+ * pool: run on @p pool when given, else parallelFor(@p threads).
+ */
+template <typename Fn>
+void
+runOn(ThreadPool *pool, std::size_t count, unsigned threads, Fn &&fn)
+{
+    if (pool)
+        pool->run(count, std::function<void(std::size_t)>(
+                             std::forward<Fn>(fn)));
+    else
+        parallelFor(count, threads, std::forward<Fn>(fn));
 }
 
 } // namespace lsim::api::detail

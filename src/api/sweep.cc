@@ -195,12 +195,12 @@ detail::ReplayDriver::add(SweepResult &result,
 }
 
 void
-detail::ReplayDriver::run(unsigned threads)
+detail::ReplayDriver::run(unsigned threads, ThreadPool *pool)
 {
     // Pre-stage: construct the engines in parallel (each writes only
     // its own slot). Policy specs were validated by the runner
     // constructors, so construction cannot throw here.
-    parallelFor(jobs_.size(), threads, [&](std::size_t j) {
+    runOn(pool, jobs_.size(), threads, [&](std::size_t j) {
         EngineJob &job = jobs_[j];
         replay::ReplayOptions options;
         options.chunk_intervals = job.chunk_intervals;
@@ -229,7 +229,7 @@ detail::ReplayDriver::run(unsigned threads)
     for (std::size_t i = 0; i < scalar_cells_.size(); ++i)
         pieces.push_back({npos, i});
 
-    parallelFor(pieces.size(), threads, [&](std::size_t i) {
+    runOn(pool, pieces.size(), threads, [&](std::size_t i) {
         const Piece &piece = pieces[i];
         if (piece.job == npos)
             fillCell(*scalar_cells_[piece.task].first,
@@ -239,7 +239,7 @@ detail::ReplayDriver::run(unsigned threads)
     });
 
     // Merge + scatter into cells; independent per job.
-    parallelFor(jobs_.size(), threads, [&](std::size_t j) {
+    runOn(pool, jobs_.size(), threads, [&](std::size_t j) {
         EngineJob &job = jobs_[j];
         auto results = job.engine->finalize();
         const std::size_t num_tech =

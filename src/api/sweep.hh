@@ -182,6 +182,8 @@ struct SweepResult
 namespace detail
 {
 
+class ThreadPool;
+
 /**
  * One phase-1 timing simulation, fully specified: what BatchRunner
  * dedupes on and what the profile store keys by. `fus` is the
@@ -228,8 +230,10 @@ class ReplayDriver
      * settings. The result's sims must already be populated. */
     void add(SweepResult &result, const SweepConfig &config);
 
-    /** Execute all registered phase-2 work; call once. */
-    void run(unsigned threads);
+    /** Execute all registered phase-2 work; call once. A non-null
+     * @p pool runs the fan-out on that persistent pool instead of
+     * spawning @p threads workers. */
+    void run(unsigned threads, ThreadPool *pool = nullptr);
 
   private:
     struct EngineJob;

@@ -530,7 +530,7 @@ class JsonParser
         }
     }
 
-    std::string parseUnicodeEscape()
+    unsigned parseHex4()
     {
         if (pos_ + 4 > text_.size())
             fail("truncated \\u escape");
@@ -547,16 +547,44 @@ class JsonParser
             else
                 fail("invalid \\u escape digit");
         }
-        // Encode as UTF-8 (surrogate pairs are passed through as
-        // their individual code units; the writer never emits them).
+        return code;
+    }
+
+    std::string parseUnicodeEscape()
+    {
+        unsigned code = parseHex4();
+        // Surrogate halves are not characters: a high surrogate must
+        // be immediately followed by an escaped low surrogate (the
+        // pair encodes one supplementary-plane code point), and a
+        // bare low surrogate is always an error. Passing either
+        // through would emit invalid UTF-8 that poisons every
+        // downstream consumer of the string.
+        if (code >= 0xD800 && code <= 0xDBFF) {
+            if (pos_ + 2 > text_.size() || text_[pos_] != '\\' ||
+                text_[pos_ + 1] != 'u')
+                fail("unpaired high surrogate in \\u escape");
+            pos_ += 2;
+            const unsigned low = parseHex4();
+            if (low < 0xDC00 || low > 0xDFFF)
+                fail("unpaired high surrogate in \\u escape");
+            code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+        } else if (code >= 0xDC00 && code <= 0xDFFF) {
+            fail("unpaired low surrogate in \\u escape");
+        }
+
         std::string out;
         if (code < 0x80) {
             out += static_cast<char>(code);
         } else if (code < 0x800) {
             out += static_cast<char>(0xC0 | (code >> 6));
             out += static_cast<char>(0x80 | (code & 0x3F));
-        } else {
+        } else if (code < 0x10000) {
             out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+        } else {
+            out += static_cast<char>(0xF0 | (code >> 18));
+            out += static_cast<char>(0x80 | ((code >> 12) & 0x3F));
             out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
             out += static_cast<char>(0x80 | (code & 0x3F));
         }

@@ -1,0 +1,325 @@
+#include "serve/daemon.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <filesystem>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "api/batch.hh"
+#include "common/files.hh"
+#include "common/json.hh"
+#include "common/logging.hh"
+#include "serve/spec.hh"
+
+namespace lsim::serve
+{
+
+namespace fs = std::filesystem;
+
+namespace
+{
+
+constexpr const char *kWorkDir = "work";
+constexpr const char *kDoneDir = "done";
+constexpr const char *kFailedDir = "failed";
+constexpr const char *kStatusFile = "status.json";
+
+double
+msSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+} // namespace
+
+/** One claimed spec's lifecycle state, shared by the status
+ * transitions so every write carries everything known so far. */
+struct Daemon::Request
+{
+    std::string name;       ///< spec filename, e.g. "req.json"
+    std::string work_path;  ///< claimed location under work/
+    std::string result_dir; ///< <results>/<stem>
+    std::size_t sweeps = 0; ///< result count, once known
+    double run_ms = 0.0;    ///< BatchRunner::run wall time
+    double total_ms = 0.0;  ///< claim-to-final wall time
+    std::optional<api::BatchStats> stats;
+
+    /**
+     * Atomically (re)write <result_dir>/status.json. @p state is
+     * one of "queued", "running", "done", "error"; @p error is the
+     * machine-readable failure message for the error state.
+     */
+    void writeStatus(const char *state,
+                     const std::string &error = "") const
+    {
+        std::ostringstream ss;
+        JsonWriter w(ss);
+        w.beginObject();
+        w.field("spec", name);
+        w.field("state", state);
+        if (!error.empty())
+            w.field("error", error);
+        if (sweeps > 0)
+            w.field("sweeps", static_cast<std::uint64_t>(sweeps));
+        w.field("run_ms", run_ms);
+        w.field("total_ms", total_ms);
+        if (stats) {
+            w.beginObject("stats");
+            w.field("requested_sims",
+                    static_cast<std::uint64_t>(
+                        stats->requested_sims));
+            w.field("unique_sims",
+                    static_cast<std::uint64_t>(stats->unique_sims));
+            w.field("cache_hits",
+                    static_cast<std::uint64_t>(stats->cache_hits));
+            w.field("sims_run",
+                    static_cast<std::uint64_t>(stats->sims_run));
+            w.endObject();
+        }
+        w.endObject();
+        ss << "\n";
+        atomicWriteFile(
+            (fs::path(result_dir) / kStatusFile).string(),
+            ss.str());
+    }
+};
+
+Daemon::Daemon(ServeConfig config)
+    : config_(std::move(config)),
+      results_dir_(config_.results_dir.empty()
+                       ? (fs::path(config_.spool_dir) / "results")
+                             .string()
+                       : config_.results_dir),
+      pool_(config_.threads)
+{
+    if (config_.spool_dir.empty())
+        throw std::invalid_argument("serve: spool directory not set");
+    for (const std::string &dir :
+         {config_.spool_dir,
+          (fs::path(config_.spool_dir) / kWorkDir).string(),
+          (fs::path(config_.spool_dir) / kDoneDir).string(),
+          (fs::path(config_.spool_dir) / kFailedDir).string(),
+          results_dir_}) {
+        std::error_code ec;
+        fs::create_directories(dir, ec);
+        if (ec || !fs::is_directory(dir))
+            throw std::invalid_argument("serve: directory '" + dir +
+                                        "' cannot be created");
+    }
+    if (!config_.cache_dir.empty())
+        store_.emplace(config_.cache_dir);
+    recoverStale();
+}
+
+void
+Daemon::recoverStale()
+{
+    // Specs stranded in work/ mean a previous daemon died mid-
+    // request; their results are suspect, so re-queue the specs and
+    // let this instance redo them from scratch.
+    const fs::path work = fs::path(config_.spool_dir) / kWorkDir;
+    for (const auto &de : fs::directory_iterator(work)) {
+        if (!de.is_regular_file() ||
+            de.path().extension() != ".json")
+            continue;
+        const fs::path dest =
+            fs::path(config_.spool_dir) / de.path().filename();
+        std::error_code ec;
+        if (fs::exists(dest, ec)) {
+            // A same-named spec was submitted since the crash;
+            // re-queueing would clobber it with the stale copy.
+            // The fresh spec wins — park the stale one in failed/.
+            warn("serve: stale spec '%s' shadowed by a newer "
+                 "submission; moving it to %s/",
+                 de.path().filename().string().c_str(), kFailedDir);
+            fs::rename(de.path(),
+                       fs::path(config_.spool_dir) / kFailedDir /
+                           de.path().filename(),
+                       ec);
+            continue;
+        }
+        fs::rename(de.path(), dest, ec);
+        if (ec) {
+            warn("serve: cannot re-queue stale spec '%s': %s",
+                 de.path().string().c_str(), ec.message().c_str());
+            continue;
+        }
+        stats_.recovered += 1;
+        inform("serve: re-queued stale spec '%s'",
+               de.path().filename().string().c_str());
+    }
+}
+
+bool
+Daemon::stopped() const
+{
+    return config_.stop && config_.stop();
+}
+
+bool
+Daemon::moveTo(const std::string &from, const std::string &subdir,
+               const std::string &name, std::string *error)
+{
+    std::error_code ec;
+    fs::rename(from, fs::path(config_.spool_dir) / subdir / name,
+               ec);
+    if (ec) {
+        if (error)
+            *error = "cannot move '" + from + "' to " + subdir +
+                     "/: " + ec.message();
+        return false;
+    }
+    return true;
+}
+
+void
+Daemon::process(const std::string &spec_name)
+{
+    // Claim by rename: with several daemons sharing one spool,
+    // exactly one rename succeeds and the losers skip silently.
+    const fs::path spool(config_.spool_dir);
+    Request req;
+    req.name = spec_name;
+    req.work_path = (spool / kWorkDir / spec_name).string();
+    {
+        std::error_code ec;
+        fs::rename(spool / spec_name, req.work_path, ec);
+        if (ec)
+            return; // raced with another daemon, or vanished
+    }
+    const std::string stem = fs::path(spec_name).stem().string();
+    req.result_dir = (fs::path(results_dir_) / stem).string();
+    {
+        std::error_code ec;
+        fs::create_directories(req.result_dir, ec);
+        if (ec) {
+            warn("serve: cannot create result dir '%s': %s",
+                 req.result_dir.c_str(), ec.message().c_str());
+            // Without a result dir there is nowhere to report
+            // status; park the spec in failed/ and move on.
+            moveTo(req.work_path, kFailedDir, spec_name, nullptr);
+            stats_.failed += 1;
+            stats_.processed += 1;
+            return;
+        }
+    }
+
+    const auto start = std::chrono::steady_clock::now();
+    req.writeStatus("queued");
+
+    const auto fail = [&](const std::string &message) {
+        req.total_ms = msSince(start);
+        req.writeStatus("error", message);
+        std::string move_error;
+        if (!moveTo(req.work_path, kFailedDir, spec_name,
+                    &move_error))
+            warn("serve: %s", move_error.c_str());
+        stats_.failed += 1;
+        stats_.processed += 1;
+        warn("serve: %s failed: %s", spec_name.c_str(),
+             message.c_str());
+    };
+
+    api::BatchResult result;
+    try {
+        api::BatchConfig batch =
+            batchConfigFromJson(parseJsonFile(req.work_path));
+        // Execution parameters come from the daemon, not the spec:
+        // every request shares the daemon's store and pool.
+        batch.cache_dir = config_.cache_dir;
+        api::BatchRunner runner(std::move(batch));
+
+        req.writeStatus("running");
+        const auto run_start = std::chrono::steady_clock::now();
+        api::BatchEnv env;
+        env.store = store_ ? &*store_ : nullptr;
+        env.pool = &pool_;
+        result = runner.run(env);
+        req.run_ms = msSince(run_start);
+    } catch (const std::exception &err) {
+        fail(err.what());
+        return;
+    }
+
+    req.sweeps = result.sweeps.size();
+    req.stats = result.stats;
+    for (std::size_t i = 0; i < result.sweeps.size(); ++i) {
+        const std::string stem_i =
+            (fs::path(req.result_dir) /
+             ("sweep_" + std::to_string(i)))
+                .string();
+        std::ostringstream csv, json;
+        result.sweeps[i].writeCsv(csv);
+        result.sweeps[i].writeJson(json);
+        if (!atomicWriteFile(stem_i + ".csv", csv.str()) ||
+            !atomicWriteFile(stem_i + ".json", json.str())) {
+            fail("cannot write results under '" + req.result_dir +
+                 "'");
+            return;
+        }
+    }
+
+    req.total_ms = msSince(start);
+    req.writeStatus("done");
+    std::string move_error;
+    if (!moveTo(req.work_path, kDoneDir, spec_name, &move_error))
+        warn("serve: %s", move_error.c_str());
+    stats_.done += 1;
+    stats_.processed += 1;
+    inform("serve: %s done in %.1f ms (%zu sweep(s), %zu cache "
+           "hit(s), %zu simulated)",
+           spec_name.c_str(), req.total_ms, req.sweeps,
+           result.stats.cache_hits, result.stats.sims_run);
+}
+
+std::size_t
+Daemon::drainOnce()
+{
+    std::vector<std::string> names;
+    for (const auto &de :
+         fs::directory_iterator(config_.spool_dir)) {
+        if (!de.is_regular_file() ||
+            de.path().extension() != ".json")
+            continue;
+        names.push_back(de.path().filename().string());
+    }
+    std::sort(names.begin(), names.end());
+
+    const std::size_t before = stats_.processed;
+    for (const std::string &name : names) {
+        process(name);
+        if (stopped())
+            break; // graceful drain: finish the request, not the scan
+    }
+    stats_.polls += 1;
+    return stats_.processed - before;
+}
+
+ServeStats
+Daemon::run()
+{
+    for (;;) {
+        drainOnce();
+        if (config_.once || stopped())
+            break;
+        // Sleep in short slices so a stop signal interrupts the
+        // poll delay promptly, not after a full poll_ms.
+        const auto wake = std::chrono::steady_clock::now() +
+            std::chrono::milliseconds(config_.poll_ms);
+        while (std::chrono::steady_clock::now() < wake) {
+            if (stopped())
+                return stats_;
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(
+                    std::min(50u, std::max(1u, config_.poll_ms))));
+        }
+    }
+    return stats_;
+}
+
+} // namespace lsim::serve

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Spool-directory batch daemon: the library's batch layer as a
+ * long-running service.
+ *
+ * `lsim serve --spool DIR` watches a spool directory for batch-spec
+ * JSON files (the exact `lsim batch` format, see serve/spec.hh) and
+ * executes each through api::BatchRunner on ONE persistent thread
+ * pool and ONE shared ProfileStore — so after the first request
+ * warms the store, subsequent sweeps over the same workloads are
+ * pure replay with no process startup, no thread spawn, and no
+ * phase-1 simulation.
+ *
+ * Spool layout (subdirectories created on startup):
+ *
+ *     <spool>/<name>.json      incoming specs (writers SHOULD write
+ *                              a temp name and rename into place)
+ *     <spool>/work/            claimed specs being executed
+ *     <spool>/done/            consumed specs that succeeded
+ *     <spool>/failed/          malformed or failed specs
+ *     <results>/<name>/        per-request results + status
+ *
+ * where <results> defaults to <spool>/results. Per request <name>
+ * (the spec's filename stem), the daemon writes
+ *
+ *     <results>/<name>/status.json      (atomic at every transition)
+ *     <results>/<name>/sweep_<i>.csv    per sweep in the spec
+ *     <results>/<name>/sweep_<i>.json
+ *
+ * byte-identical to `lsim batch <spec> --out-dir`. The status file
+ * walks queued -> running -> done|error and carries timings plus the
+ * batch dedup/cache stats; every write is temp+rename so a poller
+ * never reads a torn file. Claiming is also a rename, so multiple
+ * daemons may share one spool — exactly one wins each spec.
+ *
+ * Crash recovery: specs stranded in work/ by a killed daemon are
+ * moved back into the spool root on construction and re-executed.
+ */
+
+#ifndef LSIM_SERVE_DAEMON_HH
+#define LSIM_SERVE_DAEMON_HH
+
+#include <cstddef>
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "api/parallel.hh"
+#include "store/profile_store.hh"
+
+namespace lsim::serve
+{
+
+/** Daemon configuration (flags of `lsim serve`). */
+struct ServeConfig
+{
+    /** Spool directory; required. Created when missing. */
+    std::string spool_dir;
+
+    /** Results directory; empty = <spool>/results. */
+    std::string results_dir;
+
+    /** Shared profile store; empty disables caching. */
+    std::string cache_dir;
+
+    /** Worker threads of the persistent pool; 0 = hardware. */
+    unsigned threads = 0;
+
+    /** Delay between spool scans, milliseconds. */
+    unsigned poll_ms = 500;
+
+    /** Process the specs present at startup, then return. */
+    bool once = false;
+
+    /**
+     * Polled between requests and while idle: return true to drain
+     * and stop (the CLI wires SIGINT/SIGTERM to this). The request
+     * in flight always completes — stopping never loses a spec.
+     */
+    std::function<bool()> stop;
+};
+
+/** What the daemon has served so far. */
+struct ServeStats
+{
+    std::size_t processed = 0; ///< specs consumed (done + failed)
+    std::size_t done = 0;      ///< executed successfully
+    std::size_t failed = 0;    ///< malformed or failed
+    std::size_t recovered = 0; ///< stranded work/ specs re-queued
+    std::size_t polls = 0;     ///< spool scans
+};
+
+/** The spool-watching service loop. */
+class Daemon
+{
+  public:
+    /**
+     * Creates the spool layout and (when configured) opens the
+     * shared store; recovers specs stranded in work/. Throws
+     * std::invalid_argument when directories cannot be created.
+     */
+    explicit Daemon(ServeConfig config);
+
+    /**
+     * One spool scan: claim and execute every spec currently in the
+     * spool root, oldest filename first. @return specs processed.
+     */
+    std::size_t drainOnce();
+
+    /** Scan-and-sleep loop until stop() or (with once) the first
+     * drain; @return the final stats. */
+    ServeStats run();
+
+    const ServeStats &stats() const { return stats_; }
+    const std::string &resultsDir() const { return results_dir_; }
+
+    /** The shared store, when a cache dir is configured. */
+    const store::ProfileStore *profileStore() const
+    {
+        return store_ ? &*store_ : nullptr;
+    }
+
+  private:
+    struct Request;
+
+    void recoverStale();
+    bool stopped() const;
+    void process(const std::string &spec_name);
+    bool moveTo(const std::string &from, const std::string &subdir,
+                const std::string &name, std::string *error);
+
+    ServeConfig config_;
+    std::string results_dir_;
+    ServeStats stats_;
+    std::optional<store::ProfileStore> store_;
+    api::detail::ThreadPool pool_;
+};
+
+} // namespace lsim::serve
+
+#endif // LSIM_SERVE_DAEMON_HH

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Batch-spec JSON: the request format shared by `lsim batch` and the
+ * spool daemon.
+ *
+ *   {"sweeps": [
+ *     {"benchmarks": ["gcc", "mcf"], "steps": 20, "insts": 500000},
+ *     {"benchmarks": ["gcc"], "policies": ["max-sleep"],
+ *      "p_min": 0.1, "p_max": 0.4, "steps": 4}]}
+ *
+ * Per-sweep fields: benchmarks, policies, profiles (workload JSON
+ * paths), imports, p_min, p_max, steps, alpha, insts, seed, fus
+ * (count or "auto").
+ *
+ * Parsing throws std::invalid_argument naming the offending sweep
+ * index and field — never exits — so the daemon can route a
+ * malformed spec to failed/ and keep serving. The CLI catches the
+ * same exception and die()s.
+ */
+
+#ifndef LSIM_SERVE_SPEC_HH
+#define LSIM_SERVE_SPEC_HH
+
+#include <cstddef>
+
+#include "api/batch.hh"
+#include "common/json.hh"
+
+namespace lsim::serve
+{
+
+/**
+ * Translate one batch-spec sweep object (element @p index of the
+ * "sweeps" array) into a SweepConfig. Throws std::invalid_argument
+ * on unknown fields, malformed values, or unreadable profile files.
+ */
+api::SweepConfig sweepConfigFromJson(const JsonValue &v,
+                                     std::size_t index);
+
+/**
+ * Translate a whole batch-spec document into a BatchConfig. The
+ * document must be an object whose only member is a non-empty
+ * "sweeps" array. Cache dir and thread count are execution
+ * parameters, not part of the spec; the caller sets them.
+ */
+api::BatchConfig batchConfigFromJson(const JsonValue &doc);
+
+} // namespace lsim::serve
+
+#endif // LSIM_SERVE_SPEC_HH

@@ -1,16 +1,15 @@
 #include "store/profile_store.hh"
 
-#include <unistd.h>
-
 #include <algorithm>
-#include <atomic>
 #include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <limits>
+#include <set>
 #include <sstream>
 #include <stdexcept>
 
+#include "common/files.hh"
 #include "common/logging.hh"
 
 namespace lsim::store
@@ -189,6 +188,34 @@ readEntry(std::istream &is, const std::string &what)
     return entry;
 }
 
+/** File mtime -> unix seconds (via the relative age, so no
+ * clock_cast dependency); the index's `touched` timebase. */
+double
+mtimeToUnixSeconds(fs::file_time_type mtime)
+{
+    const double age = std::chrono::duration<double>(
+                           fs::file_time_type::clock::now() - mtime)
+                           .count();
+    return StoreIndex::now() - age;
+}
+
+/** The index row describing @p sim (summary + accounting). */
+IndexEntry
+indexEntryFor(const harness::WorkloadSim &sim, std::uint64_t bytes,
+              double touched)
+{
+    IndexEntry entry;
+    entry.bytes = bytes;
+    entry.touched = touched;
+    entry.name = sim.name;
+    entry.fus = sim.num_fus;
+    entry.committed = sim.sim.committed;
+    entry.ipc = sim.sim.ipc;
+    entry.idle_fraction = sim.idle.idleFraction();
+    entry.intervals = sim.idle.numIntervals();
+    return entry;
+}
+
 } // namespace
 
 std::string
@@ -205,13 +232,28 @@ SimKey::fingerprint() const
 }
 
 ProfileStore::ProfileStore(std::string dir)
-    : dir_(std::move(dir))
+    : dir_(std::move(dir)), index_(dir_)
 {
     std::error_code ec;
     fs::create_directories(dir_, ec);
     if (ec || !fs::is_directory(dir_))
         throw std::invalid_argument("cache directory '" + dir_ +
                                     "' cannot be created");
+}
+
+ProfileStore::~ProfileStore()
+{
+    std::lock_guard<std::mutex> lock(index_mu_);
+    flushIndexLocked();
+}
+
+void
+ProfileStore::flushIndexLocked() const
+{
+    if (!index_dirty_)
+        return;
+    index_.save();
+    index_dirty_ = false;
 }
 
 std::string
@@ -221,7 +263,7 @@ ProfileStore::pathFor(const std::string &key) const
 }
 
 std::optional<harness::WorkloadSim>
-ProfileStore::load(const std::string &key) const
+ProfileStore::loadEntry(const std::string &key) const
 {
     const std::string path = pathFor(key);
     std::ifstream in(path, std::ios::binary);
@@ -239,39 +281,39 @@ ProfileStore::load(const std::string &key) const
     }
 }
 
+std::optional<harness::WorkloadSim>
+ProfileStore::load(const std::string &key) const
+{
+    auto sim = loadEntry(key);
+    if (sim) {
+        // A hit is a use: refresh the LRU signal so gc() never
+        // evicts what a warm daemon is actively serving. In memory
+        // only — persisting here would put an O(entries) index
+        // rewrite on the hot warm-cache path; the next mutating
+        // call (or the destructor) flushes.
+        std::lock_guard<std::mutex> lock(index_mu_);
+        if (index_.find(key)) {
+            index_.touch(key, StoreIndex::now());
+            index_dirty_ = true;
+        }
+    }
+    return sim;
+}
+
 void
 ProfileStore::save(const std::string &key,
                    const harness::WorkloadSim &sim) const
 {
-    // Unique temp name per process x call so concurrent writers
-    // (threads or separate sweeps sharing the cache) never collide;
-    // rename() within one directory is atomic on POSIX.
-    static std::atomic<unsigned> counter{0};
-    const std::string tmp = pathFor(key) + ".tmp." +
-        std::to_string(static_cast<unsigned long>(::getpid())) +
-        "." + std::to_string(counter.fetch_add(1));
-
-    {
-        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-        if (!out) {
-            warn("profile store: cannot write '%s'", tmp.c_str());
-            return;
-        }
-        writeEntry(out, key, sim);
-        if (!out) {
-            warn("profile store: short write to '%s'", tmp.c_str());
-            out.close();
-            fs::remove(tmp);
-            return;
-        }
-    }
-    std::error_code ec;
-    fs::rename(tmp, pathFor(key), ec);
-    if (ec) {
-        warn("profile store: cannot install '%s': %s",
-             pathFor(key).c_str(), ec.message().c_str());
-        fs::remove(tmp, ec);
-    }
+    std::ostringstream ss;
+    writeEntry(ss, key, sim);
+    const std::string bytes = ss.str();
+    if (!atomicWriteFile(pathFor(key), bytes))
+        return;
+    std::lock_guard<std::mutex> lock(index_mu_);
+    index_.put(key, indexEntryFor(sim, bytes.size(),
+                                  StoreIndex::now()));
+    index_dirty_ = true;
+    flushIndexLocked();
 }
 
 std::vector<StoreEntry>
@@ -283,7 +325,7 @@ ProfileStore::list() const
             de.path().extension() != kExtension)
             continue;
         const std::string key = de.path().stem().string();
-        if (auto sim = load(key))
+        if (auto sim = loadEntry(key))
             out.push_back({key, std::move(*sim)});
     }
     std::sort(out.begin(), out.end(),
@@ -293,11 +335,65 @@ ProfileStore::list() const
     return out;
 }
 
+std::vector<StoreSummary>
+ProfileStore::summaries() const
+{
+    std::lock_guard<std::mutex> lock(index_mu_);
+    std::vector<StoreSummary> out;
+    std::set<std::string> on_disk;
+    for (const auto &de : fs::directory_iterator(dir_)) {
+        if (!de.is_regular_file() ||
+            de.path().extension() != kExtension)
+            continue;
+        const std::string key = de.path().stem().string();
+        on_disk.insert(key);
+        if (const IndexEntry *indexed = index_.find(key)) {
+            out.push_back({key, *indexed});
+            continue;
+        }
+        // Unindexed (pre-index store, or a lost concurrent-writer
+        // race): one full read adopts it into the index.
+        const auto sim = loadEntry(key);
+        if (!sim)
+            continue; // unreadable; loadEntry() warned
+        std::error_code ec;
+        const std::uint64_t bytes = de.file_size(ec);
+        auto mtime = fs::last_write_time(de.path(), ec);
+        const double touched =
+            ec ? StoreIndex::now() : mtimeToUnixSeconds(mtime);
+        IndexEntry entry = indexEntryFor(*sim, bytes, touched);
+        index_.put(key, entry);
+        index_dirty_ = true;
+        out.push_back({key, std::move(entry)});
+    }
+    // Drop index rows whose file vanished (rm/gc by another
+    // process, manual deletion).
+    for (auto it = index_.entries().begin();
+         it != index_.entries().end();) {
+        const std::string key = it->first;
+        ++it;
+        if (on_disk.find(key) == on_disk.end()) {
+            index_.erase(key);
+            index_dirty_ = true;
+        }
+    }
+    flushIndexLocked();
+    std::sort(out.begin(), out.end(),
+              [](const StoreSummary &a, const StoreSummary &b) {
+                  return a.key < b.key;
+              });
+    return out;
+}
+
 bool
 ProfileStore::remove(const std::string &key) const
 {
     std::error_code ec;
-    return fs::remove(pathFor(key), ec) && !ec;
+    const bool removed = fs::remove(pathFor(key), ec) && !ec;
+    std::lock_guard<std::mutex> lock(index_mu_);
+    index_dirty_ |= index_.erase(key);
+    flushIndexLocked();
+    return removed;
 }
 
 ProfileStore::GcStats
@@ -305,36 +401,51 @@ ProfileStore::gc(const GcOptions &options) const
 {
     struct Candidate
     {
+        std::string key;
         fs::path path;
-        fs::file_time_type mtime;
+        double touched = 0.0; ///< unix seconds of last known use
         std::uint64_t bytes = 0;
     };
     std::vector<Candidate> entries;
     GcStats stats;
+    std::lock_guard<std::mutex> lock(index_mu_);
     for (const auto &de : fs::directory_iterator(dir_)) {
         if (!de.is_regular_file() ||
             de.path().extension() != kExtension)
             continue;
-        std::error_code ec;
         Candidate c;
         c.path = de.path();
-        c.mtime = fs::last_write_time(c.path, ec);
-        if (ec)
-            continue; // raced with a concurrent eviction
-        c.bytes = de.file_size(ec);
-        if (ec)
-            continue;
+        c.key = de.path().stem().string();
+        if (const IndexEntry *indexed = index_.find(c.key)) {
+            // Index rows carry the LRU signal (loads touch them,
+            // mtime never moves on reads) and spare the stat().
+            c.touched = indexed->touched;
+            c.bytes = indexed->bytes;
+        } else {
+            std::error_code ec;
+            const auto mtime = fs::last_write_time(c.path, ec);
+            if (!ec)
+                c.bytes = de.file_size(ec);
+            if (ec) {
+                // Age unknown is not "old": keep the entry and
+                // report it rather than letting a default mtime
+                // make it first in line for eviction.
+                stats.stat_errors += 1;
+                continue;
+            }
+            c.touched = mtimeToUnixSeconds(mtime);
+        }
         stats.scanned += 1;
         stats.bytes_before += c.bytes;
         entries.push_back(std::move(c));
     }
     std::sort(entries.begin(), entries.end(),
               [](const Candidate &a, const Candidate &b) {
-                  return a.mtime < b.mtime; // oldest first
+                  return a.touched < b.touched; // coldest first
               });
 
     stats.bytes_after = stats.bytes_before;
-    const auto now = fs::file_time_type::clock::now();
+    const double now = StoreIndex::now();
     const auto evict = [&](const Candidate &c) {
         std::error_code ec;
         const bool removed = fs::remove(c.path, ec);
@@ -344,16 +455,15 @@ ProfileStore::gc(const GcOptions &options) const
         // us to it; only the former counts as our eviction, but the
         // bytes left the store in both cases.
         stats.bytes_after -= c.bytes;
+        index_dirty_ |= index_.erase(c.key);
         if (removed)
             stats.removed += 1;
     };
     std::size_t kept_from = 0;
     if (options.max_age_seconds) {
-        const auto limit = std::chrono::duration_cast<
-            fs::file_time_type::duration>(std::chrono::duration<
-            double>(*options.max_age_seconds));
         while (kept_from < entries.size() &&
-               now - entries[kept_from].mtime > limit) {
+               now - entries[kept_from].touched >
+                   *options.max_age_seconds) {
             evict(entries[kept_from]);
             ++kept_from;
         }
@@ -365,6 +475,7 @@ ProfileStore::gc(const GcOptions &options) const
             ++kept_from;
         }
     }
+    flushIndexLocked();
     return stats;
 }
 

@@ -30,6 +30,7 @@
 #define LSIM_STORE_PROFILE_STORE_HH
 
 #include <cstdint>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -37,6 +38,7 @@
 #include "common/json.hh"
 #include "cpu/config.hh"
 #include "store/serialize.hh"
+#include "store/store_index.hh"
 #include "trace/profile.hh"
 
 namespace lsim::store
@@ -67,7 +69,20 @@ struct StoreEntry
     harness::WorkloadSim sim;
 };
 
-/** The on-disk store. Cheap to construct; stateless between calls. */
+/** One summary row as listed by ProfileStore::summaries(). */
+struct StoreSummary
+{
+    std::string key;
+    IndexEntry entry;
+};
+
+/**
+ * The on-disk store. Cheap to construct. Each instance keeps the
+ * directory's StoreIndex in memory (loaded once, updated on every
+ * save/load/gc and persisted atomically), so a long-lived instance —
+ * the serve daemon's — answers summaries() and gc() without touching
+ * the entry files. Instances are not copyable; construct in place.
+ */
 class ProfileStore
 {
   public:
@@ -81,20 +96,39 @@ class ProfileStore
      */
     explicit ProfileStore(std::string dir);
 
+    /** Flushes any deferred index touch-times (see load()). */
+    ~ProfileStore();
+
+    ProfileStore(const ProfileStore &) = delete;
+    ProfileStore &operator=(const ProfileStore &) = delete;
+
     /**
      * Fetch the entry stored under @p key. Returns std::nullopt —
      * after a warn() — when the entry is absent, truncated,
-     * corrupted, or written by a different format version.
+     * corrupted, or written by a different format version. A hit
+     * refreshes the key's index touch-time (the gc LRU signal) in
+     * memory; the index file is persisted lazily — by the next
+     * mutating call (save/remove/gc/summaries) or the destructor —
+     * so the warm path never pays a whole-index rewrite per hit.
      */
     std::optional<harness::WorkloadSim>
     load(const std::string &key) const;
 
-    /** Atomically persist @p sim under @p key. */
+    /** Atomically persist @p sim under @p key (index updated). */
     void save(const std::string &key,
               const harness::WorkloadSim &sim) const;
 
     /** All readable entries, sorted by key; unreadable files warn. */
     std::vector<StoreEntry> list() const;
+
+    /**
+     * One summary row per entry, sorted by key, served from the
+     * index without deserializing entry files. Unindexed files
+     * (written by an older version, or by a process whose index
+     * update lost a concurrent-writer race) are read once, indexed,
+     * and included; index rows whose file vanished are dropped.
+     */
+    std::vector<StoreSummary> summaries() const;
 
     /**
      * Delete the entry stored under @p key.
@@ -116,18 +150,27 @@ class ProfileStore
     {
         std::size_t scanned = 0; ///< entries examined
         std::size_t removed = 0; ///< entries deleted
+        /** Entries whose file could not be stat()ed (and which have
+         * no index row to fall back on). These are *kept* and
+         * reported — a stat failure means "age unknown", not "old",
+         * so they must never become eviction fodder by default. */
+        std::size_t stat_errors = 0;
         std::uint64_t bytes_before = 0;
         std::uint64_t bytes_after = 0;
     };
 
     /**
      * Evict store entries by age and/or total size: entries older
-     * than max_age_seconds go first, then the oldest remaining
-     * entries until the store is within max_bytes. Only
-     * `*.lsimprof` files are touched; unreadable or corrupt entries
-     * are regular eviction candidates (their mtime decides), so a
-     * poisoned cache heals over time. Safe to run concurrently with
-     * sweeps: a hit on a just-evicted key is an ordinary miss.
+     * than max_age_seconds go first, then the least-recently-used
+     * remaining entries until the store is within max_bytes. Age is
+     * the index touch-time where available — updated on loads as
+     * well as saves, so an entry a warm daemon serves daily never
+     * looks cold no matter its mtime — with a stat() fallback for
+     * unindexed files. Only `*.lsimprof` files are touched;
+     * unreadable or corrupt entries are regular eviction candidates
+     * (their touch-time decides), so a poisoned cache heals over
+     * time. Safe to run concurrently with sweeps: a hit on a
+     * just-evicted key is an ordinary miss.
      */
     GcStats gc(const GcOptions &options) const;
 
@@ -136,7 +179,21 @@ class ProfileStore
   private:
     std::string pathFor(const std::string &key) const;
 
+    /** load() minus the index touch (for internal bulk walks). */
+    std::optional<harness::WorkloadSim>
+    loadEntry(const std::string &key) const;
+
+    /** Persist the index iff a deferred update is pending; call
+     * with index_mu_ held. */
+    void flushIndexLocked() const;
+
     std::string dir_;
+
+    /** In-memory index; mutable because reads (load) refresh the
+     * LRU signal. All access goes through index_mu_. */
+    mutable std::mutex index_mu_;
+    mutable StoreIndex index_;
+    mutable bool index_dirty_ = false;
 };
 
 /**

@@ -1,0 +1,137 @@
+#include "store/store_index.hh"
+
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "common/files.hh"
+#include "common/json.hh"
+#include "common/logging.hh"
+
+namespace lsim::store
+{
+
+namespace fs = std::filesystem;
+
+namespace
+{
+
+constexpr std::uint32_t kIndexVersion = 1;
+
+/** Parse one index row; throws std::invalid_argument on shape
+ * errors (the caller treats any throw as "index unusable"). */
+std::pair<std::string, IndexEntry>
+entryFromJson(const JsonValue &v)
+{
+    IndexEntry entry;
+    const std::string key = v.at("key").asString();
+    entry.bytes = v.at("bytes").asU64();
+    entry.touched = v.at("touched").asNumber();
+    entry.name = v.at("name").asString();
+    const std::uint64_t fus = v.at("fus").asU64();
+    if (fus > std::numeric_limits<unsigned>::max())
+        throw std::invalid_argument("index 'fus' too large");
+    entry.fus = static_cast<unsigned>(fus);
+    entry.committed = v.at("committed").asU64();
+    entry.ipc = v.at("ipc").asNumber();
+    entry.idle_fraction = v.at("idle_fraction").asNumber();
+    entry.intervals = v.at("intervals").asU64();
+    return {key, entry};
+}
+
+} // namespace
+
+StoreIndex::StoreIndex(std::string dir)
+    : dir_(std::move(dir))
+{
+    std::ifstream in(path(), std::ios::binary);
+    if (!in)
+        return; // no index yet: empty, rebuilt lazily
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    try {
+        const JsonValue doc = parseJson(ss.str());
+        if (doc.at("version").asU64() != kIndexVersion)
+            throw std::invalid_argument(
+                "unsupported index version " +
+                std::to_string(doc.at("version").asU64()));
+        for (const JsonValue &row : doc.at("entries").items())
+            entries_.insert(entryFromJson(row));
+    } catch (const std::invalid_argument &err) {
+        warn("profile store: ignoring index '%s': %s",
+             path().c_str(), err.what());
+        entries_.clear();
+    }
+}
+
+std::string
+StoreIndex::path() const
+{
+    return (fs::path(dir_) / kFileName).string();
+}
+
+const IndexEntry *
+StoreIndex::find(const std::string &key) const
+{
+    const auto it = entries_.find(key);
+    return it == entries_.end() ? nullptr : &it->second;
+}
+
+void
+StoreIndex::put(const std::string &key, IndexEntry entry)
+{
+    entries_[key] = std::move(entry);
+}
+
+void
+StoreIndex::touch(const std::string &key, double when)
+{
+    const auto it = entries_.find(key);
+    if (it != entries_.end())
+        it->second.touched = when;
+}
+
+bool
+StoreIndex::erase(const std::string &key)
+{
+    return entries_.erase(key) > 0;
+}
+
+bool
+StoreIndex::save() const
+{
+    std::ostringstream ss;
+    JsonWriter w(ss);
+    w.beginObject();
+    w.field("version", static_cast<std::uint64_t>(kIndexVersion));
+    w.beginArray("entries");
+    for (const auto &[key, entry] : entries_) {
+        w.beginObject();
+        w.field("key", key);
+        w.field("bytes", entry.bytes);
+        w.field("touched", entry.touched);
+        w.field("name", entry.name);
+        w.field("fus", entry.fus);
+        w.field("committed", entry.committed);
+        w.field("ipc", entry.ipc);
+        w.field("idle_fraction", entry.idle_fraction);
+        w.field("intervals", entry.intervals);
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    ss << "\n";
+    return atomicWriteFile(path(), ss.str());
+}
+
+double
+StoreIndex::now()
+{
+    return std::chrono::duration<double>(
+               std::chrono::system_clock::now().time_since_epoch())
+        .count();
+}
+
+} // namespace lsim::store

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Persisted index over a profile-store directory.
+ *
+ * The store's flat <key>.lsimprof layout makes listing and eviction
+ * O(entries) in *full entry reads* (list) or *stat calls* (gc). The
+ * index caches, per key, everything those walks were recomputing —
+ * payload size, a last-use timestamp, and the summary columns
+ * `lsim profile ls` prints — in one JSON file:
+ *
+ *     <dir>/index.json
+ *     {"version": 1, "entries": [
+ *        {"key": "gcc-<hash>", "bytes": 12345,
+ *         "touched": 1753700000.25,
+ *         "name": "gcc", "fus": 2, "committed": 500000,
+ *         "ipc": 1.619, "idle_fraction": 0.41, "intervals": 125}]}
+ *
+ * `touched` is updated on every save *and* load, so it is a genuine
+ * LRU signal: a file's mtime never moves on reads, but the index
+ * knows a warm daemon has been serving an entry all week.
+ *
+ * The index is an accelerator, never the source of truth. Entries
+ * missing from it are discovered by a directory scan and re-added;
+ * index rows whose file vanished are dropped; a corrupt or deleted
+ * index.json just rebuilds lazily. Concurrent processes sharing a
+ * directory each rewrite the whole file atomically — the last
+ * writer wins and the losers' updates are re-derived on demand.
+ */
+
+#ifndef LSIM_STORE_STORE_INDEX_HH
+#define LSIM_STORE_STORE_INDEX_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace lsim::store
+{
+
+/** Per-entry index record: accounting plus the `ls` summary. */
+struct IndexEntry
+{
+    std::uint64_t bytes = 0; ///< entry file size
+    double touched = 0.0;    ///< unix seconds of last save or load
+
+    // Summary columns (what `lsim profile ls` shows without
+    // deserializing the entry).
+    std::string name;
+    unsigned fus = 0;
+    std::uint64_t committed = 0;
+    double ipc = 0.0;
+    double idle_fraction = 0.0;
+    std::uint64_t intervals = 0;
+};
+
+/** In-memory image of <dir>/index.json. */
+class StoreIndex
+{
+  public:
+    /** Index filename inside the store directory. */
+    static constexpr const char *kFileName = "index.json";
+
+    /**
+     * Load the index of @p dir. A missing, unreadable, or malformed
+     * index file yields an empty index (after a warn() for the
+     * malformed case) — the store rebuilds it on use.
+     */
+    explicit StoreIndex(std::string dir);
+
+    const std::map<std::string, IndexEntry> &entries() const
+    {
+        return entries_;
+    }
+
+    /** Entry under @p key, or nullptr. */
+    const IndexEntry *find(const std::string &key) const;
+
+    /** Insert or replace the entry under @p key. */
+    void put(const std::string &key, IndexEntry entry);
+
+    /** Update @p key's last-use time; no-op when absent. */
+    void touch(const std::string &key, double when);
+
+    /** @return true when an entry was removed. */
+    bool erase(const std::string &key);
+
+    /** Atomically persist the index to <dir>/index.json. */
+    bool save() const;
+
+    /** Current unix time in seconds (the `touched` clock). */
+    static double now();
+
+    const std::string &dir() const { return dir_; }
+
+  private:
+    std::string path() const;
+
+    std::string dir_;
+    std::map<std::string, IndexEntry> entries_;
+};
+
+} // namespace lsim::store
+
+#endif // LSIM_STORE_STORE_INDEX_HH

@@ -158,6 +158,43 @@ TEST(JsonParse, StringEscapes)
     EXPECT_EQ(items[3].asString(), "A\xc3\xa9");
 }
 
+TEST(JsonParse, SurrogatePairsDecodeToOneCodePoint)
+{
+    // U+1F600 as its \ud83d\ude00 pair -> one 4-byte UTF-8
+    // sequence, and the first supplementary code point U+10000 at
+    // the pair-arithmetic boundary.
+    const auto v = lsim::parseJson(
+        R"(["\ud83d\ude00", "\ud800\udc00", "x\ud83d\ude00y"])");
+    EXPECT_EQ(v.items()[0].asString(), "\xf0\x9f\x98\x80");
+    EXPECT_EQ(v.items()[1].asString(), "\xf0\x90\x80\x80");
+    EXPECT_EQ(v.items()[2].asString(), "x\xf0\x9f\x98\x80y");
+}
+
+TEST(JsonParse, LoneSurrogatesAreRejected)
+{
+    // Passing any of these through as raw code units would emit
+    // invalid UTF-8 that poisons every downstream result file.
+    for (const char *bad :
+         {R"("\ud800")",          // lone high at end of string
+          R"("\ud800x")",         // high followed by a plain char
+          R"("\ud800\n")",        // high followed by another escape
+          R"("\ud800\u0041")",   // high followed by a non-low \u
+          R"("\ud800\ud800")",    // high followed by another high
+          R"("\udc00")",          // lone low
+          R"("\ude00\ud83d")"})   // pair in the wrong order
+    {
+        try {
+            (void)lsim::parseJson(bad);
+            FAIL() << "accepted: " << bad;
+        } catch (const std::invalid_argument &err) {
+            EXPECT_NE(
+                std::string(err.what()).find("surrogate"),
+                std::string::npos)
+                << err.what();
+        }
+    }
+}
+
 TEST(JsonParse, RoundTripsTheWriter)
 {
     std::ostringstream os;

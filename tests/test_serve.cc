@@ -1,0 +1,316 @@
+/**
+ * @file
+ * Unit tests for the spool daemon (serve::Daemon) and the shared
+ * batch-spec parser: specs picked up and executed, malformed specs
+ * routed to failed/ with machine-readable error status, results
+ * byte-identical to a direct BatchRunner run, the shared store
+ * serving warm requests, and restart recovery of stranded specs.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "api/batch.hh"
+#include "common/json.hh"
+#include "serve/daemon.hh"
+#include "serve/spec.hh"
+
+namespace
+{
+
+namespace fs = std::filesystem;
+using namespace lsim;
+using namespace lsim::serve;
+
+constexpr const char *kSpec =
+    R"({"sweeps": [{"benchmarks": ["gcc"], "steps": 2,
+                    "insts": 20000}]})";
+
+/** Fresh per-test directory under gtest's temp root. */
+std::string
+freshDir(const std::string &name)
+{
+    const fs::path dir =
+        fs::path(::testing::TempDir()) / ("lsim_serve_" + name);
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    return dir.string();
+}
+
+void
+writeFile(const fs::path &path, const std::string &text)
+{
+    std::ofstream out(path);
+    out << text;
+    ASSERT_TRUE(out.good()) << path;
+}
+
+std::string
+readFile(const fs::path &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in.is_open()) << path;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+ServeConfig
+baseConfig(const std::string &spool)
+{
+    ServeConfig cfg;
+    cfg.spool_dir = spool;
+    cfg.threads = 2;
+    cfg.once = true;
+    return cfg;
+}
+
+TEST(Spec, ParsesTheBatchFormat)
+{
+    const auto batch = batchConfigFromJson(parseJson(
+        R"({"sweeps": [
+              {"benchmarks": ["gcc", "mst"], "steps": 4,
+               "insts": 12345, "seed": 7},
+              {"benchmarks": ["gcc"], "policies": ["max-sleep"],
+               "p_min": 0.1, "p_max": 0.4, "steps": 2}]})"));
+    ASSERT_EQ(batch.sweeps.size(), 2u);
+    EXPECT_EQ(batch.sweeps[0].workloads,
+              (std::vector<std::string>{"gcc", "mst"}));
+    EXPECT_EQ(batch.sweeps[0].technologies.size(), 4u);
+    EXPECT_EQ(batch.sweeps[0].insts, 12345u);
+    EXPECT_EQ(batch.sweeps[0].seed, 7u);
+    EXPECT_EQ(batch.sweeps[1].policies,
+              (std::vector<std::string>{"max-sleep"}));
+    EXPECT_DOUBLE_EQ(batch.sweeps[1].technologies.front().p, 0.1);
+    EXPECT_DOUBLE_EQ(batch.sweeps[1].technologies.back().p, 0.4);
+}
+
+TEST(Spec, RejectsMalformedDocuments)
+{
+    // Wrong shapes and unknown fields throw (never exit) so the
+    // daemon can route the spec to failed/ and keep serving.
+    for (const char *bad :
+         {R"([1, 2])",                                  // not an object
+          R"({"sweeps": []})",                          // empty
+          R"({"sweeps": [{}], "bogus": 1})",            // unknown top field
+          R"({"sweeps": [{"bogus": 1}]})",              // unknown sweep field
+          R"({"sweeps": [{"steps": 0}]})",              // pSweep rejects
+          R"({"sweeps": [{"insts": -5}]})"})            // negative u64
+        EXPECT_THROW((void)batchConfigFromJson(parseJson(bad)),
+                     std::invalid_argument)
+            << bad;
+}
+
+TEST(Daemon, OnceExecutesSpecByteIdenticalToBatch)
+{
+    const std::string spool = freshDir("once");
+    writeFile(fs::path(spool) / "req.json", kSpec);
+
+    Daemon daemon(baseConfig(spool));
+    EXPECT_EQ(daemon.drainOnce(), 1u);
+    EXPECT_EQ(daemon.stats().done, 1u);
+    EXPECT_EQ(daemon.stats().failed, 0u);
+
+    // The spec was consumed into done/.
+    EXPECT_FALSE(fs::exists(fs::path(spool) / "req.json"));
+    EXPECT_TRUE(fs::exists(fs::path(spool) / "done" / "req.json"));
+
+    // Results are byte-identical to a direct BatchRunner run of the
+    // same spec.
+    const auto reference =
+        api::BatchRunner(batchConfigFromJson(parseJson(kSpec)))
+            .run();
+    ASSERT_EQ(reference.sweeps.size(), 1u);
+    std::ostringstream csv, json;
+    reference.sweeps[0].writeCsv(csv);
+    reference.sweeps[0].writeJson(json);
+    const fs::path results = fs::path(spool) / "results" / "req";
+    EXPECT_EQ(readFile(results / "sweep_0.csv"), csv.str());
+    EXPECT_EQ(readFile(results / "sweep_0.json"), json.str());
+
+    // The status file is machine-readable and complete.
+    const JsonValue status =
+        parseJsonFile((results / "status.json").string());
+    EXPECT_EQ(status.at("spec").asString(), "req.json");
+    EXPECT_EQ(status.at("state").asString(), "done");
+    EXPECT_EQ(status.at("sweeps").asU64(), 1u);
+    EXPECT_GT(status.at("total_ms").asNumber(), 0.0);
+    EXPECT_GE(status.at("total_ms").asNumber(),
+              status.at("run_ms").asNumber());
+    EXPECT_EQ(status.at("stats").at("requested_sims").asU64(), 1u);
+    EXPECT_EQ(status.at("stats").at("sims_run").asU64(), 1u);
+}
+
+TEST(Daemon, MalformedSpecsLandInFailedAndDoNotStopTheDrain)
+{
+    const std::string spool = freshDir("malformed");
+    writeFile(fs::path(spool) / "a_bad.json", "not json at all");
+    writeFile(fs::path(spool) / "b_badspec.json",
+              R"({"sweeps": [{"benchmarks": ["no-such-bench"],
+                              "steps": 2}]})");
+    writeFile(fs::path(spool) / "c_good.json", kSpec);
+
+    Daemon daemon(baseConfig(spool));
+    EXPECT_EQ(daemon.drainOnce(), 3u);
+    EXPECT_EQ(daemon.stats().failed, 2u);
+    EXPECT_EQ(daemon.stats().done, 1u);
+
+    EXPECT_TRUE(
+        fs::exists(fs::path(spool) / "failed" / "a_bad.json"));
+    EXPECT_TRUE(
+        fs::exists(fs::path(spool) / "failed" / "b_badspec.json"));
+    EXPECT_TRUE(
+        fs::exists(fs::path(spool) / "done" / "c_good.json"));
+
+    const JsonValue parse_err = parseJsonFile(
+        (fs::path(spool) / "results" / "a_bad" / "status.json")
+            .string());
+    EXPECT_EQ(parse_err.at("state").asString(), "error");
+    EXPECT_NE(parse_err.at("error").asString().find(
+                  "JSON parse error"),
+              std::string::npos);
+
+    const JsonValue spec_err = parseJsonFile(
+        (fs::path(spool) / "results" / "b_badspec" / "status.json")
+            .string());
+    EXPECT_EQ(spec_err.at("state").asString(), "error");
+    EXPECT_NE(spec_err.at("error").asString().find("no-such-bench"),
+              std::string::npos);
+}
+
+TEST(Daemon, WarmSecondRequestIsServedFromTheSharedStore)
+{
+    const std::string spool = freshDir("warm");
+    auto cfg = baseConfig(spool);
+    cfg.cache_dir = freshDir("warm_cache");
+    Daemon daemon(cfg);
+
+    writeFile(fs::path(spool) / "first.json", kSpec);
+    EXPECT_EQ(daemon.drainOnce(), 1u);
+    const JsonValue first = parseJsonFile(
+        (fs::path(spool) / "results" / "first" / "status.json")
+            .string());
+    EXPECT_EQ(first.at("stats").at("sims_run").asU64(), 1u);
+    EXPECT_EQ(first.at("stats").at("cache_hits").asU64(), 0u);
+
+    // Same daemon instance, same store: the second request must be
+    // pure replay.
+    writeFile(fs::path(spool) / "second.json", kSpec);
+    EXPECT_EQ(daemon.drainOnce(), 1u);
+    const JsonValue second = parseJsonFile(
+        (fs::path(spool) / "results" / "second" / "status.json")
+            .string());
+    EXPECT_EQ(second.at("stats").at("sims_run").asU64(), 0u);
+    EXPECT_EQ(second.at("stats").at("cache_hits").asU64(), 1u);
+
+    // Warm output stays byte-identical to the cold request's.
+    EXPECT_EQ(
+        readFile(fs::path(spool) / "results" / "first" /
+                 "sweep_0.csv"),
+        readFile(fs::path(spool) / "results" / "second" /
+                 "sweep_0.csv"));
+
+    // A freshly constructed daemon over the same cache dir is warm
+    // too (the store is on disk, not in the instance).
+    Daemon restarted(cfg);
+    writeFile(fs::path(spool) / "third.json", kSpec);
+    EXPECT_EQ(restarted.drainOnce(), 1u);
+    const JsonValue third = parseJsonFile(
+        (fs::path(spool) / "results" / "third" / "status.json")
+            .string());
+    EXPECT_EQ(third.at("stats").at("cache_hits").asU64(), 1u);
+}
+
+TEST(Daemon, RecoversSpecsStrandedInWork)
+{
+    const std::string spool = freshDir("recover");
+    // Simulate a daemon that died mid-request: the claimed spec
+    // sits in work/ with nobody executing it.
+    fs::create_directories(fs::path(spool) / "work");
+    writeFile(fs::path(spool) / "work" / "stranded.json", kSpec);
+
+    Daemon daemon(baseConfig(spool));
+    EXPECT_EQ(daemon.stats().recovered, 1u);
+    EXPECT_TRUE(fs::exists(fs::path(spool) / "stranded.json"))
+        << "recovery must re-queue the spec into the spool root";
+
+    EXPECT_EQ(daemon.drainOnce(), 1u);
+    EXPECT_EQ(daemon.stats().done, 1u);
+    EXPECT_TRUE(
+        fs::exists(fs::path(spool) / "done" / "stranded.json"));
+    const JsonValue status = parseJsonFile(
+        (fs::path(spool) / "results" / "stranded" / "status.json")
+            .string());
+    EXPECT_EQ(status.at("state").asString(), "done");
+}
+
+TEST(Daemon, RecoveryNeverClobbersAResubmittedSpec)
+{
+    const std::string spool = freshDir("recover_shadow");
+    // A crashed daemon left a stale claimed copy of req.json, and
+    // the user has since submitted a corrected req.json. Recovery
+    // must keep the fresh spec and park the stale one in failed/.
+    fs::create_directories(fs::path(spool) / "work");
+    writeFile(fs::path(spool) / "work" / "req.json", "stale spec");
+    writeFile(fs::path(spool) / "req.json", kSpec);
+
+    Daemon daemon(baseConfig(spool));
+    EXPECT_EQ(daemon.stats().recovered, 0u);
+    EXPECT_EQ(readFile(fs::path(spool) / "req.json"), kSpec)
+        << "the resubmitted spec must survive recovery untouched";
+    EXPECT_EQ(readFile(fs::path(spool) / "failed" / "req.json"),
+              "stale spec");
+
+    EXPECT_EQ(daemon.drainOnce(), 1u);
+    EXPECT_EQ(daemon.stats().done, 1u);
+}
+
+TEST(Daemon, RunOnceProcessesEverythingThenReturns)
+{
+    const std::string spool = freshDir("run_once");
+    writeFile(fs::path(spool) / "a.json", kSpec);
+    writeFile(fs::path(spool) / "b.json", "broken");
+
+    Daemon daemon(baseConfig(spool));
+    const ServeStats stats = daemon.run();
+    EXPECT_EQ(stats.processed, 2u);
+    EXPECT_EQ(stats.done, 1u);
+    EXPECT_EQ(stats.failed, 1u);
+    EXPECT_EQ(stats.polls, 1u);
+}
+
+TEST(Daemon, StopFlagEndsTheLoop)
+{
+    const std::string spool = freshDir("stop");
+    writeFile(fs::path(spool) / "req.json", kSpec);
+
+    // Not --once: the loop would poll forever without the stop
+    // hook. Stopping after the first scan must still have finished
+    // the request in flight (graceful drain).
+    ServeConfig cfg = baseConfig(spool);
+    cfg.once = false;
+    cfg.poll_ms = 10;
+    cfg.stop = [] { return true; };
+    Daemon daemon(cfg);
+    const ServeStats stats = daemon.run();
+    EXPECT_EQ(stats.done, 1u);
+    EXPECT_TRUE(fs::exists(fs::path(spool) / "done" / "req.json"));
+}
+
+TEST(Daemon, RejectsAnUncreatableSpool)
+{
+    ServeConfig cfg;
+    cfg.spool_dir = "";
+    EXPECT_THROW(Daemon{cfg}, std::invalid_argument);
+
+    // A file where the spool directory should be.
+    const std::string dir = freshDir("notadir");
+    writeFile(fs::path(dir) / "occupied", "x");
+    ServeConfig bad = baseConfig((fs::path(dir) / "occupied").string());
+    EXPECT_THROW(Daemon{bad}, std::invalid_argument);
+}
+
+} // namespace

@@ -200,51 +200,93 @@ TEST(ProfileStore, RemoveDeletesExactlyOneEntry)
     EXPECT_EQ(db.list().size(), 1u);
 }
 
-TEST(ProfileStore, GcEvictsByAge)
+/** Backdate @p key's index touch-time by @p seconds (as a restarted
+ * process would observe it: rewrite index.json on disk). */
+void
+backdateIndexTouch(const std::string &dir, const std::string &key,
+                   double seconds)
+{
+    StoreIndex index(dir);
+    const IndexEntry *entry = index.find(key);
+    ASSERT_NE(entry, nullptr) << key;
+    index.touch(key, entry->touched - seconds);
+    ASSERT_TRUE(index.save());
+}
+
+TEST(ProfileStore, GcEvictsByIndexAge)
 {
     const std::string dir = freshDir("gc_age");
-    const ProfileStore db(dir);
     const auto sim = simulateSmall("gcc");
-    db.save("old", sim);
-    db.save("fresh", sim);
-    // Backdate one entry past the age limit.
-    fs::last_write_time(fs::path(dir) / "old.lsimprof",
-                        fs::file_time_type::clock::now() -
-                            std::chrono::hours(48));
+    {
+        const ProfileStore db(dir);
+        db.save("old", sim);
+        db.save("fresh", sim);
+    }
+    // Age comes from the index touch-time (the LRU signal), not the
+    // file mtime — backdate "old" past the limit.
+    backdateIndexTouch(dir, "old", 48.0 * 3600.0);
 
+    const ProfileStore db(dir);
     ProfileStore::GcOptions options;
     options.max_age_seconds = 24.0 * 3600.0;
     const auto stats = db.gc(options);
     EXPECT_EQ(stats.scanned, 2u);
     EXPECT_EQ(stats.removed, 1u);
+    EXPECT_EQ(stats.stat_errors, 0u);
     EXPECT_LT(stats.bytes_after, stats.bytes_before);
     EXPECT_FALSE(db.load("old").has_value());
     EXPECT_TRUE(db.load("fresh").has_value());
 }
 
-TEST(ProfileStore, GcEvictsOldestFirstUntilUnderBudget)
+TEST(ProfileStore, GcFallsBackToMtimeForUnindexedEntries)
+{
+    const std::string dir = freshDir("gc_mtime");
+    const auto sim = simulateSmall("gcc");
+    {
+        const ProfileStore db(dir);
+        db.save("old", sim);
+        db.save("fresh", sim);
+    }
+    // A pre-index store: no index.json, only the entry files. mtime
+    // is then the best available age signal.
+    fs::remove(fs::path(dir) / StoreIndex::kFileName);
+    fs::last_write_time(fs::path(dir) / "old.lsimprof",
+                        fs::file_time_type::clock::now() -
+                            std::chrono::hours(48));
+
+    const ProfileStore db(dir);
+    ProfileStore::GcOptions options;
+    options.max_age_seconds = 24.0 * 3600.0;
+    const auto stats = db.gc(options);
+    EXPECT_EQ(stats.scanned, 2u);
+    EXPECT_EQ(stats.removed, 1u);
+    EXPECT_FALSE(db.load("old").has_value());
+    EXPECT_TRUE(db.load("fresh").has_value());
+}
+
+TEST(ProfileStore, GcEvictsLeastRecentlyUsedFirstUntilUnderBudget)
 {
     const std::string dir = freshDir("gc_bytes");
-    const ProfileStore db(dir);
     const auto sim = simulateSmall("gcc");
-    const char *keys[] = {"a", "b", "c"};
-    const auto now = fs::file_time_type::clock::now();
-    for (int i = 0; i < 3; ++i) {
-        db.save(keys[i], sim);
-        // Distinct mtimes, oldest first: a, then b, then c.
-        fs::last_write_time(
-            fs::path(dir) / (std::string(keys[i]) + ".lsimprof"),
-            now - std::chrono::hours(3 - i));
+    {
+        const ProfileStore db(dir);
+        for (const char *key : {"a", "b", "c"})
+            db.save(key, sim);
     }
+    // Distinct touch-times, coldest first: a, then b, then c.
+    backdateIndexTouch(dir, "a", 3.0 * 3600.0);
+    backdateIndexTouch(dir, "b", 2.0 * 3600.0);
+    backdateIndexTouch(dir, "c", 1.0 * 3600.0);
     const std::uint64_t each =
         fs::file_size(fs::path(dir) / "a.lsimprof");
 
+    const ProfileStore db(dir);
     ProfileStore::GcOptions options;
     options.max_bytes = 2 * each; // room for exactly two entries
     const auto stats = db.gc(options);
     EXPECT_EQ(stats.removed, 1u);
     EXPECT_EQ(stats.bytes_after, 2 * each);
-    EXPECT_FALSE(db.load("a").has_value()); // oldest went first
+    EXPECT_FALSE(db.load("a").has_value()); // coldest went first
     EXPECT_TRUE(db.load("b").has_value());
     EXPECT_TRUE(db.load("c").has_value());
 
@@ -254,6 +296,32 @@ TEST(ProfileStore, GcEvictsOldestFirstUntilUnderBudget)
     EXPECT_EQ(wipe.removed, 2u);
     EXPECT_EQ(wipe.bytes_after, 0u);
     EXPECT_TRUE(db.list().empty());
+}
+
+TEST(ProfileStore, LoadRefreshesTheLruSignal)
+{
+    const std::string dir = freshDir("gc_lru");
+    const auto sim = simulateSmall("gcc");
+    {
+        const ProfileStore db(dir);
+        db.save("hot", sim);
+        db.save("cold", sim);
+    }
+    // Both look two days old...
+    backdateIndexTouch(dir, "hot", 48.0 * 3600.0);
+    backdateIndexTouch(dir, "cold", 48.0 * 3600.0);
+
+    // ...but a load touches "hot", so only "cold" ages out. This is
+    // exactly what file mtimes cannot express: reads do not move
+    // them.
+    const ProfileStore db(dir);
+    ASSERT_TRUE(db.load("hot").has_value());
+    ProfileStore::GcOptions options;
+    options.max_age_seconds = 24.0 * 3600.0;
+    const auto stats = db.gc(options);
+    EXPECT_EQ(stats.removed, 1u);
+    EXPECT_FALSE(db.load("cold").has_value());
+    EXPECT_TRUE(db.load("hot").has_value());
 }
 
 TEST(ProfileStore, GcWithoutLimitsEvictsNothing)
@@ -558,6 +626,116 @@ TEST(Imports, MalformedIdleProfileIsRejected)
     rejects(R"({"name": "x", "num_fus": 1, "active_cycles": 10,
                 "idle_cycles": 1, "intervals": [[1, 1]],
                 "bogus": 1})");
+}
+
+TEST(StoreIndex, RoundTripsThroughIndexJson)
+{
+    const std::string dir = freshDir("index_roundtrip");
+    {
+        StoreIndex index(dir);
+        IndexEntry entry;
+        entry.bytes = 4321;
+        entry.touched = 1753700000.25;
+        entry.name = "gcc";
+        entry.fus = 2;
+        entry.committed = 500000;
+        entry.ipc = 1.619;
+        entry.idle_fraction = 0.4125;
+        entry.intervals = 125;
+        index.put("gcc-abcd", entry);
+        ASSERT_TRUE(index.save());
+    }
+    StoreIndex reloaded(dir);
+    const IndexEntry *entry = reloaded.find("gcc-abcd");
+    ASSERT_NE(entry, nullptr);
+    EXPECT_EQ(entry->bytes, 4321u);
+    EXPECT_DOUBLE_EQ(entry->touched, 1753700000.25);
+    EXPECT_EQ(entry->name, "gcc");
+    EXPECT_EQ(entry->fus, 2u);
+    EXPECT_EQ(entry->committed, 500000u);
+    EXPECT_DOUBLE_EQ(entry->ipc, 1.619);
+    EXPECT_DOUBLE_EQ(entry->idle_fraction, 0.4125);
+    EXPECT_EQ(entry->intervals, 125u);
+    EXPECT_EQ(reloaded.find("absent"), nullptr);
+}
+
+TEST(StoreIndex, MalformedIndexFileIsIgnored)
+{
+    const std::string dir = freshDir("index_malformed");
+    std::ofstream(fs::path(dir) / StoreIndex::kFileName)
+        << "this is not an index";
+    StoreIndex index(dir);
+    EXPECT_TRUE(index.entries().empty());
+}
+
+TEST(StoreIndex, SaveKeepsItInSyncWithTheStore)
+{
+    const std::string dir = freshDir("index_sync");
+    const ProfileStore db(dir);
+    const auto sim = simulateSmall("gcc");
+    db.save("gcc-key", sim);
+
+    // The index row carries the `ls` summary without reading the
+    // entry back.
+    StoreIndex index(dir);
+    const IndexEntry *entry = index.find("gcc-key");
+    ASSERT_NE(entry, nullptr);
+    EXPECT_EQ(entry->name, "gcc");
+    EXPECT_EQ(entry->fus, sim.num_fus);
+    EXPECT_EQ(entry->committed, sim.sim.committed);
+    // Summary doubles round-trip through JSON at the writer's 12
+    // significant digits — near, not bit-exact (the entry file, not
+    // the index, is the exact record).
+    EXPECT_NEAR(entry->ipc, sim.sim.ipc, 1e-9);
+    EXPECT_EQ(entry->intervals, sim.idle.numIntervals());
+    EXPECT_EQ(entry->bytes,
+              fs::file_size(fs::path(dir) / "gcc-key.lsimprof"));
+    EXPECT_GT(entry->touched, 0.0);
+
+    // remove() drops the row too.
+    EXPECT_TRUE(db.remove("gcc-key"));
+    EXPECT_EQ(StoreIndex(dir).find("gcc-key"), nullptr);
+}
+
+TEST(StoreIndex, SummariesRebuildAMissingIndex)
+{
+    const std::string dir = freshDir("index_rebuild");
+    const auto sim = simulateSmall("gcc");
+    {
+        const ProfileStore db(dir);
+        db.save("one", sim);
+        db.save("two", sim);
+    }
+    // A pre-index store (or a deleted index): summaries() must
+    // still list everything and adopt it into a fresh index.
+    fs::remove(fs::path(dir) / StoreIndex::kFileName);
+
+    const ProfileStore db(dir);
+    const auto rows = db.summaries();
+    ASSERT_EQ(rows.size(), 2u);
+    EXPECT_EQ(rows[0].key, "one");
+    EXPECT_EQ(rows[1].key, "two");
+    EXPECT_EQ(rows[0].entry.name, "gcc");
+    EXPECT_TRUE(fs::exists(fs::path(dir) / StoreIndex::kFileName))
+        << "summaries() must persist the rebuilt index";
+    EXPECT_NE(StoreIndex(dir).find("one"), nullptr);
+}
+
+TEST(StoreIndex, SummariesDropRowsWhoseFileVanished)
+{
+    const std::string dir = freshDir("index_stale");
+    const auto sim = simulateSmall("gcc");
+    const ProfileStore db(dir);
+    db.save("keep", sim);
+    db.save("gone", sim);
+    // Delete the file behind the store's back (another process's
+    // rm/gc): the stale index row must disappear, not be listed.
+    fs::remove(fs::path(dir) / "gone.lsimprof");
+
+    const auto rows = db.summaries();
+    ASSERT_EQ(rows.size(), 1u);
+    EXPECT_EQ(rows[0].key, "keep");
+    EXPECT_EQ(StoreIndex(dir).find("gone"), nullptr);
 }
 
 TEST(Exports, ExportImportRoundTripsThroughAFile)

@@ -59,6 +59,15 @@ def metrics(doc):
     for entry in doc.get("threaded", []):
         out[(f"{entry['threads']}thr", "threaded_speedup")] = \
             entry.get("speedup")
+    serve = doc.get("serve")
+    if serve:
+        # Daemon request latency (ms, lower is better): recorded so
+        # the serving-path trajectory is visible, but not gated —
+        # absolute latency swings with runner hardware.
+        out[("serve", "warm_request_ms")] = \
+            serve.get("warm_request_ms")
+        out[("serve", "cold_request_ms")] = \
+            serve.get("cold_request_ms")
     return {k: v for k, v in out.items() if v is not None}
 
 

@@ -10,6 +10,9 @@
  * parsed strictly: malformed values are an error, never silently 0.
  */
 
+#include <atomic>
+#include <cmath>
+#include <csignal>
 #include <cstdint>
 #include <cstring>
 #include <filesystem>
@@ -32,6 +35,8 @@
 #include "common/table.hh"
 #include "energy/breakeven.hh"
 #include "harness/report.hh"
+#include "serve/daemon.hh"
+#include "serve/spec.hh"
 #include "sleep/policy_registry.hh"
 #include "store/profile_store.hh"
 #include "trace/profile.hh"
@@ -304,6 +309,20 @@ commands()
           {"json", nullptr, "emit one JSON document on stdout"},
           {"csv", nullptr,
            "emit CSV on stdout ('# sweep <i>' separators)"},
+          kHelpFlag}},
+        {"serve", "", 0,
+         "watch a spool directory for batch specs (daemon)",
+         {{"spool", "DIR",
+           "spool directory of incoming batch-spec JSON files"},
+          {"results-dir", "DIR",
+           "where results + status JSON go (default <spool>/results)"},
+          {"cache-dir", "DIR",
+           "profile store shared by every request"},
+          {"threads", "N",
+           "persistent worker pool size (default: hardware)"},
+          {"poll-ms", "N", "spool scan interval (default 500)"},
+          {"once", nullptr,
+           "process the specs currently spooled, then exit"},
           kHelpFlag}},
         {"profile", "<export|import|ls|rm|gc> [arg]", 2,
          "export, import, list, and evict stored simulation profiles",
@@ -618,7 +637,8 @@ cmdSweep(const Args &args)
 
 // ------------------------------------------------- profile command
 
-/** One summary row per stored/exported simulation. */
+/** One summary row per stored/exported simulation. Keep the two
+ * overloads' columns in lockstep with simSummaryTable(). */
 void
 printSimSummary(Table &t, const std::string &key,
                 const harness::WorkloadSim &ws)
@@ -628,6 +648,16 @@ printSimSummary(Table &t, const std::string &key,
               fixed(ws.sim.ipc, 3),
               fixed(ws.idle.idleFraction(), 3),
               std::to_string(ws.idle.numIntervals())});
+}
+
+void
+printSimSummary(Table &t, const std::string &key,
+                const store::IndexEntry &entry)
+{
+    t.addRow({key, entry.name, std::to_string(entry.fus),
+              std::to_string(entry.committed), fixed(entry.ipc, 3),
+              fixed(entry.idle_fraction, 3),
+              std::to_string(entry.intervals)});
 }
 
 Table
@@ -722,19 +752,28 @@ cmdProfileLs(const Args &args)
         args.flagOrPositional("cache-dir", ~std::size_t{0});
     if (cache_dir.empty())
         die("profile ls: missing --cache-dir DIR");
+    // Served from the store index: no entry deserialization, O(1)
+    // per row on an indexed store (unindexed files are read once
+    // and adopted).
     Table t = simSummaryTable();
-    for (const auto &entry : store::ProfileStore(cache_dir).list())
-        printSimSummary(t, entry.key, entry.sim);
+    for (const auto &row :
+         store::ProfileStore(cache_dir).summaries())
+        printSimSummary(t, row.key, row.entry);
     t.print(std::cout);
     return 0;
 }
 
-/** "30d" / "12h" / "45m" / "900s" / plain days -> seconds. */
+/**
+ * "30d" / "12h" / "45m" / "900s" / plain days -> seconds. @p what
+ * names the flag in errors. Suffix scaling is overflow-checked: a
+ * value whose seconds exceed the double range is an error, never a
+ * silently wrapped (or infinite) limit.
+ */
 double
-parseAge(const std::string &text)
+parseDuration(const std::string &text, const std::string &what)
 {
     if (text.empty())
-        die("bad --max-age '': expected a duration");
+        die("bad " + what + " '': expected a duration");
     std::string digits = text;
     double unit = 24.0 * 3600.0; // plain numbers are days
     switch (text.back()) {
@@ -744,18 +783,27 @@ parseAge(const std::string &text)
     case 'd': unit = 24.0 * 3600.0; digits.pop_back(); break;
     default: break;
     }
-    const double value = parseDouble(digits, "--max-age");
+    const double value = parseDouble(digits, what);
     if (value < 0.0)
-        die("bad --max-age '" + text + "': must be non-negative");
-    return value * unit;
+        die("bad " + what + " '" + text + "': must be non-negative");
+    const double seconds = value * unit;
+    if (!std::isfinite(seconds))
+        die("bad " + what + " '" + text +
+            "': duration overflows (too many seconds)");
+    return seconds;
 }
 
-/** "500M" / "2G" / "64K" / plain bytes -> bytes. */
+/**
+ * "500M" / "2G" / "64K" / plain bytes -> bytes. @p what names the
+ * flag in errors. Suffix scaling is overflow-checked: 2^54G wraps
+ * 64-bit arithmetic, so it must die, not become a tiny limit that
+ * silently evicts a whole store.
+ */
 std::uint64_t
-parseSize(const std::string &text)
+parseSize(const std::string &text, const std::string &what)
 {
     if (text.empty())
-        die("bad --max-bytes '': expected a size");
+        die("bad " + what + " '': expected a size");
     std::string digits = text;
     std::uint64_t unit = 1;
     switch (text.back()) {
@@ -774,7 +822,12 @@ parseSize(const std::string &text)
     default:
         break;
     }
-    return parseU64(digits, "--max-bytes") * unit;
+    const std::uint64_t value = parseU64(digits, what);
+    if (unit > 1 &&
+        value > std::numeric_limits<std::uint64_t>::max() / unit)
+        die("bad " + what + " '" + text +
+            "': size overflows 64 bits");
+    return value * unit;
 }
 
 int
@@ -803,11 +856,13 @@ cmdProfileGc(const Args &args)
         die("profile gc: missing --cache-dir DIR");
     store::ProfileStore::GcOptions options;
     if (args.has("max-age"))
-        options.max_age_seconds = parseAge(
-            args.flagOrPositional("max-age", ~std::size_t{0}));
+        options.max_age_seconds = parseDuration(
+            args.flagOrPositional("max-age", ~std::size_t{0}),
+            "--max-age");
     if (args.has("max-bytes"))
         options.max_bytes = parseSize(
-            args.flagOrPositional("max-bytes", ~std::size_t{0}));
+            args.flagOrPositional("max-bytes", ~std::size_t{0}),
+            "--max-bytes");
     if (!options.max_age_seconds && !options.max_bytes)
         die("profile gc: need --max-age and/or --max-bytes");
 
@@ -816,6 +871,10 @@ cmdProfileGc(const Args &args)
               << " entries scanned, " << stats.removed
               << " evicted, " << stats.bytes_before << " -> "
               << stats.bytes_after << " bytes\n";
+    if (stats.stat_errors > 0)
+        std::cerr << "lsim: gc: " << stats.stat_errors
+                  << " entr" << (stats.stat_errors == 1 ? "y" : "ies")
+                  << " could not be examined (stat failed); kept\n";
     return 0;
 }
 
@@ -839,69 +898,6 @@ cmdProfile(const Args &args)
 
 // --------------------------------------------------- batch command
 
-/** Translate one batch-spec sweep object into a SweepConfig. */
-api::SweepConfig
-sweepConfigFromJson(const JsonValue &v, std::size_t index)
-{
-    const std::string where =
-        "batch spec sweep " + std::to_string(index);
-    if (!v.isObject())
-        die(where + ": expected a JSON object");
-
-    api::SweepConfig cfg;
-    double p_min = 0.05, p_max = 1.0, alpha = 0.5;
-    unsigned steps = 20;
-    const auto asU32 = [](const JsonValue &value,
-                          const char *field) {
-        const std::uint64_t n = value.asU64();
-        if (n > std::numeric_limits<unsigned>::max())
-            throw std::invalid_argument(std::string(field) +
-                                        ": value too large");
-        return static_cast<unsigned>(n);
-    };
-    try {
-        for (const auto &[key, value] : v.members()) {
-            if (key == "benchmarks") {
-                for (const auto &name : value.items())
-                    cfg.workloads.push_back(name.asString());
-            } else if (key == "policies") {
-                for (const auto &spec : value.items())
-                    cfg.policies.push_back(spec.asString());
-            } else if (key == "profiles") {
-                for (const auto &path : value.items())
-                    cfg.profiles.push_back(
-                        trace::loadWorkloadProfile(path.asString()));
-            } else if (key == "imports") {
-                for (const auto &path : value.items())
-                    cfg.imports.push_back(path.asString());
-            } else if (key == "p_min") {
-                p_min = value.asNumber();
-            } else if (key == "p_max") {
-                p_max = value.asNumber();
-            } else if (key == "steps") {
-                steps = asU32(value, "steps");
-            } else if (key == "alpha") {
-                alpha = value.asNumber();
-            } else if (key == "insts") {
-                cfg.insts = value.asU64();
-            } else if (key == "seed") {
-                cfg.seed = value.asU64();
-            } else if (key == "fus") {
-                if (value.isString() && value.asString() == "auto")
-                    cfg.fus = api::auto_select;
-                else
-                    cfg.fus = asU32(value, "fus");
-            } else {
-                die(where + ": unknown field '" + key + "'");
-            }
-        }
-        cfg.technologies = api::pSweep(p_min, p_max, steps, alpha);
-    } catch (const std::invalid_argument &err) {
-        die(where + ": " + err.what());
-    }
-    return cfg;
-}
-
 int
 cmdBatch(const Args &args)
 {
@@ -909,20 +905,11 @@ cmdBatch(const Args &args)
     if (spec_path.empty())
         die("batch: missing <spec.json>");
 
-    api::BatchConfig batch;
-    const JsonValue doc = parseJsonFile(spec_path);
-    if (!doc.isObject() || !doc.find("sweeps"))
-        die("batch: spec must be an object with a 'sweeps' array");
-    for (const auto &[key, value] : doc.members()) {
-        (void)value;
-        if (key != "sweeps")
-            die("batch: unknown field '" + key + "'");
-    }
-    const auto &sweeps = doc.at("sweeps").items();
-    if (sweeps.empty())
-        die("batch: 'sweeps' is empty");
-    for (std::size_t i = 0; i < sweeps.size(); ++i)
-        batch.sweeps.push_back(sweepConfigFromJson(sweeps[i], i));
+    // The daemon and the CLI parse the same spec format
+    // (serve::batchConfigFromJson); its invalid_argument throws are
+    // caught in main() and die()d like any other user error.
+    api::BatchConfig batch =
+        serve::batchConfigFromJson(parseJsonFile(spec_path));
 
     batch.cache_dir =
         args.flagOrPositional("cache-dir", ~std::size_t{0});
@@ -989,6 +976,65 @@ cmdBatch(const Args &args)
     return 0;
 }
 
+// --------------------------------------------------- serve command
+
+/** Set by SIGINT/SIGTERM; the daemon drains and exits cleanly. */
+std::atomic<bool> g_stop_requested{false};
+
+extern "C" void
+handleStopSignal(int)
+{
+    g_stop_requested.store(true);
+}
+
+int
+cmdServe(const Args &args)
+{
+    serve::ServeConfig cfg;
+    cfg.spool_dir = args.flagOrPositional("spool", ~std::size_t{0});
+    if (cfg.spool_dir.empty())
+        die("serve: missing --spool DIR");
+    cfg.results_dir =
+        args.flagOrPositional("results-dir", ~std::size_t{0});
+    cfg.cache_dir =
+        args.flagOrPositional("cache-dir", ~std::size_t{0});
+    const std::string threads_text =
+        args.flagOrPositional("threads", ~std::size_t{0});
+    cfg.threads =
+        threads_text.empty() ? 0 : parseU32(threads_text, "--threads");
+    const std::string poll_text =
+        args.flagOrPositional("poll-ms", ~std::size_t{0});
+    cfg.poll_ms =
+        poll_text.empty() ? 500 : parseU32(poll_text, "--poll-ms");
+    cfg.once = args.has("once");
+
+    // Graceful drain: the first SIGINT/SIGTERM finishes the request
+    // in flight, then the loop exits; specs still spooled stay put
+    // for the next daemon (or this one restarted).
+    std::signal(SIGINT, handleStopSignal);
+    std::signal(SIGTERM, handleStopSignal);
+    cfg.stop = [] { return g_stop_requested.load(); };
+
+    serve::Daemon daemon(cfg);
+    if (!cfg.once)
+        std::cerr << "lsim: serving spool '" << cfg.spool_dir
+                  << "' (results: " << daemon.resultsDir()
+                  << (cfg.cache_dir.empty()
+                          ? std::string(", no cache")
+                          : ", cache: " + cfg.cache_dir)
+                  << "); SIGINT drains\n";
+    const auto stats = daemon.run();
+    std::cerr << "lsim: serve: " << stats.processed
+              << " spec(s) processed (" << stats.done << " done, "
+              << stats.failed << " failed"
+              << (stats.recovered
+                      ? ", " + std::to_string(stats.recovered) +
+                            " recovered"
+                      : "")
+              << ") over " << stats.polls << " poll(s)\n";
+    return 0;
+}
+
 } // namespace
 
 int
@@ -1035,6 +1081,8 @@ main(int argc, char **argv)
             return cmdSweep(args);
         if (cmd == "batch")
             return cmdBatch(args);
+        if (cmd == "serve")
+            return cmdServe(args);
         if (cmd == "profile")
             return cmdProfile(args);
         if (cmd == "list")
