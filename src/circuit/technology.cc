@@ -1,6 +1,9 @@
 #include "circuit/technology.hh"
 
 #include <cmath>
+#include <sstream>
+#include <stdexcept>
+#include <string>
 
 #include "common/logging.hh"
 
@@ -11,6 +14,15 @@ namespace
 {
 /** Boltzmann constant over elementary charge, volts per kelvin. */
 constexpr double kOverQ = 8.617333262e-5;
+
+/** %g-style rendering for exception messages. */
+std::string
+fmt(double v)
+{
+    std::ostringstream ss;
+    ss << v;
+    return ss.str();
+}
 } // namespace
 
 double
@@ -40,21 +52,27 @@ Technology::delayFactor(double vt) const
 void
 Technology::validate() const
 {
+    // Configuration errors throw (the CLI boundary catches and
+    // exits); fatal() would take down a daemon serving other
+    // requests.
+    const auto reject = [](const std::string &what) {
+        throw std::invalid_argument("Technology: " + what);
+    };
     if (vdd <= 0.0)
-        fatal("Technology: vdd must be positive (got %g)", vdd);
+        reject("vdd must be positive (got " + fmt(vdd) + ")");
     if (vt_low <= 0.0 || vt_high <= vt_low)
-        fatal("Technology: require 0 < vt_low < vt_high "
-              "(got %g, %g)", vt_low, vt_high);
+        reject("require 0 < vt_low < vt_high (got " + fmt(vt_low) +
+               ", " + fmt(vt_high) + ")");
     if (vt_high >= vdd)
-        fatal("Technology: vt_high (%g) must be below vdd (%g)",
-              vt_high, vdd);
+        reject("vt_high (" + fmt(vt_high) + ") must be below vdd (" +
+               fmt(vdd) + ")");
     if (temperature_k <= 0.0)
-        fatal("Technology: temperature must be positive");
+        reject("temperature must be positive");
     if (clock_ghz <= 0.0)
-        fatal("Technology: clock frequency must be positive");
+        reject("clock frequency must be positive");
     if (swing_factor < 1.0 || swing_factor > 3.0)
-        fatal("Technology: swing factor %g outside plausible [1,3]",
-              swing_factor);
+        reject("swing factor " + fmt(swing_factor) +
+               " outside plausible [1,3]");
 }
 
 } // namespace lsim::circuit

@@ -83,7 +83,8 @@ struct Technology
     /** Velocity-saturation exponent for the alpha-power delay law. */
     static constexpr double kAlphaPower = 1.3;
 
-    /** Validate parameter sanity; fatal() on nonsense inputs. */
+    /** Validate parameter sanity; throws std::invalid_argument on
+     * nonsense inputs. */
     void validate() const;
 };
 

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Capability-annotated locking primitives.
+ *
+ * libstdc++'s std::mutex carries no thread-safety attributes, so
+ * code locking it directly is invisible to clang's analysis. These
+ * thin wrappers re-export std::mutex locking through an annotated
+ * surface: declare data GUARDED_BY(mu_) and every access is checked
+ * at compile time (clang builds run -Werror=thread-safety).
+ *
+ * Condition variables: std::condition_variable demands a
+ * std::unique_lock<std::mutex>, which would bypass the annotations,
+ * so waiting code uses CondVar (std::condition_variable_any — works
+ * with any BasicLockable, including MutexLock) and spells the
+ * predicate as an explicit while loop:
+ *
+ *     MutexLock lock(mu_);
+ *     while (!ready_)          // guarded read, provably under mu_
+ *         cv_.wait(lock);
+ *
+ * The explicit loop (rather than the predicate-lambda overload)
+ * keeps the guarded reads inside a scope the analysis can see.
+ */
+
+#ifndef LSIM_COMMON_MUTEX_HH
+#define LSIM_COMMON_MUTEX_HH
+
+#include <condition_variable>
+#include <mutex>
+
+#include "common/thread_annotations.hh"
+
+namespace lsim
+{
+
+/** std::mutex behind an annotated capability surface. */
+class CAPABILITY("mutex") Mutex
+{
+  public:
+    Mutex() = default;
+    Mutex(const Mutex &) = delete;
+    Mutex &operator=(const Mutex &) = delete;
+
+    void lock() ACQUIRE() { mu_.lock(); }
+    void unlock() RELEASE() { mu_.unlock(); }
+    bool try_lock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  private:
+    std::mutex mu_;
+};
+
+/**
+ * RAII lock over a Mutex (the annotated std::lock_guard). Also
+ * satisfies BasicLockable so CondVar::wait(lock) can release and
+ * reacquire it around the sleep; those calls happen inside system
+ * headers, outside the analysis, and re-establish the invariant
+ * "held on return" that the annotations describe.
+ */
+class SCOPED_CAPABILITY MutexLock
+{
+  public:
+    explicit MutexLock(Mutex &mu) ACQUIRE(mu) : mu_(mu)
+    {
+        mu_.lock();
+    }
+    ~MutexLock() RELEASE() { mu_.unlock(); }
+
+    MutexLock(const MutexLock &) = delete;
+    MutexLock &operator=(const MutexLock &) = delete;
+
+    // BasicLockable, for std::condition_variable_any::wait only.
+    void lock() ACQUIRE() { mu_.lock(); }
+    void unlock() RELEASE() { mu_.unlock(); }
+
+  private:
+    Mutex &mu_;
+};
+
+/** Condition variable that waits on a MutexLock. */
+using CondVar = std::condition_variable_any;
+
+} // namespace lsim
+
+#endif // LSIM_COMMON_MUTEX_HH

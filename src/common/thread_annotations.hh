@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Clang thread-safety-analysis attribute shim.
+ *
+ * Wraps the capability attributes behind macros that expand to
+ * nothing on compilers without the analysis (gcc), so annotated code
+ * stays portable. Clang builds compile with -Werror=thread-safety
+ * (see CMakeLists), making the lock discipline these macros declare
+ * a build-time invariant: reading a GUARDED_BY member without its
+ * mutex, or calling a REQUIRES function unlocked, is a compile
+ * error, not a code-review hope.
+ *
+ * The std::mutex family carries no capability attributes on
+ * libstdc++, so annotated code locks through the lsim::Mutex /
+ * lsim::MutexLock wrappers in common/mutex.hh instead.
+ *
+ * Macro names follow the modern Clang documentation (ACQUIRE /
+ * RELEASE rather than the deprecated EXCLUSIVE_LOCK_FUNCTION
+ * spellings).
+ */
+
+#ifndef LSIM_COMMON_THREAD_ANNOTATIONS_HH
+#define LSIM_COMMON_THREAD_ANNOTATIONS_HH
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(guarded_by)
+#define LSIM_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef LSIM_THREAD_ANNOTATION
+#define LSIM_THREAD_ANNOTATION(x) // no-op outside clang
+#endif
+
+/** Type is a lockable capability (mutexes). */
+#define CAPABILITY(x) LSIM_THREAD_ANNOTATION(capability(x))
+
+/** RAII type that acquires a capability for its lifetime. */
+#define SCOPED_CAPABILITY LSIM_THREAD_ANNOTATION(scoped_lockable)
+
+/** Member may only be touched while holding @p x. */
+#define GUARDED_BY(x) LSIM_THREAD_ANNOTATION(guarded_by(x))
+
+/** Pointee may only be touched while holding @p x. */
+#define PT_GUARDED_BY(x) LSIM_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/** Function may only be called while holding the listed locks. */
+#define REQUIRES(...) \
+    LSIM_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/** Function may only be called while NOT holding the listed locks. */
+#define EXCLUDES(...) \
+    LSIM_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/** Function acquires the listed locks (or `this` when empty). */
+#define ACQUIRE(...) \
+    LSIM_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/** Function releases the listed locks (or `this` when empty). */
+#define RELEASE(...) \
+    LSIM_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/** Function acquires the lock iff it returns @p result. */
+#define TRY_ACQUIRE(result, ...) \
+    LSIM_THREAD_ANNOTATION(try_acquire_capability(result, __VA_ARGS__))
+
+/** Function returns a reference to the capability @p x. */
+#define RETURN_CAPABILITY(x) LSIM_THREAD_ANNOTATION(lock_returned(x))
+
+/** Escape hatch: suppress analysis inside this function. */
+#define NO_THREAD_SAFETY_ANALYSIS \
+    LSIM_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+#endif // LSIM_COMMON_THREAD_ANNOTATIONS_HH

@@ -1,26 +1,49 @@
 #include "energy/params.hh"
 
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
 #include "common/logging.hh"
 
 namespace lsim::energy
 {
 
+namespace
+{
+
+/** %g-style rendering for exception messages. */
+std::string
+fmt(double v)
+{
+    std::ostringstream ss;
+    ss << v;
+    return ss.str();
+}
+} // namespace
+
 void
 ModelParams::validate() const
 {
+    // Configuration errors throw (the CLI boundary catches and
+    // exits); fatal() would take down a daemon serving other
+    // requests.
+    const auto reject = [](const std::string &what) {
+        throw std::invalid_argument("ModelParams: " + what);
+    };
     if (p < 0.0 || p > 1.0)
-        fatal("ModelParams: leakage factor p=%g outside [0,1]", p);
+        reject("leakage factor p=" + fmt(p) + " outside [0,1]");
     if (k < 0.0 || k > 1.0)
-        fatal("ModelParams: sleep ratio k=%g outside [0,1]", k);
+        reject("sleep ratio k=" + fmt(k) + " outside [0,1]");
     if (s < 0.0)
-        fatal("ModelParams: sleep overhead s=%g negative", s);
+        reject("sleep overhead s=" + fmt(s) + " negative");
     if (alpha <= 0.0 || alpha > 1.0)
-        fatal("ModelParams: activity factor alpha=%g outside (0,1]",
-              alpha);
+        reject("activity factor alpha=" + fmt(alpha) +
+               " outside (0,1]");
     if (duty < 0.0 || duty > 1.0)
-        fatal("ModelParams: duty cycle D=%g outside [0,1]", duty);
+        reject("duty cycle D=" + fmt(duty) + " outside [0,1]");
     if (e_dyn_fj <= 0.0)
-        fatal("ModelParams: E_D=%g must be positive", e_dyn_fj);
+        reject("E_D=" + fmt(e_dyn_fj) + " must be positive");
 }
 
 ModelParams

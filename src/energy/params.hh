@@ -54,7 +54,8 @@ struct ModelParams
     /** @return E_A = alpha * E_D, the normalization baseline, fJ. */
     double activeEnergyFj() const { return alpha * e_dyn_fj; }
 
-    /** Validate ranges; fatal() on out-of-domain values. */
+    /** Validate ranges; throws std::invalid_argument on
+     * out-of-domain values. */
     void validate() const;
 
     /**

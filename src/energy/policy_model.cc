@@ -1,11 +1,27 @@
 #include "energy/policy_model.hh"
 
 #include <algorithm>
+#include <sstream>
+#include <stdexcept>
+#include <string>
 
 #include "common/logging.hh"
 
 namespace lsim::energy
 {
+
+namespace
+{
+
+/** %g-style rendering for exception messages. */
+std::string
+fmt(double v)
+{
+    std::ostringstream ss;
+    ss << v;
+    return ss.str();
+}
+} // namespace
 
 std::string
 to_string(Policy policy)
@@ -24,14 +40,20 @@ to_string(Policy policy)
 void
 WorkloadPoint::validate() const
 {
+    // Configuration errors throw (the CLI boundary catches and
+    // exits); fatal() would take down a daemon serving other
+    // requests.
+    const auto reject = [](const std::string &what) {
+        throw std::invalid_argument("WorkloadPoint: " + what);
+    };
     if (usage < 0.0 || usage > 1.0)
-        fatal("WorkloadPoint: usage factor %g outside [0,1]", usage);
+        reject("usage factor " + fmt(usage) + " outside [0,1]");
     if (idle_interval <= 0.0)
-        fatal("WorkloadPoint: idle interval %g must be positive",
-              idle_interval);
+        reject("idle interval " + fmt(idle_interval) +
+               " must be positive");
     if (total_cycles <= 0.0)
-        fatal("WorkloadPoint: total cycles %g must be positive",
-              total_cycles);
+        reject("total cycles " + fmt(total_cycles) +
+               " must be positive");
 }
 
 PolicyModel::PolicyModel(const ModelParams &params,

@@ -48,7 +48,8 @@ struct WorkloadPoint
     double idle_interval = 10; ///< L_idle: mean idle interval, cycles
     double total_cycles = 1e6; ///< T (only scales absolute energy)
 
-    /** Validate ranges; fatal() on out-of-domain values. */
+    /** Validate ranges; throws std::invalid_argument on
+     * out-of-domain values. */
     void validate() const;
 };
 

@@ -1,5 +1,7 @@
 #include "harness/benchmarks.hh"
 
+#include <stdexcept>
+
 #include "common/logging.hh"
 
 namespace lsim::harness
@@ -11,7 +13,8 @@ SuiteRun::byName(const std::string &name) const
     for (const auto &ws : sims)
         if (ws.name == name)
             return ws;
-    fatal("no benchmark named '%s' in suite run", name.c_str());
+    throw std::invalid_argument("no benchmark named '" + name +
+                                "' in suite run");
 }
 
 stats::Log2Histogram

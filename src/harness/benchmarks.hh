@@ -41,7 +41,8 @@ struct SuiteRun
 {
     std::vector<WorkloadSim> sims; ///< one per benchmark, paper order
 
-    /** Find a benchmark's sim by name; fatal() if absent. */
+    /** Find a benchmark's sim by name; throws
+     * std::invalid_argument if absent. */
     const WorkloadSim &byName(const std::string &name) const;
 
     /**

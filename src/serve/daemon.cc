@@ -149,7 +149,10 @@ Daemon::recoverStale()
                  de.path().string().c_str(), ec.message().c_str());
             continue;
         }
-        stats_.recovered += 1;
+        {
+            MutexLock lock(stats_mu_);
+            stats_.recovered += 1;
+        }
         inform("serve: re-queued stale spec '%s'",
                de.path().filename().string().c_str());
     }
@@ -203,6 +206,7 @@ Daemon::process(const std::string &spec_name)
             // Without a result dir there is nowhere to report
             // status; park the spec in failed/ and move on.
             moveTo(req.work_path, kFailedDir, spec_name, nullptr);
+            MutexLock lock(stats_mu_);
             stats_.failed += 1;
             stats_.processed += 1;
             return;
@@ -219,8 +223,11 @@ Daemon::process(const std::string &spec_name)
         if (!moveTo(req.work_path, kFailedDir, spec_name,
                     &move_error))
             warn("serve: %s", move_error.c_str());
-        stats_.failed += 1;
-        stats_.processed += 1;
+        {
+            MutexLock lock(stats_mu_);
+            stats_.failed += 1;
+            stats_.processed += 1;
+        }
         warn("serve: %s failed: %s", spec_name.c_str(),
              message.c_str());
     };
@@ -269,8 +276,11 @@ Daemon::process(const std::string &spec_name)
     std::string move_error;
     if (!moveTo(req.work_path, kDoneDir, spec_name, &move_error))
         warn("serve: %s", move_error.c_str());
-    stats_.done += 1;
-    stats_.processed += 1;
+    {
+        MutexLock lock(stats_mu_);
+        stats_.done += 1;
+        stats_.processed += 1;
+    }
     inform("serve: %s done in %.1f ms (%zu sweep(s), %zu cache "
            "hit(s), %zu simulated)",
            spec_name.c_str(), req.total_ms, req.sweeps,
@@ -290,14 +300,26 @@ Daemon::drainOnce()
     }
     std::sort(names.begin(), names.end());
 
-    const std::size_t before = stats_.processed;
+    std::size_t before = 0;
+    {
+        MutexLock lock(stats_mu_);
+        before = stats_.processed;
+    }
     for (const std::string &name : names) {
         process(name);
         if (stopped())
             break; // graceful drain: finish the request, not the scan
     }
+    MutexLock lock(stats_mu_);
     stats_.polls += 1;
     return stats_.processed - before;
+}
+
+ServeStats
+Daemon::stats() const
+{
+    MutexLock lock(stats_mu_);
+    return stats_;
 }
 
 ServeStats
@@ -313,13 +335,13 @@ Daemon::run()
             std::chrono::milliseconds(config_.poll_ms);
         while (std::chrono::steady_clock::now() < wake) {
             if (stopped())
-                return stats_;
+                return stats();
             std::this_thread::sleep_for(
                 std::chrono::milliseconds(
                     std::min(50u, std::max(1u, config_.poll_ms))));
         }
     }
-    return stats_;
+    return stats();
 }
 
 } // namespace lsim::serve

@@ -46,6 +46,8 @@
 #include <string>
 
 #include "api/parallel.hh"
+#include "common/mutex.hh"
+#include "common/thread_annotations.hh"
 #include "store/profile_store.hh"
 
 namespace lsim::serve
@@ -111,7 +113,13 @@ class Daemon
      * drain; @return the final stats. */
     ServeStats run();
 
-    const ServeStats &stats() const { return stats_; }
+    /**
+     * Snapshot of the counters so far. Thread-safe: the counters are
+     * mutex-guarded, so a monitoring thread may poll a daemon whose
+     * run() loop is draining on another thread.
+     */
+    ServeStats stats() const;
+
     const std::string &resultsDir() const { return results_dir_; }
 
     /** The shared store, when a cache dir is configured. */
@@ -131,7 +139,13 @@ class Daemon
 
     ServeConfig config_;
     std::string results_dir_;
-    ServeStats stats_;
+
+    /** Counter mutations happen on the drain thread, reads may come
+     * from anywhere (stats()); the guard keeps a live daemon
+     * observable without racing its drain loop. */
+    mutable Mutex stats_mu_;
+    ServeStats stats_ GUARDED_BY(stats_mu_);
+
     std::optional<store::ProfileStore> store_;
     api::detail::ThreadPool pool_;
 };

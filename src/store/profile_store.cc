@@ -243,7 +243,7 @@ ProfileStore::ProfileStore(std::string dir)
 
 ProfileStore::~ProfileStore()
 {
-    std::lock_guard<std::mutex> lock(index_mu_);
+    MutexLock lock(index_mu_);
     flushIndexLocked();
 }
 
@@ -291,7 +291,7 @@ ProfileStore::load(const std::string &key) const
         // only — persisting here would put an O(entries) index
         // rewrite on the hot warm-cache path; the next mutating
         // call (or the destructor) flushes.
-        std::lock_guard<std::mutex> lock(index_mu_);
+        MutexLock lock(index_mu_);
         if (index_.find(key)) {
             index_.touch(key, StoreIndex::now());
             index_dirty_ = true;
@@ -309,7 +309,7 @@ ProfileStore::save(const std::string &key,
     const std::string bytes = ss.str();
     if (!atomicWriteFile(pathFor(key), bytes))
         return;
-    std::lock_guard<std::mutex> lock(index_mu_);
+    MutexLock lock(index_mu_);
     index_.put(key, indexEntryFor(sim, bytes.size(),
                                   StoreIndex::now()));
     index_dirty_ = true;
@@ -338,7 +338,7 @@ ProfileStore::list() const
 std::vector<StoreSummary>
 ProfileStore::summaries() const
 {
-    std::lock_guard<std::mutex> lock(index_mu_);
+    MutexLock lock(index_mu_);
     std::vector<StoreSummary> out;
     std::set<std::string> on_disk;
     for (const auto &de : fs::directory_iterator(dir_)) {
@@ -390,7 +390,7 @@ ProfileStore::remove(const std::string &key) const
 {
     std::error_code ec;
     const bool removed = fs::remove(pathFor(key), ec) && !ec;
-    std::lock_guard<std::mutex> lock(index_mu_);
+    MutexLock lock(index_mu_);
     index_dirty_ |= index_.erase(key);
     flushIndexLocked();
     return removed;
@@ -408,7 +408,7 @@ ProfileStore::gc(const GcOptions &options) const
     };
     std::vector<Candidate> entries;
     GcStats stats;
-    std::lock_guard<std::mutex> lock(index_mu_);
+    MutexLock lock(index_mu_);
     for (const auto &de : fs::directory_iterator(dir_)) {
         if (!de.is_regular_file() ||
             de.path().extension() != kExtension)
@@ -483,12 +483,12 @@ void
 exportSim(const std::string &path, const std::string &key,
           const harness::WorkloadSim &sim)
 {
-    std::ofstream out(path, std::ios::binary | std::ios::trunc);
-    if (!out)
+    // Atomic like every other persisted artifact: an export landing
+    // in a watched directory must never be readable half-written.
+    std::ostringstream ss;
+    writeEntry(ss, key, sim);
+    if (!atomicWriteFile(path, ss.str()))
         throw StoreError("cannot write '" + path + "'");
-    writeEntry(out, key, sim);
-    if (!out)
-        throw StoreError("short write to '" + path + "'");
 }
 
 ImportedSim

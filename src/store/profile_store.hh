@@ -30,12 +30,13 @@
 #define LSIM_STORE_PROFILE_STORE_HH
 
 #include <cstdint>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "common/json.hh"
+#include "common/mutex.hh"
+#include "common/thread_annotations.hh"
 #include "cpu/config.hh"
 #include "store/serialize.hh"
 #include "store/store_index.hh"
@@ -183,17 +184,19 @@ class ProfileStore
     std::optional<harness::WorkloadSim>
     loadEntry(const std::string &key) const;
 
-    /** Persist the index iff a deferred update is pending; call
-     * with index_mu_ held. */
-    void flushIndexLocked() const;
+    /** Persist the index iff a deferred update is pending. */
+    void flushIndexLocked() const REQUIRES(index_mu_);
 
     std::string dir_;
 
     /** In-memory index; mutable because reads (load) refresh the
-     * LRU signal. All access goes through index_mu_. */
-    mutable std::mutex index_mu_;
-    mutable StoreIndex index_;
-    mutable bool index_dirty_ = false;
+     * LRU signal. Guarded by index_mu_ — the annotations make any
+     * unlocked access a compile error on clang, and instances are
+     * shared across the daemon's pool threads, so this is load-
+     * bearing, not documentation. */
+    mutable Mutex index_mu_;
+    mutable StoreIndex index_ GUARDED_BY(index_mu_);
+    mutable bool index_dirty_ GUARDED_BY(index_mu_) = false;
 };
 
 /**

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <sstream>
+#include <stdexcept>
 
 #include "common/logging.hh"
 
@@ -106,9 +107,11 @@ WorkloadProfile::validationError() const
 void
 WorkloadProfile::validate() const
 {
+    // Profile errors throw (the CLI boundary catches and exits);
+    // fatal() would take down a daemon serving other requests.
     const std::string err = validationError();
     if (!err.empty())
-        fatal("profile %s: %s", name.c_str(), err.c_str());
+        throw std::invalid_argument("profile " + name + ": " + err);
 }
 
 namespace
@@ -393,7 +396,8 @@ profileByName(const std::string &name)
     for (const auto &p : table3Profiles())
         if (p.name == name)
             return p;
-    fatal("unknown workload profile '%s'", name.c_str());
+    throw std::invalid_argument("unknown workload profile '" + name +
+                                "' (see 'lsim list')");
 }
 
 } // namespace lsim::trace

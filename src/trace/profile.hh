@@ -132,7 +132,8 @@ struct WorkloadProfile
      */
     std::string validationError() const;
 
-    /** fatal() with validationError() when the profile is invalid. */
+    /** Throws std::invalid_argument (with validationError()'s
+     * message) when the profile is invalid. */
     void validate() const;
 };
 
@@ -142,7 +143,8 @@ struct WorkloadProfile
  * vortex, vpr). */
 const std::vector<WorkloadProfile> &table3Profiles();
 
-/** @return profile by name; fatal() if unknown. */
+/** @return profile by name; throws std::invalid_argument if
+ * unknown. */
 const WorkloadProfile &profileByName(const std::string &name);
 
 } // namespace lsim::trace

@@ -5,10 +5,32 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+#include <string>
+
 #include "trace/profile.hh"
 
 namespace
 {
+
+/**
+ * These sites formerly fatal()ed out of the process; the library now
+ * throws std::invalid_argument (caught at the CLI boundary), so the
+ * tests assert on the exception and its message, not a process exit.
+ */
+template <typename Fn>
+void
+expectRejects(Fn &&fn, const std::string &substr)
+{
+    try {
+        fn();
+        ADD_FAILURE() << "expected std::invalid_argument";
+    } catch (const std::invalid_argument &e) {
+        EXPECT_TRUE(std::string(e.what()).find(substr) !=
+                    std::string::npos)
+            << "unexpected message: " << e.what();
+    }
+}
 
 using lsim::trace::WorkloadProfile;
 using lsim::trace::profileByName;
@@ -61,28 +83,26 @@ TEST(Profiles, QualitativeCharacterPreserved)
               profileByName("vpr").branch_bias_strong);
 }
 
-TEST(ProfilesDeath, UnknownName)
+TEST(ProfilesReject, UnknownName)
 {
-    EXPECT_EXIT((void)profileByName("nonexistent"),
-                ::testing::ExitedWithCode(1), "unknown workload");
+    expectRejects([&] { (void)profileByName("nonexistent"); },
+                  "unknown workload");
 }
 
-TEST(ProfilesDeath, ValidationCatchesBadMix)
+TEST(ProfilesReject, ValidationCatchesBadMix)
 {
     WorkloadProfile p = profileByName("gcc");
     p.frac_load = 0.9;
     p.frac_store = 0.9;
-    EXPECT_EXIT(p.validate(), ::testing::ExitedWithCode(1),
-                "sums to");
+    expectRejects([&] { p.validate(); }, "sums to");
 }
 
-TEST(ProfilesDeath, ValidationCatchesBadMemoryFractions)
+TEST(ProfilesReject, ValidationCatchesBadMemoryFractions)
 {
     WorkloadProfile p = profileByName("gcc");
     p.local_frac = 0.9;
     p.irregular_frac = 0.9;
-    EXPECT_EXIT(p.validate(), ::testing::ExitedWithCode(1),
-                "memory site fractions");
+    expectRejects([&] { p.validate(); }, "memory site fractions");
 }
 
 } // namespace

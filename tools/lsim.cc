@@ -981,6 +981,21 @@ cmdBatch(const Args &args)
 /** Set by SIGINT/SIGTERM; the daemon drains and exits cleanly. */
 std::atomic<bool> g_stop_requested{false};
 
+// A lock-based atomic would take a mutex inside the handler —
+// async-signal-unsafe and a self-deadlock if the signal lands while
+// the main thread holds it. Refuse to build anywhere plain-bool
+// atomics are not lock-free.
+static_assert(std::atomic<bool>::is_always_lock_free,
+              "signal handler flag must be a lock-free atomic");
+
+/**
+ * Strictly async-signal-safe: the body is a single lock-free atomic
+ * store — no locking, no allocation, no I/O, nothing that could
+ * reenter a non-reentrant runtime facility. tools/lint.py enforces
+ * this shape (signal-safety rule); anything the daemon should *do*
+ * about the signal happens on the polling thread via ServeConfig's
+ * stop hook.
+ */
 extern "C" void
 handleStopSignal(int)
 {
