@@ -6,6 +6,8 @@
 #include <memory>
 
 #include "api/parallel.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "store/profile_store.hh"
 
 namespace lsim::api
@@ -104,23 +106,37 @@ BatchRunner::run(const BatchEnv &env) const
     // result into all of them.
     std::vector<harness::WorkloadSim> sims(unique.size());
     std::atomic<std::size_t> sims_run{0}, cache_hits{0};
-    detail::runOn(env.pool, unique.size(), config_.threads,
-                  [&](std::size_t i) {
-        for (const auto &dir : task_dirs[i]) {
-            if (auto cached =
-                    stores.at(dir)->load(unique_keys[i])) {
-                sims[i] = std::move(*cached);
-                cache_hits.fetch_add(1);
-                return;
+    {
+        obs::TraceSpan span("batch.phase1_sim", "batch");
+        obs::ScopedTimerMs timer(obs::histogram("batch.sim_ms"));
+        detail::runOn(env.pool, unique.size(), config_.threads,
+                      [&](std::size_t i) {
+            for (const auto &dir : task_dirs[i]) {
+                if (auto cached =
+                        stores.at(dir)->load(unique_keys[i])) {
+                    sims[i] = std::move(*cached);
+                    cache_hits.fetch_add(1);
+                    return;
+                }
             }
-        }
-        sims[i] = unique[i].run();
-        sims_run.fetch_add(1);
-        for (const auto &dir : task_dirs[i])
-            stores.at(dir)->save(unique_keys[i], sims[i]);
-    });
+            sims[i] = unique[i].run();
+            sims_run.fetch_add(1);
+            for (const auto &dir : task_dirs[i])
+                stores.at(dir)->save(unique_keys[i], sims[i]);
+        });
+    }
     result.stats.sims_run = sims_run.load();
     result.stats.cache_hits = cache_hits.load();
+
+    obs::counter("batch.requested_sims")
+        .add(result.stats.requested_sims);
+    obs::counter("batch.unique_sims").add(result.stats.unique_sims);
+    // Phase-1 dedup: requests that collapsed onto an already-listed
+    // fingerprint before any store lookup happened.
+    obs::counter("batch.dedup_hits")
+        .add(result.stats.requested_sims - result.stats.unique_sims);
+    obs::counter("batch.store_hits").add(result.stats.cache_hits);
+    obs::counter("batch.store_misses").add(result.stats.sims_run);
 
     // Assemble each request's result skeleton from the shared sims.
     for (std::size_t s = 0; s < runners_.size(); ++s) {
@@ -149,7 +165,12 @@ BatchRunner::run(const BatchEnv &env) const
     detail::ReplayDriver driver;
     for (std::size_t s = 0; s < result.sweeps.size(); ++s)
         driver.add(result.sweeps[s], runners_[s].config());
-    driver.run(config_.threads, env.pool);
+    {
+        obs::TraceSpan span("batch.phase2_replay", "batch");
+        obs::ScopedTimerMs timer(
+            obs::histogram("batch.replay_ms"));
+        driver.run(config_.threads, env.pool);
+    }
     return result;
 }
 

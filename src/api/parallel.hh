@@ -23,6 +23,8 @@
 
 #include "common/mutex.hh"
 #include "common/thread_annotations.hh"
+#include "obs/clock.hh"
+#include "obs/metrics.hh"
 
 namespace lsim::api::detail
 {
@@ -141,6 +143,8 @@ class ThreadPool
         auto job = std::make_shared<Job>();
         job->fn = std::move(fn);
         job->count = count;
+        job->submit_us = obs::monotonicMicros();
+        obs::counter("pool.runs").add();
         {
             MutexLock lock(mu_);
             job_ = job;
@@ -158,6 +162,7 @@ class ThreadPool
     {
         std::function<void(std::size_t)> fn;
         std::size_t count = 0;
+        std::uint64_t submit_us = 0; ///< obs: queue-wait anchor
         std::atomic<std::size_t> next{0};
         std::atomic<std::size_t> done{0};
         Mutex mu;
@@ -166,9 +171,23 @@ class ThreadPool
 
     void work(Job &job)
     {
+        // Registry lookups once per process (function-local statics);
+        // the per-index updates below are single relaxed atomics.
+        static obs::Counter &tasks = obs::counter("pool.tasks");
+        static obs::Histogram &wait =
+            obs::histogram("pool.task_wait_ms");
         for (std::size_t i = job.next.fetch_add(1); i < job.count;
              i = job.next.fetch_add(1)) {
+            if (i == 0) {
+                // First claim: how long the job sat between submit
+                // and the start of execution (dispatch latency).
+                wait.observe(static_cast<double>(
+                                 obs::monotonicMicros() -
+                                 job.submit_us) /
+                             1000.0);
+            }
             job.fn(i);
+            tasks.add();
             if (job.done.fetch_add(1) + 1 == job.count) {
                 // Lock pairs with the waiter's predicate check so
                 // the notify cannot slip between check and wait.
@@ -180,6 +199,7 @@ class ThreadPool
 
     void workerLoop()
     {
+        static obs::Gauge &busy = obs::gauge("pool.workers_busy");
         std::uint64_t seen = 0;
         for (;;) {
             std::shared_ptr<Job> job;
@@ -192,7 +212,9 @@ class ThreadPool
                 seen = generation_;
                 job = job_;
             }
+            busy.add();
             work(*job);
+            busy.sub();
         }
     }
 

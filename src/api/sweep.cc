@@ -8,6 +8,7 @@
 #include "common/json.hh"
 #include "common/logging.hh"
 #include "harness/report.hh"
+#include "obs/metrics.hh"
 #include "replay/engine.hh"
 #include "sleep/policy_registry.hh"
 #include "store/profile_store.hh"
@@ -210,6 +211,26 @@ detail::ReplayDriver::run(unsigned threads, ThreadPool *pool)
             job.result->technologies, job.result->policy_keys,
             options);
     });
+
+    // Kernel-vs-fallback coverage, read off the engines here so the
+    // replay module itself stays free of the obs registry (and of
+    // clocks — its determinism lint rule is textual).
+    {
+        std::uint64_t kernel = 0, fallback = 0, groups = 0;
+        for (const auto &job : jobs_) {
+            const std::size_t k = job.engine->numKernelUnits();
+            kernel += k;
+            fallback += job.engine->numUnits() - k;
+            groups += job.engine->numKernelGroups();
+        }
+        obs::counter("replay.kernel_units").add(kernel);
+        obs::counter("replay.fallback_units").add(fallback);
+        obs::counter("replay.kernel_groups").add(groups);
+        obs::counter("replay.engines")
+            .add(static_cast<std::uint64_t>(jobs_.size()));
+        obs::counter("replay.scalar_cells")
+            .add(static_cast<std::uint64_t>(scalar_cells_.size()));
+    }
 
     // One flat list over every registered result: scalar cells plus
     // each engine job's (workload, chunk) tasks, so a small sweep's

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Clock helpers for the observability layer. These read real clocks
+ * on purpose: src/obs is exempt from the determinism lint rule
+ * (which covers src/replay and src/sleep), because observability
+ * exists precisely to measure wall-clock behaviour.
+ */
+
+#ifndef LSIM_OBS_CLOCK_HH
+#define LSIM_OBS_CLOCK_HH
+
+#include <cstdint>
+#include <string>
+
+namespace lsim
+{
+namespace obs
+{
+
+/**
+ * Microseconds on a process-wide steady clock, zeroed at the first
+ * call in the process. Used for span timestamps and durations.
+ */
+std::uint64_t monotonicMicros();
+
+/**
+ * Current wall-clock time as UTC ISO-8601 with millisecond
+ * precision, e.g. "2026-08-08T12:34:56.789Z".
+ */
+std::string isoTimestampNow();
+
+} // namespace obs
+} // namespace lsim
+
+#endif // LSIM_OBS_CLOCK_HH

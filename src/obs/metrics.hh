@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Process-wide metrics registry: named counters, gauges, and
+ * fixed-bucket latency histograms with p50/p90/p99 extraction.
+ *
+ * Hot-path updates are a single relaxed atomic RMW — no locks, no
+ * allocation. The registry mutex is taken only on first lookup of a
+ * name (call sites cache the returned reference) and when dumping.
+ * Metric objects are never destroyed before process exit, so cached
+ * references stay valid for the lifetime of the program.
+ *
+ * Timing in this module intentionally reads wall/steady clocks; the
+ * determinism lint rule covers src/replay and src/sleep only, and
+ * src/obs is exempt by design (observability measures real time).
+ */
+
+#ifndef LSIM_OBS_METRICS_HH
+#define LSIM_OBS_METRICS_HH
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/mutex.hh"
+#include "common/thread_annotations.hh"
+
+namespace lsim
+{
+
+class JsonWriter;
+
+namespace obs
+{
+
+/** Monotonically increasing event count. */
+class Counter
+{
+  public:
+    void add(std::uint64_t n = 1)
+    {
+        v_.fetch_add(n, std::memory_order_relaxed);
+    }
+    std::uint64_t value() const
+    {
+        return v_.load(std::memory_order_relaxed);
+    }
+    void reset() { v_.store(0, std::memory_order_relaxed); }
+
+  private:
+    std::atomic<std::uint64_t> v_{0};
+};
+
+/** Instantaneous level (queue depth, workers busy, ...). */
+class Gauge
+{
+  public:
+    void set(std::int64_t v)
+    {
+        v_.store(v, std::memory_order_relaxed);
+    }
+    void add(std::int64_t n = 1)
+    {
+        v_.fetch_add(n, std::memory_order_relaxed);
+    }
+    void sub(std::int64_t n = 1)
+    {
+        v_.fetch_sub(n, std::memory_order_relaxed);
+    }
+    std::int64_t value() const
+    {
+        return v_.load(std::memory_order_relaxed);
+    }
+    void reset() { v_.store(0, std::memory_order_relaxed); }
+
+  private:
+    std::atomic<std::int64_t> v_{0};
+};
+
+/**
+ * Fixed-bucket histogram for latencies in milliseconds. Bucket upper
+ * bounds follow a 1-2-5 geometric ladder from 0.01 ms to 50 s plus an
+ * overflow bucket, so one layout serves micro-benchmarks and
+ * multi-second batch requests alike. Percentiles are extracted by
+ * linear interpolation inside the target bucket; the overflow bucket
+ * reports the observed maximum.
+ */
+class Histogram
+{
+  public:
+    /** Number of finite bucket bounds (the ladder). */
+    static constexpr std::size_t kBounds = 21;
+
+    /** Upper bound of finite bucket @p i, in ms. */
+    static double boundMs(std::size_t i);
+
+    void observe(double ms);
+
+    std::uint64_t count() const
+    {
+        return count_.load(std::memory_order_relaxed);
+    }
+    double sum() const;
+    double min() const; ///< +inf when empty
+    double max() const; ///< -inf when empty
+
+    /** Percentile in [0, 100]; 0 when the histogram is empty. */
+    double percentile(double pct) const;
+
+    /** Cumulative count of finite bucket @p i plus all below. */
+    std::uint64_t bucketCount(std::size_t i) const;
+
+    void reset();
+
+  private:
+    // kBounds finite buckets + 1 overflow.
+    std::array<std::atomic<std::uint64_t>, kBounds + 1> buckets_{};
+    std::atomic<std::uint64_t> count_{0};
+    std::atomic<double> sum_{0.0};
+    std::atomic<double> min_{std::numeric_limits<double>::infinity()};
+    std::atomic<double> max_{
+        -std::numeric_limits<double>::infinity()};
+};
+
+/**
+ * Name -> metric map shared by the whole process. Lookup interns the
+ * name on first use and returns a stable reference; typical call
+ * sites look up once (static local or member) and update lock-free
+ * afterwards.
+ */
+class MetricsRegistry
+{
+  public:
+    static MetricsRegistry &instance();
+
+    Counter &counter(const std::string &name);
+    Gauge &gauge(const std::string &name);
+    Histogram &histogram(const std::string &name);
+
+    /**
+     * Dump every registered metric as one JSON object:
+     * @code
+     * {"version": 1,
+     *  "counters": {"serve.requests_done": 12, ...},
+     *  "gauges": {"serve.queue_depth": 0, ...},
+     *  "histograms": {"serve.request_ms":
+     *      {"count": 12, "sum": 34.5, "min": 1.2, "max": 9.8,
+     *       "p50": 2.5, "p90": 8.0, "p99": 9.6,
+     *       "buckets": [{"le": 0.01, "count": 0}, ...]}}}
+     * @endcode
+     * Names are emitted in sorted order so dumps diff cleanly.
+     */
+    void writeJson(JsonWriter &w) const;
+
+    /** writeJson() rendered to a string. */
+    std::string dumpJson() const;
+
+    /** dumpJson() installed at @p path via atomicWriteFile(). */
+    bool exportFile(const std::string &path) const;
+
+    /**
+     * Zero every registered metric (values only; registrations and
+     * cached references stay valid). For tests sharing one process.
+     */
+    void reset();
+
+  private:
+    MetricsRegistry() = default;
+
+    mutable Mutex mu_;
+    std::map<std::string, std::unique_ptr<Counter>>
+        counters_ GUARDED_BY(mu_);
+    std::map<std::string, std::unique_ptr<Gauge>>
+        gauges_ GUARDED_BY(mu_);
+    std::map<std::string, std::unique_ptr<Histogram>>
+        histograms_ GUARDED_BY(mu_);
+};
+
+/** Shorthand accessors against MetricsRegistry::instance(). */
+Counter &counter(const std::string &name);
+Gauge &gauge(const std::string &name);
+Histogram &histogram(const std::string &name);
+
+/**
+ * RAII histogram timer: records elapsed wall-clock ms into @p h on
+ * destruction (steady clock, so immune to wall-clock steps).
+ */
+class ScopedTimerMs
+{
+  public:
+    explicit ScopedTimerMs(Histogram &h);
+    ~ScopedTimerMs();
+
+    ScopedTimerMs(const ScopedTimerMs &) = delete;
+    ScopedTimerMs &operator=(const ScopedTimerMs &) = delete;
+
+    /** Elapsed ms so far (for callers that also want the value). */
+    double elapsedMs() const;
+
+  private:
+    Histogram &h_;
+    std::uint64_t start_us_;
+};
+
+} // namespace obs
+} // namespace lsim
+
+#endif // LSIM_OBS_METRICS_HH

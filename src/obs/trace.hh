@@ -1,0 +1,112 @@
+/**
+ * @file
+ * RAII trace spans emitting Chrome-trace-format JSON.
+ *
+ * Disabled by default: a TraceSpan constructed while the session is
+ * off reads one relaxed atomic and does nothing else — no clock
+ * read, no allocation, no lock. When enabled (LSIM_TRACE=out.json in
+ * the environment, or `lsim serve --trace FILE`), each span records
+ * a complete "X" (duration) event; flush() installs the JSON
+ * atomically so a crash mid-write never leaves a torn file. The
+ * output loads directly into chrome://tracing or Perfetto.
+ */
+
+#ifndef LSIM_OBS_TRACE_HH
+#define LSIM_OBS_TRACE_HH
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/mutex.hh"
+#include "common/thread_annotations.hh"
+
+namespace lsim
+{
+namespace obs
+{
+
+/** One completed span, Chrome trace "X" event. */
+struct TraceEvent {
+    std::string name;
+    std::string cat;
+    std::uint64_t ts_us;  ///< start, µs since session start
+    std::uint64_t dur_us; ///< duration, µs
+    std::uint64_t tid;    ///< stable per-thread id
+};
+
+/**
+ * Process-wide trace sink. start() enables collection and remembers
+ * the output path; stop() flushes and disables. flush() may also be
+ * called mid-session (e.g. per drain cycle) — it rewrites the whole
+ * file with everything collected so far.
+ */
+class TraceSession
+{
+  public:
+    static TraceSession &instance();
+
+    /** Enable collection, writing to @p path on flush()/stop(). */
+    void start(const std::string &path);
+
+    /** Flush and disable. No-op when not started. */
+    void stop();
+
+    /**
+     * start() with the LSIM_TRACE environment variable when set and
+     * non-empty. @return true when tracing was enabled.
+     */
+    bool startFromEnv();
+
+    bool enabled() const
+    {
+        return enabled_.load(std::memory_order_relaxed);
+    }
+
+    /** Append one completed event (called by ~TraceSpan). */
+    void record(TraceEvent ev);
+
+    /** Write all collected events to the session path atomically. */
+    bool flush();
+
+    /** Collected event count so far (tests/diagnostics). */
+    std::size_t eventCount() const;
+
+    /** Drop all collected events and disable (tests only). */
+    void resetForTest();
+
+  private:
+    TraceSession() = default;
+
+    std::atomic<bool> enabled_{false};
+    mutable Mutex mu_;
+    std::string path_ GUARDED_BY(mu_);
+    std::vector<TraceEvent> events_ GUARDED_BY(mu_);
+};
+
+/**
+ * RAII scope timer: records a TraceEvent spanning its lifetime when
+ * the session is enabled at construction. @p name and @p cat must
+ * outlive the span (string literals in practice).
+ */
+class TraceSpan
+{
+  public:
+    explicit TraceSpan(const char *name, const char *cat = "lsim");
+    ~TraceSpan();
+
+    TraceSpan(const TraceSpan &) = delete;
+    TraceSpan &operator=(const TraceSpan &) = delete;
+
+  private:
+    const char *name_;
+    const char *cat_;
+    std::uint64_t start_us_ = 0;
+    bool active_ = false;
+};
+
+} // namespace obs
+} // namespace lsim
+
+#endif // LSIM_OBS_TRACE_HH

@@ -12,6 +12,9 @@
 #include "common/files.hh"
 #include "common/json.hh"
 #include "common/logging.hh"
+#include "obs/clock.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "serve/spec.hh"
 
 namespace lsim::serve
@@ -26,6 +29,7 @@ constexpr const char *kWorkDir = "work";
 constexpr const char *kDoneDir = "done";
 constexpr const char *kFailedDir = "failed";
 constexpr const char *kStatusFile = "status.json";
+constexpr const char *kMetricsFile = "metrics.json";
 
 double
 msSince(std::chrono::steady_clock::time_point start)
@@ -49,6 +53,12 @@ struct Daemon::Request
     double total_ms = 0.0;  ///< claim-to-final wall time
     std::optional<api::BatchStats> stats;
 
+    // Wall-clock ISO-8601 stamps, filled as the request advances so
+    // per-request latency is reconstructable from the spool alone.
+    std::string queued_at;
+    std::string started_at;
+    std::string finished_at;
+
     /**
      * Atomically (re)write <result_dir>/status.json. @p state is
      * one of "queued", "running", "done", "error"; @p error is the
@@ -68,6 +78,12 @@ struct Daemon::Request
             w.field("sweeps", static_cast<std::uint64_t>(sweeps));
         w.field("run_ms", run_ms);
         w.field("total_ms", total_ms);
+        if (!queued_at.empty())
+            w.field("queued_at", queued_at);
+        if (!started_at.empty())
+            w.field("started_at", started_at);
+        if (!finished_at.empty())
+            w.field("finished_at", finished_at);
         if (stats) {
             w.beginObject("stats");
             w.field("requested_sims",
@@ -95,6 +111,8 @@ Daemon::Daemon(ServeConfig config)
                        ? (fs::path(config_.spool_dir) / "results")
                              .string()
                        : config_.results_dir),
+      metrics_path_(
+          (fs::path(config_.spool_dir) / kMetricsFile).string()),
       pool_(config_.threads)
 {
     if (config_.spool_dir.empty())
@@ -153,6 +171,7 @@ Daemon::recoverStale()
             MutexLock lock(stats_mu_);
             stats_.recovered += 1;
         }
+        obs::counter("serve.requests_recovered").add();
         inform("serve: re-queued stale spec '%s'",
                de.path().filename().string().c_str());
     }
@@ -185,6 +204,7 @@ Daemon::process(const std::string &spec_name)
 {
     // Claim by rename: with several daemons sharing one spool,
     // exactly one rename succeeds and the losers skip silently.
+    obs::TraceSpan span("serve.request", "serve");
     const fs::path spool(config_.spool_dir);
     Request req;
     req.name = spec_name;
@@ -206,6 +226,7 @@ Daemon::process(const std::string &spec_name)
             // Without a result dir there is nowhere to report
             // status; park the spec in failed/ and move on.
             moveTo(req.work_path, kFailedDir, spec_name, nullptr);
+            obs::counter("serve.requests_failed").add();
             MutexLock lock(stats_mu_);
             stats_.failed += 1;
             stats_.processed += 1;
@@ -214,11 +235,14 @@ Daemon::process(const std::string &spec_name)
     }
 
     const auto start = std::chrono::steady_clock::now();
+    req.queued_at = obs::isoTimestampNow();
     req.writeStatus("queued");
 
     const auto fail = [&](const std::string &message) {
         req.total_ms = msSince(start);
+        req.finished_at = obs::isoTimestampNow();
         req.writeStatus("error", message);
+        obs::counter("serve.requests_failed").add();
         std::string move_error;
         if (!moveTo(req.work_path, kFailedDir, spec_name,
                     &move_error))
@@ -241,6 +265,7 @@ Daemon::process(const std::string &spec_name)
         batch.cache_dir = config_.cache_dir;
         api::BatchRunner runner(std::move(batch));
 
+        req.started_at = obs::isoTimestampNow();
         req.writeStatus("running");
         const auto run_start = std::chrono::steady_clock::now();
         api::BatchEnv env;
@@ -272,6 +297,7 @@ Daemon::process(const std::string &spec_name)
     }
 
     req.total_ms = msSince(start);
+    req.finished_at = obs::isoTimestampNow();
     req.writeStatus("done");
     std::string move_error;
     if (!moveTo(req.work_path, kDoneDir, spec_name, &move_error))
@@ -281,6 +307,15 @@ Daemon::process(const std::string &spec_name)
         stats_.done += 1;
         stats_.processed += 1;
     }
+    // The latency histogram counts successful requests only, so its
+    // count stays equal to serve.requests_done (tested invariant).
+    obs::counter("serve.requests_done").add();
+    obs::histogram("serve.request_ms").observe(req.total_ms);
+    obs::counter("serve.requested_sims")
+        .add(result.stats.requested_sims);
+    obs::counter("serve.unique_sims").add(result.stats.unique_sims);
+    obs::counter("serve.cache_hits").add(result.stats.cache_hits);
+    obs::counter("serve.sims_run").add(result.stats.sims_run);
     inform("serve: %s done in %.1f ms (%zu sweep(s), %zu cache "
            "hit(s), %zu simulated)",
            spec_name.c_str(), req.total_ms, req.sweeps,
@@ -290,29 +325,51 @@ Daemon::process(const std::string &spec_name)
 std::size_t
 Daemon::drainOnce()
 {
+    obs::TraceSpan span("serve.drain", "serve");
     std::vector<std::string> names;
     for (const auto &de :
          fs::directory_iterator(config_.spool_dir)) {
         if (!de.is_regular_file() ||
             de.path().extension() != ".json")
             continue;
+        // The daemon's own metrics snapshot lives in the spool root;
+        // it is never a spec (the name is reserved).
+        if (de.path().filename() == kMetricsFile)
+            continue;
         names.push_back(de.path().filename().string());
     }
     std::sort(names.begin(), names.end());
+
+    auto &queue_depth = obs::gauge("serve.queue_depth");
+    queue_depth.set(static_cast<std::int64_t>(names.size()));
 
     std::size_t before = 0;
     {
         MutexLock lock(stats_mu_);
         before = stats_.processed;
     }
-    for (const std::string &name : names) {
-        process(name);
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        process(names[i]);
+        queue_depth.set(
+            static_cast<std::int64_t>(names.size() - i - 1));
         if (stopped())
             break; // graceful drain: finish the request, not the scan
     }
-    MutexLock lock(stats_mu_);
-    stats_.polls += 1;
-    return stats_.processed - before;
+    std::size_t drained = 0;
+    {
+        MutexLock lock(stats_mu_);
+        stats_.polls += 1;
+        drained = stats_.processed - before;
+    }
+    obs::counter("serve.polls").add();
+
+    // Publish the metrics snapshot every drain cycle so pollers (and
+    // `lsim metrics`) always see a fresh, never-torn file.
+    obs::MetricsRegistry::instance().exportFile(metrics_path_);
+    auto &trace = obs::TraceSession::instance();
+    if (trace.enabled())
+        trace.flush();
+    return drained;
 }
 
 ServeStats

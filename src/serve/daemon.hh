@@ -14,7 +14,8 @@
  * Spool layout (subdirectories created on startup):
  *
  *     <spool>/<name>.json      incoming specs (writers SHOULD write
- *                              a temp name and rename into place)
+ *                              a temp name and rename into place;
+ *                              "metrics.json" is reserved)
  *     <spool>/work/            claimed specs being executed
  *     <spool>/done/            consumed specs that succeeded
  *     <spool>/failed/          malformed or failed specs
@@ -28,10 +29,17 @@
  *     <results>/<name>/sweep_<i>.json
  *
  * byte-identical to `lsim batch <spec> --out-dir`. The status file
- * walks queued -> running -> done|error and carries timings plus the
- * batch dedup/cache stats; every write is temp+rename so a poller
- * never reads a torn file. Claiming is also a rename, so multiple
- * daemons may share one spool — exactly one wins each spec.
+ * walks queued -> running -> done|error and carries timings, ISO-8601
+ * queued_at/started_at/finished_at wall-clock stamps, plus the batch
+ * dedup/cache stats; every write is temp+rename so a poller never
+ * reads a torn file. Claiming is also a rename, so multiple daemons
+ * may share one spool — exactly one wins each spec.
+ *
+ * Observability: the daemon feeds the process-wide obs registry
+ * (serve.* counters, queue-depth gauge, per-request latency
+ * histogram) and atomically rewrites <spool>/metrics.json after
+ * every drain cycle — see src/obs/metrics.hh for the schema and
+ * `lsim metrics <spool>` for a pretty-printed view.
  *
  * Crash recovery: specs stranded in work/ by a killed daemon are
  * moved back into the spool root on construction and re-executed.
@@ -122,6 +130,9 @@ class Daemon
 
     const std::string &resultsDir() const { return results_dir_; }
 
+    /** Where the metrics snapshot lands: <spool>/metrics.json. */
+    const std::string &metricsPath() const { return metrics_path_; }
+
     /** The shared store, when a cache dir is configured. */
     const store::ProfileStore *profileStore() const
     {
@@ -139,6 +150,7 @@ class Daemon
 
     ServeConfig config_;
     std::string results_dir_;
+    std::string metrics_path_;
 
     /** Counter mutations happen on the drain thread, reads may come
      * from anywhere (stats()); the guard keeps a live daemon

@@ -2,8 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
+#include <string>
 
-#include "common/logging.hh"
 #include "sleep/policy_registry.hh"
 
 namespace lsim::sleep
@@ -13,9 +14,11 @@ void
 SleepController::assertFlushed(const char *call) const
 {
     if (pending_idle_ > 0)
-        fatal("SleepController::%s: %llu cycles of tick()-fed idle "
-              "are pending; call finish() before explicit run calls",
-              call, static_cast<unsigned long long>(pending_idle_));
+        throw std::invalid_argument(
+            "SleepController::" + std::string(call) + ": " +
+            std::to_string(pending_idle_) +
+            " cycles of tick()-fed idle are pending; call finish() "
+            "before explicit run calls");
 }
 
 void
@@ -87,7 +90,8 @@ GradualSleepController::GradualSleepController(unsigned num_slices)
     : slices_(num_slices)
 {
     if (slices_ == 0)
-        fatal("GradualSleepController: slice count must be >= 1");
+        throw std::invalid_argument(
+            "GradualSleepController: slice count must be >= 1");
 }
 
 void
@@ -131,18 +135,21 @@ WeightedGradualSleepController::WeightedGradualSleepController(
     : weights_(std::move(weights))
 {
     if (weights_.empty())
-        fatal("WeightedGradualSleepController: no slices");
+        throw std::invalid_argument(
+            "WeightedGradualSleepController: no slices");
     double total = 0.0;
     for (double w : weights_) {
         if (w <= 0.0)
-            fatal("WeightedGradualSleepController: slice weight %g "
-                  "must be positive", w);
+            throw std::invalid_argument(
+                "WeightedGradualSleepController: slice weight " +
+                std::to_string(w) + " must be positive");
         total += w;
         asleep_after_.push_back(total);
     }
     if (std::abs(total - 1.0) > 1e-9)
-        fatal("WeightedGradualSleepController: weights sum to %g, "
-              "expected 1", total);
+        throw std::invalid_argument(
+            "WeightedGradualSleepController: weights sum to " +
+            std::to_string(total) + ", expected 1");
     asleep_after_.back() = 1.0; // exact despite rounding
 }
 
@@ -259,8 +266,9 @@ AdaptiveController::AdaptiveController(double breakeven,
       predicted_(breakeven)
 {
     if (weight_ <= 0.0 || weight_ > 1.0)
-        fatal("AdaptiveController: EWMA weight %g outside (0,1]",
-              weight_);
+        throw std::invalid_argument(
+            "AdaptiveController: EWMA weight " +
+            std::to_string(weight_) + " outside (0,1]");
 }
 
 void

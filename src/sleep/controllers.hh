@@ -40,8 +40,9 @@ namespace lsim::sleep
  * The run-granularity entry points are non-virtual guards: mixing
  * tick() with explicit idleRun()/activeRun() calls while an idle
  * interval is still accumulating would silently split that interval,
- * so the guards fatal() unless the pending idle run has been flushed
- * with finish(). Policies implement the protected do*() hooks.
+ * so the guards throw std::invalid_argument unless the pending idle
+ * run has been flushed with finish(). Policies implement the
+ * protected do*() hooks.
  */
 class SleepController
 {
@@ -80,7 +81,7 @@ class SleepController
 
     /**
      * Process @p len consecutive idle cycles as one complete
-     * interval. fatal()s if tick()-accumulated idle is pending.
+     * interval. Throws if tick()-accumulated idle is pending.
      */
     void
     idleRun(Cycle len)
@@ -91,7 +92,7 @@ class SleepController
 
     /**
      * Process @p count separate idle runs of @p len cycles each
-     * (separated by activity). fatal()s if tick()-accumulated idle
+     * (separated by activity). Throws if tick()-accumulated idle
      * is pending.
      */
     void
@@ -102,7 +103,7 @@ class SleepController
     }
 
     /**
-     * Process @p len consecutive busy cycles. fatal()s if
+     * Process @p len consecutive busy cycles. Throws if
      * tick()-accumulated idle is pending.
      */
     void
@@ -151,7 +152,8 @@ class SleepController
     energy::CycleCounts counts_;
 
   private:
-    /** fatal() if tick() left an unflushed idle interval. */
+    /** Throws std::invalid_argument if tick() left an unflushed
+     * idle interval. */
     void assertFlushed(const char *call) const;
 
     Cycle pending_idle_ = 0;

@@ -6,6 +6,8 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <stdexcept>
+#include <string>
 
 #include "energy/breakeven.hh"
 #include "energy/gradual_sleep_model.hh"
@@ -13,6 +15,25 @@
 
 namespace
 {
+
+/**
+ * These sites formerly fatal()ed out of the process; the library now
+ * throws std::invalid_argument (caught at the CLI boundary), so the
+ * tests assert on the exception and its message, not a process exit.
+ */
+template <typename Fn>
+void
+expectRejects(Fn &&fn, const std::string &substr)
+{
+    try {
+        fn();
+        ADD_FAILURE() << "expected std::invalid_argument";
+    } catch (const std::invalid_argument &e) {
+        EXPECT_TRUE(std::string(e.what()).find(substr) !=
+                    std::string::npos)
+            << "unexpected message: " << e.what();
+    }
+}
 
 using lsim::Cycle;
 using lsim::energy::EnergyModel;
@@ -101,24 +122,26 @@ TEST(Controllers, ConsecutiveIdleTicksFormOneInterval)
     EXPECT_DOUBLE_EQ(c.counts().sleep, 10.0);
 }
 
-TEST(Controllers, RunCallsWithPendingTickIdleAreFatal)
+TEST(Controllers, RunCallsWithPendingTickIdleAreRejected)
 {
     // Regression for the tick()/idleRun() interleaving footgun: an
     // explicit run call while tick()-fed idle is still accumulating
-    // would silently split the interval, so the guard must fatal()
-    // (exit 1) instead.
+    // would silently split the interval, so the guard must throw.
     auto interleave = [](auto use) {
         MaxSleepController c;
         c.tick(true);
         c.tick(false); // leaves one pending idle cycle
         use(c);
     };
-    EXPECT_EXIT(interleave([](auto &c) { c.idleRun(3); }),
-                ::testing::ExitedWithCode(1), "pending");
-    EXPECT_EXIT(interleave([](auto &c) { c.idleRuns(3, 2); }),
-                ::testing::ExitedWithCode(1), "pending");
-    EXPECT_EXIT(interleave([](auto &c) { c.activeRun(4); }),
-                ::testing::ExitedWithCode(1), "pending");
+    expectRejects(
+        [&] { interleave([](auto &c) { c.idleRun(3); }); },
+        "pending");
+    expectRejects(
+        [&] { interleave([](auto &c) { c.idleRuns(3, 2); }); },
+        "pending");
+    expectRejects(
+        [&] { interleave([](auto &c) { c.activeRun(4); }); },
+        "pending");
 }
 
 TEST(Controllers, FinishUnblocksExplicitRunCalls)
@@ -155,10 +178,10 @@ TEST(GradualSleep, ResetClearsCounts)
     EXPECT_DOUBLE_EQ(c.counts().transitions, 0.0);
 }
 
-TEST(GradualSleepDeath, ZeroSlices)
+TEST(GradualSleep, ZeroSlicesRejected)
 {
-    EXPECT_EXIT(GradualSleepController c(0),
-                ::testing::ExitedWithCode(1), "slice count");
+    expectRejects([] { GradualSleepController c(0); (void)c; },
+                  "slice count");
 }
 
 TEST(Timeout, WaitsThenSleeps)
@@ -249,10 +272,10 @@ TEST(Adaptive, TimesOutWhenPredictingShort)
     EXPECT_DOUBLE_EQ(c.prediction(), 10.0);
 }
 
-TEST(AdaptiveDeath, BadWeight)
+TEST(Adaptive, BadWeightRejected)
 {
-    EXPECT_EXIT(AdaptiveController c(10.0, 0.0),
-                ::testing::ExitedWithCode(1), "EWMA");
+    expectRejects([] { AdaptiveController c(10.0, 0.0); (void)c; },
+                  "EWMA");
 }
 
 TEST(WeightedGradualSleep, UniformWeightsMatchGradualSleep)
@@ -296,14 +319,23 @@ TEST(WeightedGradualSleep, ConservesCycles)
     EXPECT_LE(c.counts().transitions, 5.0 + 1e-12);
 }
 
-TEST(WeightedGradualSleepDeath, BadWeights)
+TEST(WeightedGradualSleep, BadWeightsRejected)
 {
-    EXPECT_EXIT(WeightedGradualSleepController c({}),
-                ::testing::ExitedWithCode(1), "no slices");
-    EXPECT_EXIT(WeightedGradualSleepController c({0.5, 0.4}),
-                ::testing::ExitedWithCode(1), "sum");
-    EXPECT_EXIT(WeightedGradualSleepController c({1.5, -0.5}),
-                ::testing::ExitedWithCode(1), "positive");
+    expectRejects(
+        [] { WeightedGradualSleepController c({}); (void)c; },
+        "no slices");
+    expectRejects(
+        [] {
+            WeightedGradualSleepController c({0.5, 0.4});
+            (void)c;
+        },
+        "sum");
+    expectRejects(
+        [] {
+            WeightedGradualSleepController c({1.5, -0.5});
+            (void)c;
+        },
+        "positive");
 }
 
 TEST(Factories, PaperSetOrderAndNames)

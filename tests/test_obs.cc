@@ -1,0 +1,320 @@
+/**
+ * @file
+ * Unit tests for the observability layer: counter/gauge/histogram
+ * semantics (including percentile edges and concurrent increments —
+ * the CI TSan lane runs this binary), registry JSON dumps parsed
+ * back through common/json, and TraceSpan well-formedness plus the
+ * disabled-by-default zero-overhead path.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/json.hh"
+#include "obs/clock.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
+
+namespace
+{
+
+namespace fs = std::filesystem;
+using namespace lsim;
+using namespace lsim::obs;
+
+TEST(Counter, StartsAtZeroAndAccumulates)
+{
+    Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    c.add();
+    c.add(41);
+    EXPECT_EQ(c.value(), 42u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Gauge, TracksLevelsIncludingNegative)
+{
+    Gauge g;
+    EXPECT_EQ(g.value(), 0);
+    g.set(7);
+    EXPECT_EQ(g.value(), 7);
+    g.add(3);
+    g.sub(12);
+    EXPECT_EQ(g.value(), -2);
+    g.reset();
+    EXPECT_EQ(g.value(), 0);
+}
+
+TEST(Histogram, EmptyPercentilesAreZero)
+{
+    Histogram h;
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_DOUBLE_EQ(h.percentile(50.0), 0.0);
+    EXPECT_DOUBLE_EQ(h.percentile(99.0), 0.0);
+}
+
+TEST(Histogram, SingleSampleCollapsesEveryPercentile)
+{
+    Histogram h;
+    h.observe(3.5);
+    EXPECT_EQ(h.count(), 1u);
+    EXPECT_DOUBLE_EQ(h.min(), 3.5);
+    EXPECT_DOUBLE_EQ(h.max(), 3.5);
+    EXPECT_DOUBLE_EQ(h.sum(), 3.5);
+    // Interpolation is clamped to the observed range, so with one
+    // sample every percentile is exactly that sample.
+    EXPECT_DOUBLE_EQ(h.percentile(0.0), 3.5);
+    EXPECT_DOUBLE_EQ(h.percentile(50.0), 3.5);
+    EXPECT_DOUBLE_EQ(h.percentile(100.0), 3.5);
+}
+
+TEST(Histogram, PercentilesSeparateABimodalDistribution)
+{
+    Histogram h;
+    for (int i = 0; i < 90; ++i)
+        h.observe(0.3); // bucket (0.2, 0.5]
+    for (int i = 0; i < 10; ++i)
+        h.observe(40.0); // bucket (20, 50]
+    EXPECT_EQ(h.count(), 100u);
+    // p50 lands in the low mode, p99 in the high mode.
+    EXPECT_GT(h.percentile(50.0), 0.2);
+    EXPECT_LE(h.percentile(50.0), 0.5);
+    EXPECT_GT(h.percentile(99.0), 20.0);
+    EXPECT_LE(h.percentile(99.0), 40.0);
+    EXPECT_DOUBLE_EQ(h.percentile(100.0), 40.0);
+}
+
+TEST(Histogram, OverflowBucketReportsTheObservedMax)
+{
+    Histogram h;
+    h.observe(1.0);
+    h.observe(1e9); // beyond the last finite bound (50 s)
+    EXPECT_EQ(h.count(), 2u);
+    EXPECT_DOUBLE_EQ(h.percentile(99.0), 1e9);
+    EXPECT_DOUBLE_EQ(h.max(), 1e9);
+}
+
+TEST(Histogram, BucketCountsAreCumulative)
+{
+    Histogram h;
+    h.observe(0.015); // bucket 1 (0.01, 0.02]
+    h.observe(0.3);   // bucket 5 (0.2, 0.5]
+    h.observe(0.4);   // bucket 5
+    EXPECT_EQ(h.bucketCount(0), 0u);
+    EXPECT_EQ(h.bucketCount(1), 1u);
+    EXPECT_EQ(h.bucketCount(4), 1u);
+    EXPECT_EQ(h.bucketCount(5), 3u);
+    EXPECT_EQ(h.bucketCount(Histogram::kBounds - 1), 3u);
+}
+
+TEST(Registry, NamesInternToStableObjects)
+{
+    auto &reg = MetricsRegistry::instance();
+    Counter &a = reg.counter("test.registry.a");
+    Counter &b = reg.counter("test.registry.a");
+    Counter &other = reg.counter("test.registry.b");
+    EXPECT_EQ(&a, &b);
+    EXPECT_NE(&a, &other);
+    a.add(5);
+    EXPECT_EQ(b.value(), 5u);
+    // reset() zeroes values but keeps references valid.
+    reg.reset();
+    EXPECT_EQ(a.value(), 0u);
+    a.add(1);
+    EXPECT_EQ(b.value(), 1u);
+}
+
+TEST(Registry, DumpParsesBackThroughCommonJson)
+{
+    auto &reg = MetricsRegistry::instance();
+    reg.reset();
+    reg.counter("test.dump.count").add(12);
+    reg.gauge("test.dump.depth").set(-3);
+    auto &h = reg.histogram("test.dump.ms");
+    h.observe(1.5);
+    h.observe(2.5);
+
+    const JsonValue doc = parseJson(reg.dumpJson());
+    EXPECT_EQ(doc.at("version").asU64(), 1u);
+    EXPECT_EQ(doc.at("counters").at("test.dump.count").asU64(), 12u);
+    EXPECT_DOUBLE_EQ(
+        doc.at("gauges").at("test.dump.depth").asNumber(), -3.0);
+
+    const JsonValue &hist = doc.at("histograms").at("test.dump.ms");
+    EXPECT_EQ(hist.at("count").asU64(), 2u);
+    EXPECT_DOUBLE_EQ(hist.at("sum").asNumber(), 4.0);
+    EXPECT_DOUBLE_EQ(hist.at("min").asNumber(), 1.5);
+    EXPECT_DOUBLE_EQ(hist.at("max").asNumber(), 2.5);
+    const auto &buckets = hist.at("buckets").items();
+    ASSERT_EQ(buckets.size(), Histogram::kBounds);
+    // Cumulative: the last finite bucket holds every finite sample.
+    EXPECT_EQ(buckets.back().at("count").asU64(), 2u);
+    std::uint64_t prev = 0;
+    for (const auto &bucket : buckets) {
+        const std::uint64_t n = bucket.at("count").asU64();
+        EXPECT_GE(n, prev);
+        prev = n;
+    }
+}
+
+TEST(Registry, ExportFileWritesAParseableSnapshot)
+{
+    auto &reg = MetricsRegistry::instance();
+    reg.reset();
+    reg.counter("test.export.events").add(3);
+    const fs::path path =
+        fs::path(::testing::TempDir()) / "lsim_obs_metrics.json";
+    ASSERT_TRUE(reg.exportFile(path.string()));
+    const JsonValue doc = parseJsonFile(path.string());
+    EXPECT_EQ(
+        doc.at("counters").at("test.export.events").asU64(), 3u);
+    fs::remove(path);
+}
+
+TEST(Registry, ConcurrentUpdatesLoseNothing)
+{
+    // Run under the CI TSan lane: relaxed atomics must be exact and
+    // race-free across many writer threads.
+    auto &reg = MetricsRegistry::instance();
+    reg.reset();
+    constexpr int kThreads = 8;
+    constexpr int kPerThread = 10000;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&reg] {
+            // Lookups race against other threads' first-use interning.
+            Counter &c = reg.counter("test.mt.count");
+            Gauge &g = reg.gauge("test.mt.level");
+            Histogram &h = reg.histogram("test.mt.ms");
+            for (int i = 0; i < kPerThread; ++i) {
+                c.add();
+                g.add(2);
+                g.sub(1);
+                h.observe(0.5 + (i % 4));
+            }
+        });
+    }
+    for (auto &thread : threads)
+        thread.join();
+    EXPECT_EQ(reg.counter("test.mt.count").value(),
+              std::uint64_t(kThreads) * kPerThread);
+    EXPECT_EQ(reg.gauge("test.mt.level").value(),
+              std::int64_t(kThreads) * kPerThread);
+    Histogram &h = reg.histogram("test.mt.ms");
+    EXPECT_EQ(h.count(), std::uint64_t(kThreads) * kPerThread);
+    EXPECT_DOUBLE_EQ(h.min(), 0.5);
+    EXPECT_DOUBLE_EQ(h.max(), 3.5);
+}
+
+TEST(ScopedTimer, RecordsOneSample)
+{
+    Histogram h;
+    {
+        ScopedTimerMs timer(h);
+        EXPECT_GE(timer.elapsedMs(), 0.0);
+    }
+    EXPECT_EQ(h.count(), 1u);
+    EXPECT_GE(h.min(), 0.0);
+}
+
+TEST(Clock, MonotonicMicrosNeverGoesBackwards)
+{
+    const std::uint64_t a = monotonicMicros();
+    const std::uint64_t b = monotonicMicros();
+    EXPECT_LE(a, b);
+}
+
+TEST(Clock, IsoTimestampShape)
+{
+    const std::string ts = isoTimestampNow();
+    // e.g. "2026-08-08T12:34:56.789Z"
+    ASSERT_EQ(ts.size(), 24u);
+    EXPECT_EQ(ts[4], '-');
+    EXPECT_EQ(ts[7], '-');
+    EXPECT_EQ(ts[10], 'T');
+    EXPECT_EQ(ts[13], ':');
+    EXPECT_EQ(ts[16], ':');
+    EXPECT_EQ(ts[19], '.');
+    EXPECT_EQ(ts.back(), 'Z');
+}
+
+TEST(Trace, DisabledByDefaultCollectsNothing)
+{
+    auto &session = TraceSession::instance();
+    session.resetForTest();
+    EXPECT_FALSE(session.enabled());
+    {
+        TraceSpan span("test.noop");
+        TraceSpan nested("test.noop.nested", "test");
+    }
+    EXPECT_EQ(session.eventCount(), 0u);
+    // flush() without a path is a no-op, not a crash.
+    EXPECT_FALSE(session.flush());
+}
+
+TEST(Trace, EmitsWellFormedChromeTraceJson)
+{
+    auto &session = TraceSession::instance();
+    session.resetForTest();
+    const fs::path path =
+        fs::path(::testing::TempDir()) / "lsim_obs_trace.json";
+    session.start(path.string());
+    EXPECT_TRUE(session.enabled());
+    {
+        TraceSpan outer("test.outer", "unit");
+        TraceSpan inner("test.inner", "unit");
+    }
+    session.stop(); // flushes and disables
+    EXPECT_FALSE(session.enabled());
+
+    const JsonValue doc = parseJsonFile(path.string());
+    const auto &events = doc.at("traceEvents").items();
+    ASSERT_EQ(events.size(), 2u);
+    for (const auto &ev : events) {
+        EXPECT_EQ(ev.at("ph").asString(), "X");
+        EXPECT_FALSE(ev.at("name").asString().empty());
+        EXPECT_GE(ev.at("dur").asNumber(), 0.0);
+        (void)ev.at("ts").asU64();
+        (void)ev.at("pid").asU64();
+        (void)ev.at("tid").asU64();
+    }
+    // Destructor ordering: the inner span closes first.
+    EXPECT_EQ(events[0].at("name").asString(), "test.inner");
+    EXPECT_EQ(events[1].at("name").asString(), "test.outer");
+
+    session.resetForTest();
+    fs::remove(path);
+}
+
+TEST(Trace, SpansFromConcurrentThreadsAllArrive)
+{
+    auto &session = TraceSession::instance();
+    session.resetForTest();
+    const fs::path path =
+        fs::path(::testing::TempDir()) / "lsim_obs_trace_mt.json";
+    session.start(path.string());
+    constexpr int kThreads = 4, kSpans = 50;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t)
+        threads.emplace_back([] {
+            for (int i = 0; i < kSpans; ++i)
+                TraceSpan span("test.mt", "unit");
+        });
+    for (auto &thread : threads)
+        thread.join();
+    EXPECT_EQ(session.eventCount(),
+              static_cast<std::size_t>(kThreads) * kSpans);
+    session.stop();
+    const JsonValue doc = parseJsonFile(path.string());
+    EXPECT_EQ(doc.at("traceEvents").items().size(),
+              static_cast<std::size_t>(kThreads) * kSpans);
+    session.resetForTest();
+    fs::remove(path);
+}
+
+} // namespace

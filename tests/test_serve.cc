@@ -4,7 +4,8 @@
  * batch-spec parser: specs picked up and executed, malformed specs
  * routed to failed/ with machine-readable error status, results
  * byte-identical to a direct BatchRunner run, the shared store
- * serving warm requests, and restart recovery of stranded specs.
+ * serving warm requests, restart recovery of stranded specs, and
+ * the metrics.json snapshot matching status.json ground truth.
  */
 
 #include <gtest/gtest.h>
@@ -15,6 +16,7 @@
 
 #include "api/batch.hh"
 #include "common/json.hh"
+#include "obs/metrics.hh"
 #include "serve/daemon.hh"
 #include "serve/spec.hh"
 
@@ -298,6 +300,79 @@ TEST(Daemon, StopFlagEndsTheLoop)
     const ServeStats stats = daemon.run();
     EXPECT_EQ(stats.done, 1u);
     EXPECT_TRUE(fs::exists(fs::path(spool) / "done" / "req.json"));
+}
+
+TEST(Daemon, MetricsSnapshotMatchesStatusGroundTruth)
+{
+    // The obs registry is process-wide and earlier tests fed it;
+    // zero it so the snapshot reflects exactly this daemon's work.
+    obs::MetricsRegistry::instance().reset();
+
+    const std::string spool = freshDir("metrics");
+    auto cfg = baseConfig(spool);
+    cfg.cache_dir = freshDir("metrics_cache");
+    Daemon daemon(cfg);
+    writeFile(fs::path(spool) / "first.json", kSpec);
+    writeFile(fs::path(spool) / "second.json", kSpec);
+    const ServeStats stats = daemon.run();
+    ASSERT_EQ(stats.done, 2u);
+
+    ASSERT_TRUE(fs::exists(daemon.metricsPath()))
+        << daemon.metricsPath();
+    const JsonValue doc = parseJsonFile(daemon.metricsPath());
+    const JsonValue &counters = doc.at("counters");
+    EXPECT_EQ(counters.at("serve.requests_done").asU64(), 2u);
+    EXPECT_EQ(counters.at("serve.polls").asU64(), stats.polls);
+
+    // Ground truth: the per-request status.json files the daemon
+    // itself published.
+    std::uint64_t cache_hits = 0, sims_run = 0;
+    for (const char *stem : {"first", "second"}) {
+        const JsonValue status = parseJsonFile(
+            (fs::path(spool) / "results" / stem / "status.json")
+                .string());
+        EXPECT_EQ(status.at("state").asString(), "done");
+        cache_hits += status.at("stats").at("cache_hits").asU64();
+        sims_run += status.at("stats").at("sims_run").asU64();
+        // Satellite: wall-clock stamps for post-hoc latency.
+        EXPECT_FALSE(status.at("queued_at").asString().empty());
+        EXPECT_FALSE(status.at("started_at").asString().empty());
+        EXPECT_FALSE(status.at("finished_at").asString().empty());
+    }
+    EXPECT_EQ(counters.at("serve.cache_hits").asU64(), cache_hits);
+    EXPECT_EQ(counters.at("serve.sims_run").asU64(), sims_run);
+    EXPECT_EQ(cache_hits, 1u)
+        << "identical specs through one store must hit once";
+
+    // The latency histogram counts exactly the done requests.
+    const JsonValue &hist =
+        doc.at("histograms").at("serve.request_ms");
+    EXPECT_EQ(hist.at("count").asU64(), 2u);
+    EXPECT_GT(hist.at("max").asNumber(), 0.0);
+
+    EXPECT_DOUBLE_EQ(
+        doc.at("gauges").at("serve.queue_depth").asNumber(), 0.0);
+}
+
+TEST(Daemon, MetricsCountFailuresSeparately)
+{
+    obs::MetricsRegistry::instance().reset();
+    const std::string spool = freshDir("metrics_failed");
+    writeFile(fs::path(spool) / "bad.json", "not json");
+    Daemon daemon(baseConfig(spool));
+    const ServeStats stats = daemon.run();
+    EXPECT_EQ(stats.failed, 1u);
+
+    const JsonValue doc = parseJsonFile(daemon.metricsPath());
+    const JsonValue &counters = doc.at("counters");
+    EXPECT_EQ(counters.at("serve.requests_failed").asU64(), 1u);
+    EXPECT_EQ(counters.at("serve.requests_done").asU64(), 0u);
+    // Failed requests stay out of the latency histogram, keeping
+    // its count equal to serve.requests_done. (The histogram is
+    // only registered once a request succeeds, hence find().)
+    if (const JsonValue *hist =
+            doc.at("histograms").find("serve.request_ms"))
+        EXPECT_EQ(hist->at("count").asU64(), 0u);
 }
 
 TEST(Daemon, RejectsAnUncreatableSpool)

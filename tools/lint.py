@@ -4,10 +4,16 @@
 Machine-checks the repo's hard-won correctness invariants, which
 otherwise live only in comments and review memory:
 
-  atomic-write    Persisted files under src/store and src/serve must
-                  go through lsim::atomicWriteFile — raw std::ofstream
-                  or fopen() writes can be observed half-written by
-                  the concurrent pollers those subsystems serve.
+  atomic-write    Persisted files under src/store, src/serve, and
+                  src/obs must go through lsim::atomicWriteFile — raw
+                  std::ofstream or fopen() writes can be observed
+                  half-written by the concurrent pollers those
+                  subsystems serve. Additionally, ANY src/ file that
+                  handles the polled snapshot names metrics.json or
+                  status.json must not open raw write streams at all:
+                  those two files are read by external watchers
+                  mid-write, so a torn write there is a protocol bug
+                  no matter which subsystem it lives in.
 
   no-fatal        Library code under src/ reports errors by throwing;
                   process-exiting fatal()/die() belong to the CLI and
@@ -31,6 +37,11 @@ otherwise live only in comments and review memory:
   determinism     Replay and kernel code (src/replay, src/sleep) is
                   bit-reproducible by contract: no rand()/srand(),
                   no std::random_device, no wall-clock reads.
+                  src/obs is deliberately NOT in this set: the
+                  observability layer exists to measure wall-clock
+                  latency, so it owns the clock reads and the
+                  deterministic modules stay clock-free by calling
+                  into it (or not at all).
 
 Exit status 0 when clean, 1 on any violation.
 """
@@ -124,6 +135,19 @@ class Linter:
                 "raw file write in a persisting subsystem; route "
                 "through lsim::atomicWriteFile (common/files.hh) so "
                 "concurrent readers never see a torn file")
+
+    def check_snapshot_write(self, path, code, text):
+        """metrics.json / status.json are polled by external watchers;
+        a file that handles those names must never open a raw write
+        stream, wherever in src/ it lives."""
+        if not re.search(r"\b(?:metrics|status)\.json\b", text):
+            return
+        for m in re.finditer(r"\bofstream\b|\bfopen\s*\(", code):
+            self.report(
+                path, line_of(code, m.start()), "atomic-write",
+                "this file handles metrics.json/status.json, which "
+                "concurrent pollers read mid-write; persist them via "
+                "lsim::atomicWriteFile, not a raw stream")
 
     # -------------------------------------------------- rule: no-fatal
 
@@ -304,8 +328,9 @@ def main():
         code = strip_code(text)
         rel = str(path.relative_to(REPO))
 
-        if rel.startswith(("src/store/", "src/serve/")):
+        if rel.startswith(("src/store/", "src/serve/", "src/obs/")):
             linter.check_atomic_write(path, code)
+        linter.check_snapshot_write(path, code, text)
         if not rel.startswith("src/common/logging"):
             count = linter.count_fatal(code)
             if count:

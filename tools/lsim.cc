@@ -35,6 +35,7 @@
 #include "common/table.hh"
 #include "energy/breakeven.hh"
 #include "harness/report.hh"
+#include "obs/trace.hh"
 #include "serve/daemon.hh"
 #include "serve/spec.hh"
 #include "sleep/policy_registry.hh"
@@ -323,6 +324,13 @@ commands()
           {"poll-ms", "N", "spool scan interval (default 500)"},
           {"once", nullptr,
            "process the specs currently spooled, then exit"},
+          {"trace", "FILE",
+           "write Chrome-trace-format spans here (also via "
+           "LSIM_TRACE=FILE)"},
+          kHelpFlag}},
+        {"metrics", "<spool>", 1,
+         "pretty-print a serve daemon's metrics.json",
+         {{"json", nullptr, "print the raw JSON document instead"},
           kHelpFlag}},
         {"profile", "<export|import|ls|rm|gc> [arg]", 2,
          "export, import, list, and evict stored simulation profiles",
@@ -1023,6 +1031,13 @@ cmdServe(const Args &args)
         poll_text.empty() ? 500 : parseU32(poll_text, "--poll-ms");
     cfg.once = args.has("once");
 
+    // --trace complements the LSIM_TRACE environment variable (main
+    // already consulted the latter); the flag wins when both are set.
+    const std::string trace_file =
+        args.flagOrPositional("trace", ~std::size_t{0});
+    if (!trace_file.empty())
+        obs::TraceSession::instance().start(trace_file);
+
     // Graceful drain: the first SIGINT/SIGTERM finishes the request
     // in flight, then the loop exits; specs still spooled stay put
     // for the next daemon (or this one restarted).
@@ -1050,12 +1065,88 @@ cmdServe(const Args &args)
     return 0;
 }
 
+// ------------------------------------------------- metrics command
+
+/**
+ * Pretty-print a daemon's live metrics.json (written atomically by
+ * the serve drain loop, so this never observes a torn file).
+ */
+int
+cmdMetrics(const Args &args)
+{
+    std::string target = args.positional(0);
+    if (target.empty())
+        die("metrics: missing <spool> (a spool directory or a "
+            "metrics.json path)");
+    std::filesystem::path path(target);
+    if (std::filesystem::is_directory(path))
+        path /= "metrics.json";
+
+    if (args.has("json")) {
+        std::ifstream in(path, std::ios::binary);
+        if (!in)
+            die("metrics: cannot read '" + path.string() + "'");
+        std::cout << in.rdbuf();
+        return 0;
+    }
+
+    const JsonValue doc = parseJsonFile(path.string());
+    const JsonValue *counters = doc.find("counters");
+    const JsonValue *gauges = doc.find("gauges");
+    const JsonValue *histograms = doc.find("histograms");
+
+    if (counters && !counters->members().empty()) {
+        Table t({"counter", "value"});
+        for (const auto &[name, value] : counters->members())
+            t.addRow({name, std::to_string(value.asU64())});
+        std::cout << "counters:\n";
+        t.print(std::cout);
+        std::cout << "\n";
+    }
+    if (gauges && !gauges->members().empty()) {
+        Table t({"gauge", "value"});
+        for (const auto &[name, value] : gauges->members())
+            t.addRow({name, compactNumber(value.asNumber())});
+        std::cout << "gauges:\n";
+        t.print(std::cout);
+        std::cout << "\n";
+    }
+    if (histograms && !histograms->members().empty()) {
+        Table t({"histogram (ms)", "count", "mean", "p50", "p90",
+                 "p99", "max"});
+        for (const auto &[name, h] : histograms->members()) {
+            const std::uint64_t count = h.at("count").asU64();
+            const double mean = count
+                ? h.at("sum").asNumber() /
+                    static_cast<double>(count)
+                : 0.0;
+            t.addRow({name, std::to_string(count), fixed(mean, 3),
+                      fixed(h.at("p50").asNumber(), 3),
+                      fixed(h.at("p90").asNumber(), 3),
+                      fixed(h.at("p99").asNumber(), 3),
+                      fixed(h.at("max").asNumber(), 3)});
+        }
+        std::cout << "histograms:\n";
+        t.print(std::cout);
+    }
+    return 0;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
     setInformEnabled(false);
+
+    // LSIM_TRACE=out.json enables span collection for any command;
+    // the flusher writes the trace on every normal return path.
+    obs::TraceSession::instance().startFromEnv();
+    struct TraceFlusher
+    {
+        ~TraceFlusher() { obs::TraceSession::instance().stop(); }
+    } trace_flusher;
+
     if (argc < 2) {
         printUsage(std::cerr);
         return 2;
@@ -1098,6 +1189,8 @@ main(int argc, char **argv)
             return cmdBatch(args);
         if (cmd == "serve")
             return cmdServe(args);
+        if (cmd == "metrics")
+            return cmdMetrics(args);
         if (cmd == "profile")
             return cmdProfile(args);
         if (cmd == "list")
