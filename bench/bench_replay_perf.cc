@@ -23,9 +23,12 @@
  *     --min-threaded-speedup.
  *  4. Spool daemon — end-to-end `lsim serve` request latency
  *     through a temp spool: cold (first request simulates) vs warm
- *     (shared store + persistent pool, pure replay). Reported and
- *     recorded for the trajectory; not gated (absolute latency is
- *     machine-dependent).
+ *     (shared store + persistent pool, pure replay), plus the warm
+ *     latency of the same request through the daemon's AF_UNIX
+ *     socket front door (a full submit-and-wait round trip,
+ *     including protocol framing and the completion board).
+ *     Reported and recorded for the trajectory; not gated (absolute
+ *     latency is machine-dependent).
  *
  * Emits BENCH_replay.json for the perf-regression trajectory
  * (tools/bench_trend.py diffs these across runs) and prints tables.
@@ -50,6 +53,7 @@
  *                            multi-thread speedup is below <x>
  */
 
+#include <atomic>
 #include <chrono>
 #include <cmath>
 #include <cstring>
@@ -58,6 +62,7 @@
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "api/experiment.hh"
@@ -69,6 +74,7 @@
 #include "common/table.hh"
 #include "replay/engine.hh"
 #include "serve/daemon.hh"
+#include "serve/socket.hh"
 #include "sleep/policy_registry.hh"
 #include "trace/profile.hh"
 
@@ -363,6 +369,7 @@ struct ServeResult
     std::size_t points = 0;
     double cold_ms = 0.0;
     double warm_ms = 0.0;
+    double socket_warm_ms = 0.0;
 };
 
 /**
@@ -381,9 +388,12 @@ measureServe(std::uint64_t insts, std::uint64_t seed)
         fs::temp_directory_path() / "lsim_bench_serve";
     fs::remove_all(root);
 
+    std::atomic<bool> stop_pump{false};
     serve::ServeConfig cfg;
     cfg.spool_dir = (root / "spool").string();
     cfg.cache_dir = (root / "cache").string();
+    cfg.socket_path = (root / "lsim.sock").string();
+    cfg.stop = [&stop_pump] { return stop_pump.load(); };
     serve::Daemon daemon(cfg);
 
     std::ostringstream spec;
@@ -412,6 +422,31 @@ measureServe(std::uint64_t insts, std::uint64_t seed)
         drop();
         daemon.drainOnce();
     });
+
+    // Socket front door: the same warm request as a submit-and-wait
+    // round trip over AF_UNIX, with the daemon loop pumping the
+    // queue. Distinct names keep the requests from coalescing, so
+    // each round trip is a real execution. One untimed round trip
+    // first so thread spin-up is not on the clock.
+    std::thread pump([&daemon] { daemon.run(); });
+    const std::string spec_text = spec.str();
+    const auto round_trip = [&](const std::string &name) {
+        const auto res = serve::socketSubmit(
+            daemon.socketPath(), name, spec_text, 0,
+            /*wait=*/true, /*timeout_s=*/120.0);
+        if (!res.ok)
+            fatal("serve bench: socket submit failed: %s",
+                  res.error.c_str());
+    };
+    round_trip("sock_warmup");
+    constexpr int kSocketReps = 4;
+    result.socket_warm_ms = timeMs([&] {
+        for (int i = 0; i < kSocketReps; ++i)
+            round_trip("sock_warm" + std::to_string(i));
+    }) / kSocketReps;
+    stop_pump.store(true);
+    pump.join();
+
     if (daemon.stats().failed != 0 ||
         daemon.stats().done != daemon.stats().processed)
         fatal("serve bench: %zu of %zu request(s) failed",
@@ -509,7 +544,8 @@ main(int argc, char **argv)
               << "-point gcc spec, shared store + persistent "
                  "pool): cold "
               << fixed(served.cold_ms, 3) << " ms, warm "
-              << fixed(served.warm_ms, 3) << " ms/request\n";
+              << fixed(served.warm_ms, 3) << " ms/request, socket warm "
+              << fixed(served.socket_warm_ms, 3) << " ms/request\n";
 
     std::cout << "\nReference grid (" << kReferencePoints
               << " points x " << sims.size()
@@ -575,6 +611,7 @@ main(int argc, char **argv)
                 static_cast<std::uint64_t>(served.points));
         w.field("cold_request_ms", served.cold_ms);
         w.field("warm_request_ms", served.warm_ms);
+        w.field("socket_warm_request_ms", served.socket_warm_ms);
         w.endObject();
         w.beginObject("reference");
         w.field("points",

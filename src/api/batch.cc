@@ -13,6 +13,43 @@
 namespace lsim::api
 {
 
+std::string
+batchFingerprint(const BatchConfig &config)
+{
+    store::Fnv1a h;
+    h.addU32(store::kFormatVersion);
+    h.addU64(config.sweeps.size());
+    for (const SweepConfig &sweep : config.sweeps) {
+        h.addU64(sweep.workloads.size());
+        for (const std::string &name : sweep.workloads)
+            h.addString(name);
+        h.addU64(sweep.technologies.size());
+        for (const auto &tech : sweep.technologies) {
+            h.addDouble(tech.p);
+            h.addDouble(tech.k);
+            h.addDouble(tech.s);
+            h.addDouble(tech.alpha);
+            h.addDouble(tech.duty);
+        }
+        h.addU64(sweep.policies.size());
+        for (const std::string &policy : sweep.policies)
+            h.addString(policy);
+        h.addU64(sweep.profiles.size());
+        for (const auto &profile : sweep.profiles)
+            store::hashWorkloadProfile(h, profile);
+        h.addU64(sweep.imports.size());
+        for (const std::string &path : sweep.imports)
+            h.addString(path);
+        h.addU64(sweep.insts);
+        h.addU64(sweep.seed);
+        h.addU32(sweep.fus);
+        store::hashCoreConfig(h, sweep.base);
+        h.addU32(sweep.scalar_replay ? 1 : 0);
+        h.addU64(sweep.chunk_intervals);
+    }
+    return h.hex();
+}
+
 BatchRunner::BatchRunner(BatchConfig config)
     : config_(std::move(config))
 {

@@ -1,5 +1,8 @@
 #include "cpu/fu_pool.hh"
 
+#include <stdexcept>
+#include <string>
+
 #include "common/logging.hh"
 
 namespace lsim::cpu
@@ -9,7 +12,9 @@ FuPool::FuPool(unsigned num_units)
     : num_units_(num_units)
 {
     if (num_units_ == 0 || num_units_ > 8)
-        fatal("FuPool: unit count %u outside [1,8]", num_units_);
+        throw std::invalid_argument(
+            "FuPool: unit count " + std::to_string(num_units_) +
+            " outside [1,8]");
     units_.resize(num_units_);
     idle_.resize(num_units_);
 }

@@ -1,5 +1,7 @@
 #include "cpu/issue_queue.hh"
 
+#include <stdexcept>
+
 namespace lsim::cpu
 {
 
@@ -7,7 +9,7 @@ IssueQueue::IssueQueue(unsigned capacity)
     : capacity_(capacity)
 {
     if (capacity_ == 0)
-        fatal("IssueQueue: zero capacity");
+        throw std::invalid_argument("IssueQueue: zero capacity");
     seqs_.reserve(capacity_);
 }
 

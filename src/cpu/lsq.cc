@@ -1,6 +1,7 @@
 #include "cpu/lsq.hh"
 
 #include <algorithm>
+#include <stdexcept>
 
 #include "common/logging.hh"
 
@@ -12,7 +13,8 @@ LoadStoreQueue::LoadStoreQueue(unsigned load_entries,
     : load_cap_(load_entries), store_cap_(store_entries)
 {
     if (load_cap_ == 0 || store_cap_ == 0)
-        fatal("LoadStoreQueue: zero capacity");
+        throw std::invalid_argument(
+            "LoadStoreQueue: zero capacity");
     entries_.reserve(load_cap_ + store_cap_);
 }
 

@@ -1,5 +1,8 @@
 #include "cpu/rename.hh"
 
+#include <stdexcept>
+#include <string>
+
 #include "common/logging.hh"
 
 namespace lsim::cpu
@@ -9,8 +12,10 @@ RenameMap::RenameMap(unsigned num_logical, unsigned num_physical)
     : num_logical_(num_logical), num_physical_(num_physical)
 {
     if (num_physical_ < num_logical_)
-        fatal("RenameMap: %u physical < %u logical registers",
-              num_physical_, num_logical_);
+        throw std::invalid_argument(
+            "RenameMap: " + std::to_string(num_physical_) +
+            " physical < " + std::to_string(num_logical_) +
+            " logical registers");
     map_.resize(num_logical_);
     ready_.assign(num_physical_, false);
     // Architectural state occupies physical registers [0, logical);

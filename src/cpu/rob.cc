@@ -1,5 +1,7 @@
 #include "cpu/rob.hh"
 
+#include <stdexcept>
+
 #include "common/logging.hh"
 
 namespace lsim::cpu
@@ -8,8 +10,10 @@ namespace lsim::cpu
 ReorderBuffer::ReorderBuffer(unsigned capacity)
     : capacity_(capacity)
 {
+    // Configuration error, not a model invariant: throw so the
+    // CLI/daemon boundary can report it and keep serving.
     if (capacity_ == 0)
-        fatal("ReorderBuffer: zero capacity");
+        throw std::invalid_argument("ReorderBuffer: zero capacity");
     entries_.resize(capacity_);
 }
 

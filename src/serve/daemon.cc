@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <filesystem>
+#include <fstream>
 #include <sstream>
 #include <stdexcept>
 #include <thread>
@@ -15,6 +16,7 @@
 #include "obs/clock.hh"
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
+#include "serve/socket.hh"
 #include "serve/spec.hh"
 
 namespace lsim::serve
@@ -31,6 +33,10 @@ constexpr const char *kFailedDir = "failed";
 constexpr const char *kStatusFile = "status.json";
 constexpr const char *kMetricsFile = "metrics.json";
 
+/** Terminal status lines the completion board keeps (waiters get at
+ * most this many lingering results; disk has the rest). */
+constexpr std::size_t kBoardCapacity = 256;
+
 double
 msSince(std::chrono::steady_clock::time_point start)
 {
@@ -39,19 +45,72 @@ msSince(std::chrono::steady_clock::time_point start)
         .count();
 }
 
+/** Request names become directory components; reject anything that
+ * could escape the results dir or collide with reserved files. */
+bool
+validName(const std::string &name)
+{
+    if (name.empty() || name.size() > 128 || name == "." ||
+        name == "..")
+        return false;
+    for (const char c : name) {
+        const bool ok = (c >= 'a' && c <= 'z') ||
+                        (c >= 'A' && c <= 'Z') ||
+                        (c >= '0' && c <= '9') || c == '.' ||
+                        c == '_' || c == '-';
+        if (!ok)
+            return false;
+    }
+    return true;
+}
+
+std::string
+readFileText(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return {};
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+/** Does this status text name a terminal state? (Cheap check for
+ * waiters polling result dirs written by *other* daemons.) */
+bool
+terminalStatus(const std::string &text)
+{
+    return text.find("\"state\":\"done\"") != std::string::npos ||
+           text.find("\"state\":\"error\"") !=
+               std::string::npos ||
+           text.find("\"state\":\"rejected\"") !=
+               std::string::npos;
+}
+
+std::string
+trimTrailingNewline(std::string text)
+{
+    while (!text.empty() &&
+           (text.back() == '\n' || text.back() == '\r'))
+        text.pop_back();
+    return text;
+}
+
 } // namespace
 
-/** One claimed spec's lifecycle state, shared by the status
- * transitions so every write carries everything known so far. */
+/** One request's lifecycle state, shared by the status transitions
+ * so every write carries everything known so far. */
 struct Daemon::Request
 {
-    std::string name;       ///< spec filename, e.g. "req.json"
-    std::string work_path;  ///< claimed location under work/
-    std::string result_dir; ///< <results>/<stem>
+    std::string spec_label; ///< "spec" field: filename or name
+    std::string name;       ///< request name (results dir stem)
+    std::string work_path;  ///< claimed spool location; "" = socket
+    std::string result_dir; ///< <results>/<name>
     std::size_t sweeps = 0; ///< result count, once known
     double run_ms = 0.0;    ///< BatchRunner::run wall time
-    double total_ms = 0.0;  ///< claim-to-final wall time
+    double total_ms = 0.0;  ///< admission-to-final wall time
     std::optional<api::BatchStats> stats;
+    std::string coalesced_with; ///< primary name, for followers
 
     // Wall-clock ISO-8601 stamps, filled as the request advances so
     // per-request latency is reconstructable from the spool alone.
@@ -60,20 +119,23 @@ struct Daemon::Request
     std::string finished_at;
 
     /**
-     * Atomically (re)write <result_dir>/status.json. @p state is
-     * one of "queued", "running", "done", "error"; @p error is the
-     * machine-readable failure message for the error state.
+     * Render the status.json document (one line per field, trailing
+     * newline). @p state is one of "queued", "running", "done",
+     * "error", "rejected"; @p error is the machine-readable failure
+     * message for the error/rejected states.
      */
-    void writeStatus(const char *state,
-                     const std::string &error = "") const
+    std::string statusJson(const char *state,
+                           const std::string &error = "") const
     {
         std::ostringstream ss;
         JsonWriter w(ss);
         w.beginObject();
-        w.field("spec", name);
+        w.field("spec", spec_label);
         w.field("state", state);
         if (!error.empty())
             w.field("error", error);
+        if (!coalesced_with.empty())
+            w.field("coalesced_with", coalesced_with);
         if (sweeps > 0)
             w.field("sweeps", static_cast<std::uint64_t>(sweeps));
         w.field("run_ms", run_ms);
@@ -99,9 +161,18 @@ struct Daemon::Request
         }
         w.endObject();
         ss << "\n";
+        return ss.str();
+    }
+
+    /** Atomically (re)write <result_dir>/status.json; @return the
+     * document written. */
+    std::string writeStatus(const char *state,
+                            const std::string &error = "") const
+    {
+        std::string doc = statusJson(state, error);
         atomicWriteFile(
-            (fs::path(result_dir) / kStatusFile).string(),
-            ss.str());
+            (fs::path(result_dir) / kStatusFile).string(), doc);
+        return doc;
     }
 };
 
@@ -113,7 +184,7 @@ Daemon::Daemon(ServeConfig config)
                        : config_.results_dir),
       metrics_path_(
           (fs::path(config_.spool_dir) / kMetricsFile).string()),
-      pool_(config_.threads)
+      pool_(config_.threads), queue_(config_.max_queue)
 {
     if (config_.spool_dir.empty())
         throw std::invalid_argument("serve: spool directory not set");
@@ -132,6 +203,28 @@ Daemon::Daemon(ServeConfig config)
     if (!config_.cache_dir.empty())
         store_.emplace(config_.cache_dir);
     recoverStale();
+    // The socket comes up last so a connecting client never races
+    // the spool layout or the store.
+    if (!config_.socket_path.empty())
+        socket_ =
+            std::make_unique<SocketServer>(*this,
+                                           config_.socket_path);
+}
+
+Daemon::~Daemon()
+{
+    // Unblock waiters first (their connection threads must be able
+    // to finish for stop() to join them), then stop the front door,
+    // then fail what was admitted but never ran.
+    {
+        MutexLock lock(board_mu_);
+        shutting_down_ = true;
+    }
+    board_cv_.notify_all();
+    if (socket_)
+        socket_->stop();
+    abandonQueued();
+    socket_.reset();
 }
 
 void
@@ -200,14 +293,36 @@ Daemon::moveTo(const std::string &from, const std::string &subdir,
 }
 
 void
-Daemon::process(const std::string &spec_name)
+Daemon::publishFinal(const std::string &name,
+                     const std::string &status_line)
+{
+    MutexLock lock(board_mu_);
+    const auto [it, inserted] =
+        final_.emplace(name, trimTrailingNewline(status_line));
+    if (!inserted)
+        it->second = trimTrailingNewline(status_line);
+    else
+        final_order_.push_back(name);
+    while (final_order_.size() > kBoardCapacity) {
+        final_.erase(final_order_.front());
+        final_order_.erase(final_order_.begin());
+    }
+    board_cv_.notify_all();
+}
+
+void
+Daemon::admitSpool(const std::string &spec_name)
 {
     // Claim by rename: with several daemons sharing one spool,
     // exactly one rename succeeds and the losers skip silently.
-    obs::TraceSpan span("serve.request", "serve");
     const fs::path spool(config_.spool_dir);
+    const std::string stem = fs::path(spec_name).stem().string();
+    if (queue_.live(stem))
+        return; // a live request owns this name; retry next drain
+
     Request req;
-    req.name = spec_name;
+    req.spec_label = spec_name;
+    req.name = stem;
     req.work_path = (spool / kWorkDir / spec_name).string();
     {
         std::error_code ec;
@@ -215,7 +330,6 @@ Daemon::process(const std::string &spec_name)
         if (ec)
             return; // raced with another daemon, or vanished
     }
-    const std::string stem = fs::path(spec_name).stem().string();
     req.result_dir = (fs::path(results_dir_) / stem).string();
     {
         std::error_code ec;
@@ -233,15 +347,34 @@ Daemon::process(const std::string &spec_name)
             return;
         }
     }
+    {
+        // A re-submitted name must not wait-match its old result.
+        MutexLock lock(board_mu_);
+        final_.erase(stem);
+    }
 
-    const auto start = std::chrono::steady_clock::now();
+    const auto admitted = std::chrono::steady_clock::now();
     req.queued_at = obs::isoTimestampNow();
     req.writeStatus("queued");
 
-    const auto fail = [&](const std::string &message) {
-        req.total_ms = msSince(start);
+    QueuedRequest qr;
+    qr.name = stem;
+    qr.spec_file = spec_name;
+    qr.spec_text = readFileText(req.work_path);
+    qr.ingress = Ingress::Spool;
+    qr.queued_at = req.queued_at;
+    qr.admitted = admitted;
+    try {
+        qr.fingerprint = api::batchFingerprint(
+            batchConfigFromJson(parseJson(qr.spec_text)));
+    } catch (const std::exception &err) {
+        // Malformed specs fail at the door, before they cost a
+        // queue slot: error status, spec to failed/.
+        req.total_ms = msSince(admitted);
         req.finished_at = obs::isoTimestampNow();
-        req.writeStatus("error", message);
+        const std::string line =
+            req.writeStatus("error", err.what());
+        publishFinal(stem, line);
         obs::counter("serve.requests_failed").add();
         std::string move_error;
         if (!moveTo(req.work_path, kFailedDir, spec_name,
@@ -253,13 +386,258 @@ Daemon::process(const std::string &spec_name)
             stats_.processed += 1;
         }
         warn("serve: %s failed: %s", spec_name.c_str(),
-             message.c_str());
+             err.what());
+        return;
+    }
+
+    std::string primary;
+    switch (queue_.submit(std::move(qr), &primary)) {
+    case Admission::Enqueued:
+        break;
+    case Admission::Coalesced:
+        // The identical in-flight request will fan its results out
+        // to this one; no queue slot, no execution.
+        obs::counter("serve.requests_coalesced").add();
+        {
+            MutexLock lock(stats_mu_);
+            stats_.coalesced += 1;
+        }
+        inform("serve: %s coalesced with in-flight request '%s'",
+               spec_name.c_str(), primary.c_str());
+        break;
+    case Admission::RejectedFull:
+        // Backpressure: un-claim so the spec survives on disk and a
+        // later drain (or another daemon) picks it up.
+        {
+            std::error_code ec;
+            fs::rename(req.work_path, spool / spec_name, ec);
+        }
+        break;
+    case Admission::RejectedName:
+        // Lost a race with a socket submission using this name.
+        warn("serve: %s rejected: request name '%s' is in use",
+             spec_name.c_str(), stem.c_str());
+        moveTo(req.work_path, kFailedDir, spec_name, nullptr);
+        obs::counter("serve.requests_rejected").add();
+        {
+            MutexLock lock(stats_mu_);
+            stats_.rejected += 1;
+            stats_.failed += 1;
+            stats_.processed += 1;
+        }
+        break;
+    }
+}
+
+SubmitResult
+Daemon::submitRequest(const std::string &name,
+                      const std::string &spec_text, int priority,
+                      std::string *response)
+{
+    const auto reject = [&](const std::string &message,
+                            bool write_status) {
+        Request req;
+        req.spec_label = name.empty() ? "?" : name;
+        req.name = req.spec_label;
+        if (write_status) {
+            req.result_dir =
+                (fs::path(results_dir_) / req.name).string();
+            std::error_code ec;
+            fs::create_directories(req.result_dir, ec);
+            if (!ec) {
+                req.finished_at = obs::isoTimestampNow();
+                req.writeStatus("rejected", message);
+            }
+        }
+        if (response)
+            *response = trimTrailingNewline(
+                req.statusJson("rejected", message));
+        obs::counter("serve.requests_rejected").add();
+        MutexLock lock(stats_mu_);
+        stats_.rejected += 1;
+        return SubmitResult::Rejected;
     };
 
+    if (!validName(name))
+        return reject("invalid request name", false);
+    if (queue_.live(name))
+        return reject("request name '" + name + "' is in use",
+                      false);
+
+    QueuedRequest qr;
+    qr.name = name;
+    qr.spec_text = spec_text;
+    qr.priority = priority;
+    qr.ingress = Ingress::Socket;
+    qr.admitted = std::chrono::steady_clock::now();
+    try {
+        qr.fingerprint = api::batchFingerprint(
+            batchConfigFromJson(parseJson(spec_text)));
+    } catch (const std::exception &err) {
+        return reject(err.what(), false);
+    }
+
+    Request req;
+    req.spec_label = name;
+    req.name = name;
+    req.result_dir = (fs::path(results_dir_) / name).string();
+    {
+        std::error_code ec;
+        fs::create_directories(req.result_dir, ec);
+        if (ec)
+            return reject("cannot create result dir '" +
+                              req.result_dir +
+                              "': " + ec.message(),
+                          false);
+    }
+    {
+        MutexLock lock(board_mu_);
+        final_.erase(name);
+    }
+    req.queued_at = obs::isoTimestampNow();
+    qr.queued_at = req.queued_at;
+    // The queued status lands on disk *before* the queue sees the
+    // request, so the execution fan-out can never lose a race to
+    // this write (its done status always comes later).
+    req.writeStatus("queued");
+
+    std::string primary;
+    switch (queue_.submit(std::move(qr), &primary)) {
+    case Admission::Enqueued:
+        if (response)
+            *response =
+                trimTrailingNewline(req.statusJson("queued"));
+        return SubmitResult::Queued;
+    case Admission::Coalesced:
+        obs::counter("serve.requests_coalesced").add();
+        {
+            MutexLock lock(stats_mu_);
+            stats_.coalesced += 1;
+        }
+        req.coalesced_with = primary;
+        if (response)
+            *response =
+                trimTrailingNewline(req.statusJson("queued"));
+        return SubmitResult::Coalesced;
+    case Admission::RejectedFull:
+        return reject("queue full (" +
+                          std::to_string(config_.max_queue) +
+                          " pending)",
+                      true);
+    case Admission::RejectedName:
+        return reject("request name '" + name + "' is in use",
+                      false);
+    }
+    return reject("internal admission error", false);
+}
+
+std::string
+Daemon::waitFor(const std::string &name, double timeout_s)
+{
+    const auto synth = [&](const std::string &message) {
+        Request req;
+        req.spec_label = name;
+        req.name = name;
+        return trimTrailingNewline(
+            req.statusJson("error", message));
+    };
+    if (!validName(name))
+        return synth("invalid request name");
+
+    const std::string status_path =
+        (fs::path(results_dir_) / name / kStatusFile).string();
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<
+            std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(timeout_s));
+    for (;;) {
+        bool shutting_down = false;
+        {
+            MutexLock lock(board_mu_);
+            const auto it = final_.find(name);
+            if (it != final_.end())
+                return it->second;
+            shutting_down = shutting_down_;
+        }
+        // Fall back to disk: the request may have been served by
+        // another daemon sharing this spool, or completed before
+        // this daemon restarted.
+        {
+            const std::string text = readFileText(status_path);
+            if (!text.empty() && terminalStatus(text))
+                return trimTrailingNewline(text);
+        }
+        if (shutting_down)
+            return synth("daemon stopping");
+        const auto now = std::chrono::steady_clock::now();
+        if (now >= deadline)
+            return synth("wait timed out");
+        const auto slice =
+            std::min<std::chrono::steady_clock::duration>(
+                std::chrono::milliseconds(100), deadline - now);
+        MutexLock lock(board_mu_);
+        board_cv_.wait_for(lock, slice);
+    }
+}
+
+void
+Daemon::failRequest(const QueuedRequest &req,
+                    const std::string &message,
+                    const std::string &started_at)
+{
+    Request r;
+    r.spec_label =
+        req.ingress == Ingress::Spool ? req.spec_file : req.name;
+    r.name = req.name;
+    r.result_dir = (fs::path(results_dir_) / req.name).string();
+    if (req.ingress == Ingress::Spool)
+        r.work_path =
+            (fs::path(config_.spool_dir) / kWorkDir /
+             req.spec_file)
+                .string();
+    r.queued_at = req.queued_at;
+    r.started_at = started_at;
+    r.total_ms = msSince(req.admitted);
+    r.finished_at = obs::isoTimestampNow();
+    const std::string line = r.writeStatus("error", message);
+    publishFinal(req.name, line);
+    obs::counter("serve.requests_failed").add();
+    if (!r.work_path.empty()) {
+        std::string move_error;
+        if (!moveTo(r.work_path, kFailedDir, req.spec_file,
+                    &move_error))
+            warn("serve: %s", move_error.c_str());
+    }
+    {
+        MutexLock lock(stats_mu_);
+        stats_.failed += 1;
+        stats_.processed += 1;
+    }
+    warn("serve: %s failed: %s", r.spec_label.c_str(),
+         message.c_str());
+}
+
+void
+Daemon::execute(const QueuedRequest &qr)
+{
+    obs::TraceSpan span("serve.request", "serve");
+    Request req;
+    req.spec_label =
+        qr.ingress == Ingress::Spool ? qr.spec_file : qr.name;
+    req.name = qr.name;
+    req.result_dir = (fs::path(results_dir_) / qr.name).string();
+    if (qr.ingress == Ingress::Spool)
+        req.work_path =
+            (fs::path(config_.spool_dir) / kWorkDir / qr.spec_file)
+                .string();
+    req.queued_at = qr.queued_at;
+
     api::BatchResult result;
+    std::vector<std::pair<std::string, std::string>> rendered;
     try {
         api::BatchConfig batch =
-            batchConfigFromJson(parseJsonFile(req.work_path));
+            batchConfigFromJson(parseJson(qr.spec_text));
         // Execution parameters come from the daemon, not the spec:
         // every request shares the daemon's store and pool.
         batch.cache_dir = config_.cache_dir;
@@ -274,43 +652,79 @@ Daemon::process(const std::string &spec_name)
         result = runner.run(env);
         req.run_ms = msSince(run_start);
     } catch (const std::exception &err) {
-        fail(err.what());
+        failRequest(qr, err.what(), req.started_at);
+        for (const QueuedRequest &f : queue_.finish(qr.name))
+            failRequest(f, err.what(), req.started_at);
         return;
+    }
+
+    // Render once; the primary and every follower get these bytes.
+    rendered.reserve(result.sweeps.size());
+    for (const auto &sweep : result.sweeps) {
+        std::ostringstream csv, json;
+        sweep.writeCsv(csv);
+        sweep.writeJson(json);
+        rendered.emplace_back(csv.str(), json.str());
     }
 
     req.sweeps = result.sweeps.size();
     req.stats = result.stats;
-    for (std::size_t i = 0; i < result.sweeps.size(); ++i) {
-        const std::string stem_i =
-            (fs::path(req.result_dir) /
-             ("sweep_" + std::to_string(i)))
-                .string();
-        std::ostringstream csv, json;
-        result.sweeps[i].writeCsv(csv);
-        result.sweeps[i].writeJson(json);
-        if (!atomicWriteFile(stem_i + ".csv", csv.str()) ||
-            !atomicWriteFile(stem_i + ".json", json.str())) {
-            fail("cannot write results under '" + req.result_dir +
-                 "'");
-            return;
-        }
-    }
 
-    req.total_ms = msSince(start);
-    req.finished_at = obs::isoTimestampNow();
-    req.writeStatus("done");
-    std::string move_error;
-    if (!moveTo(req.work_path, kDoneDir, spec_name, &move_error))
-        warn("serve: %s", move_error.c_str());
-    {
-        MutexLock lock(stats_mu_);
-        stats_.done += 1;
-        stats_.processed += 1;
+    const auto deliver = [&](Request &r,
+                             const QueuedRequest &origin) -> bool {
+        for (std::size_t i = 0; i < rendered.size(); ++i) {
+            const std::string stem_i =
+                (fs::path(r.result_dir) /
+                 ("sweep_" + std::to_string(i)))
+                    .string();
+            if (!atomicWriteFile(stem_i + ".csv",
+                                 rendered[i].first) ||
+                !atomicWriteFile(stem_i + ".json",
+                                 rendered[i].second)) {
+                failRequest(origin,
+                            "cannot write results under '" +
+                                r.result_dir + "'",
+                            r.started_at);
+                return false;
+            }
+        }
+        r.total_ms = msSince(origin.admitted);
+        r.finished_at = obs::isoTimestampNow();
+        const std::string line = r.writeStatus("done");
+        publishFinal(origin.name, line);
+        if (!r.work_path.empty()) {
+            std::string move_error;
+            if (!moveTo(r.work_path, kDoneDir, origin.spec_file,
+                        &move_error))
+                warn("serve: %s", move_error.c_str());
+        }
+        {
+            MutexLock lock(stats_mu_);
+            stats_.done += 1;
+            stats_.processed += 1;
+        }
+        // The latency histogram counts successful requests only, so
+        // its count stays equal to serve.requests_done (tested
+        // invariant); followers count as requests in both.
+        obs::counter("serve.requests_done").add();
+        obs::histogram("serve.request_ms").observe(r.total_ms);
+        if (origin.ingress == Ingress::Socket)
+            obs::histogram("serve.socket_request_ms")
+                .observe(r.total_ms);
+        return true;
+    };
+
+    if (!deliver(req, qr)) {
+        // The primary's failure fails its followers too — their
+        // promise was "the primary's results".
+        for (const QueuedRequest &f : queue_.finish(qr.name))
+            failRequest(f, "primary request '" + qr.name +
+                               "' failed to deliver results",
+                        req.started_at);
+        return;
     }
-    // The latency histogram counts successful requests only, so its
-    // count stays equal to serve.requests_done (tested invariant).
-    obs::counter("serve.requests_done").add();
-    obs::histogram("serve.request_ms").observe(req.total_ms);
+    // Work counters tick once per *execution*; request counters
+    // (above) tick once per request, followers included.
     obs::counter("serve.requested_sims")
         .add(result.stats.requested_sims);
     obs::counter("serve.unique_sims").add(result.stats.unique_sims);
@@ -318,8 +732,102 @@ Daemon::process(const std::string &spec_name)
     obs::counter("serve.sims_run").add(result.stats.sims_run);
     inform("serve: %s done in %.1f ms (%zu sweep(s), %zu cache "
            "hit(s), %zu simulated)",
-           spec_name.c_str(), req.total_ms, req.sweeps,
+           req.spec_label.c_str(), req.total_ms, req.sweeps,
            result.stats.cache_hits, result.stats.sims_run);
+
+    // Fan out: byte-identical results to every coalesced follower.
+    for (const QueuedRequest &f : queue_.finish(qr.name)) {
+        Request fr;
+        fr.spec_label =
+            f.ingress == Ingress::Spool ? f.spec_file : f.name;
+        fr.name = f.name;
+        fr.result_dir =
+            (fs::path(results_dir_) / f.name).string();
+        if (f.ingress == Ingress::Spool)
+            fr.work_path =
+                (fs::path(config_.spool_dir) / kWorkDir /
+                 f.spec_file)
+                    .string();
+        fr.queued_at = f.queued_at;
+        fr.started_at = req.started_at;
+        fr.run_ms = req.run_ms;
+        fr.sweeps = req.sweeps;
+        fr.stats = req.stats;
+        fr.coalesced_with = qr.name;
+        std::error_code ec;
+        fs::create_directories(fr.result_dir, ec);
+        deliver(fr, f);
+    }
+}
+
+void
+Daemon::janitorSweep()
+{
+    if (config_.ttl_seconds > 0.0) {
+        const auto now = fs::file_time_type::clock::now();
+        const auto tooOld = [&](const fs::path &p) {
+            std::error_code ec;
+            const auto mtime = fs::last_write_time(p, ec);
+            if (ec)
+                return false; // age unknown is not "old"
+            return std::chrono::duration<double>(now - mtime)
+                       .count() > config_.ttl_seconds;
+        };
+        auto &removed = obs::counter("serve.janitor_removed");
+        // Consumed specs first, then the result dirs they produced
+        // (live requests are never pruned).
+        for (const char *sub : {kDoneDir, kFailedDir}) {
+            const fs::path dir = fs::path(config_.spool_dir) / sub;
+            for (const auto &de : fs::directory_iterator(dir)) {
+                if (!de.is_regular_file() ||
+                    !tooOld(de.path()))
+                    continue;
+                std::error_code ec;
+                if (fs::remove(de.path(), ec))
+                    removed.add();
+            }
+        }
+        for (const auto &de :
+             fs::directory_iterator(results_dir_)) {
+            if (!de.is_directory())
+                continue;
+            const std::string name =
+                de.path().filename().string();
+            if (queue_.live(name))
+                continue;
+            const fs::path status = de.path() / kStatusFile;
+            std::error_code ec;
+            const fs::path probe =
+                fs::exists(status, ec) ? status : de.path();
+            if (!tooOld(probe))
+                continue;
+            fs::remove_all(de.path(), ec);
+            if (!ec)
+                removed.add();
+        }
+    }
+    if (config_.cache_ttl_seconds > 0.0 && store_) {
+        store::ProfileStore::GcOptions gc;
+        gc.max_age_seconds = config_.cache_ttl_seconds;
+        const auto stats = store_->gc(gc);
+        if (stats.removed > 0)
+            inform("serve: cache ttl evicted %zu entr%s",
+                   stats.removed,
+                   stats.removed == 1 ? "y" : "ies");
+    }
+}
+
+void
+Daemon::abandonQueued()
+{
+    for (const QueuedRequest &req : queue_.drainPending()) {
+        if (req.ingress == Ingress::Spool) {
+            // Leave the claimed spec in work/: the next daemon's
+            // crash recovery re-queues and re-executes it.
+            continue;
+        }
+        failRequest(req, "daemon stopping", "");
+    }
 }
 
 std::size_t
@@ -340,21 +848,22 @@ Daemon::drainOnce()
     }
     std::sort(names.begin(), names.end());
 
-    auto &queue_depth = obs::gauge("serve.queue_depth");
-    queue_depth.set(static_cast<std::int64_t>(names.size()));
-
     std::size_t before = 0;
     {
         MutexLock lock(stats_mu_);
         before = stats_.processed;
     }
-    for (std::size_t i = 0; i < names.size(); ++i) {
-        process(names[i]);
-        queue_depth.set(
-            static_cast<std::int64_t>(names.size() - i - 1));
-        if (stopped())
-            break; // graceful drain: finish the request, not the scan
+    for (const std::string &name : names) {
+        if (queue_.full())
+            break; // spool backpressure: leave the rest on disk
+        admitSpool(name);
     }
+    while (auto req = queue_.pop()) {
+        execute(*req);
+        if (stopped())
+            break; // graceful: finish the request, not the queue
+    }
+    janitorSweep();
     std::size_t drained = 0;
     {
         MutexLock lock(stats_mu_);
@@ -387,15 +896,16 @@ Daemon::run()
         if (config_.once || stopped())
             break;
         // Sleep in short slices so a stop signal interrupts the
-        // poll delay promptly, not after a full poll_ms.
+        // poll delay promptly; a socket submission wakes the loop
+        // through the queue's condition variable.
         const auto wake = std::chrono::steady_clock::now() +
             std::chrono::milliseconds(config_.poll_ms);
         while (std::chrono::steady_clock::now() < wake) {
             if (stopped())
                 return stats();
-            std::this_thread::sleep_for(
-                std::chrono::milliseconds(
-                    std::min(50u, std::max(1u, config_.poll_ms))));
+            if (queue_.waitForWork(std::chrono::milliseconds(
+                    std::min(50u, std::max(1u, config_.poll_ms)))))
+                break;
         }
     }
     return stats();

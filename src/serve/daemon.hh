@@ -1,15 +1,20 @@
 /**
  * @file
- * Spool-directory batch daemon: the library's batch layer as a
- * long-running service.
+ * Batch daemon: the library's batch layer as a long-running service
+ * with two front ends — a spool directory and a request socket —
+ * over one admission queue, one persistent thread pool, and one
+ * shared ProfileStore.
  *
  * `lsim serve --spool DIR` watches a spool directory for batch-spec
- * JSON files (the exact `lsim batch` format, see serve/spec.hh) and
- * executes each through api::BatchRunner on ONE persistent thread
- * pool and ONE shared ProfileStore — so after the first request
- * warms the store, subsequent sweeps over the same workloads are
- * pure replay with no process startup, no thread spawn, and no
- * phase-1 simulation.
+ * JSON files (the exact `lsim batch` format, see serve/spec.hh) and,
+ * with --socket PATH, also accepts specs over a Unix-domain socket
+ * (see serve/socket.hh for the framing and `lsim submit`/`lsim
+ * wait` for clients). Every request — whichever door it came in —
+ * passes through one bounded RequestQueue (see serve/queue.hh):
+ * identical in-flight specs coalesce to a single execution whose
+ * results fan out byte-identically to all waiters, higher-priority
+ * requests pop first, and submissions beyond the queue bound are
+ * rejected (socket) or left unclaimed (spool backpressure).
  *
  * Spool layout (subdirectories created on startup):
  *
@@ -19,10 +24,12 @@
  *     <spool>/work/            claimed specs being executed
  *     <spool>/done/            consumed specs that succeeded
  *     <spool>/failed/          malformed or failed specs
+ *     <spool>/lsim.sock        request socket (with --socket)
  *     <results>/<name>/        per-request results + status
  *
  * where <results> defaults to <spool>/results. Per request <name>
- * (the spec's filename stem), the daemon writes
+ * (the spec's filename stem, or the submitted request name), the
+ * daemon writes
  *
  *     <results>/<name>/status.json      (atomic at every transition)
  *     <results>/<name>/sweep_<i>.csv    per sweep in the spec
@@ -33,13 +40,21 @@
  * queued_at/started_at/finished_at wall-clock stamps, plus the batch
  * dedup/cache stats; every write is temp+rename so a poller never
  * reads a torn file. Claiming is also a rename, so multiple daemons
- * may share one spool — exactly one wins each spec.
+ * may share one spool — exactly one wins each spec — and the store
+ * index they share is reconciled with the lock-file + generation
+ * protocol (see store/store_index.hh).
+ *
+ * A TTL janitor (--ttl) prunes consumed specs and result
+ * directories older than the TTL each drain, and --cache-ttl runs
+ * the store's age-based gc alongside it, so an unattended daemon
+ * never grows its disk footprint without bound.
  *
  * Observability: the daemon feeds the process-wide obs registry
- * (serve.* counters, queue-depth gauge, per-request latency
- * histogram) and atomically rewrites <spool>/metrics.json after
- * every drain cycle — see src/obs/metrics.hh for the schema and
- * `lsim metrics <spool>` for a pretty-printed view.
+ * (serve.* counters, queue-depth gauge, request and socket latency
+ * histograms, coalesced/rejected counts) and atomically rewrites
+ * <spool>/metrics.json after every drain cycle — see
+ * src/obs/metrics.hh for the schema and `lsim metrics <spool>` for
+ * a pretty-printed view.
  *
  * Crash recovery: specs stranded in work/ by a killed daemon are
  * moved back into the spool root on construction and re-executed.
@@ -50,16 +65,22 @@
 
 #include <cstddef>
 #include <functional>
+#include <map>
+#include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "api/parallel.hh"
 #include "common/mutex.hh"
 #include "common/thread_annotations.hh"
+#include "serve/queue.hh"
 #include "store/profile_store.hh"
 
 namespace lsim::serve
 {
+
+class SocketServer;
 
 /** Daemon configuration (flags of `lsim serve`). */
 struct ServeConfig
@@ -73,11 +94,25 @@ struct ServeConfig
     /** Shared profile store; empty disables caching. */
     std::string cache_dir;
 
+    /** Request socket path; empty = no socket listener. */
+    std::string socket_path;
+
     /** Worker threads of the persistent pool; 0 = hardware. */
     unsigned threads = 0;
 
     /** Delay between spool scans, milliseconds. */
     unsigned poll_ms = 500;
+
+    /** Admission bound: max requests queued for execution. */
+    std::size_t max_queue = 64;
+
+    /** Prune done/failed specs and result dirs older than this,
+     * seconds; 0 disables the janitor. */
+    double ttl_seconds = 0.0;
+
+    /** Age-evict store entries older than this each drain, seconds;
+     * 0 disables (requires a cache_dir). */
+    double cache_ttl_seconds = 0.0;
 
     /** Process the specs present at startup, then return. */
     bool once = false;
@@ -98,27 +133,45 @@ struct ServeStats
     std::size_t failed = 0;    ///< malformed or failed
     std::size_t recovered = 0; ///< stranded work/ specs re-queued
     std::size_t polls = 0;     ///< spool scans
+    std::size_t coalesced = 0; ///< requests served by fan-out
+    std::size_t rejected = 0;  ///< submissions refused (backpressure)
 };
 
-/** The spool-watching service loop. */
+/** How a socket submission was admitted (protocol ack states). */
+enum class SubmitResult
+{
+    Queued,    ///< admitted; will execute
+    Coalesced, ///< admitted; rides an identical in-flight request
+    Rejected   ///< refused (queue full, bad spec, name in use)
+};
+
+/** The two-front-door service loop. */
 class Daemon
 {
   public:
     /**
-     * Creates the spool layout and (when configured) opens the
-     * shared store; recovers specs stranded in work/. Throws
-     * std::invalid_argument when directories cannot be created.
+     * Creates the spool layout, (when configured) opens the shared
+     * store and binds the request socket; recovers specs stranded
+     * in work/. Throws std::invalid_argument when directories
+     * cannot be created or the socket cannot be bound.
      */
     explicit Daemon(ServeConfig config);
 
+    /** Stops the socket listener and abandons queued socket
+     * requests; in-flight work has already completed. */
+    ~Daemon();
+
     /**
-     * One spool scan: claim and execute every spec currently in the
-     * spool root, oldest filename first. @return specs processed.
+     * One drain cycle: claim every spec currently in the spool root
+     * (oldest filename first, stopping at the queue bound), then
+     * execute the queue — spool and socket submissions alike — to
+     * empty. @return specs processed.
      */
     std::size_t drainOnce();
 
     /** Scan-and-sleep loop until stop() or (with once) the first
-     * drain; @return the final stats. */
+     * drain; wakes early for socket submissions. @return the final
+     * stats. */
     ServeStats run();
 
     /**
@@ -128,10 +181,36 @@ class Daemon
      */
     ServeStats stats() const;
 
+    /**
+     * Socket-path admission (called from connection threads; safe
+     * against the drain thread). Validates the spec, creates the
+     * result dir, writes the queued status, and submits to the
+     * shared queue. @p response receives the status.json-shaped ack
+     * line (no trailing newline).
+     */
+    SubmitResult submitRequest(const std::string &name,
+                               const std::string &spec_text,
+                               int priority, std::string *response);
+
+    /**
+     * Block until request @p name reaches a terminal state or
+     * @p timeout_s elapses; returns its final status line. Unknown
+     * names wait too (the request may be spooled but unclaimed, or
+     * executing on another daemon sharing the spool — the result
+     * dir is polled alongside this daemon's completion board).
+     */
+    std::string waitFor(const std::string &name, double timeout_s);
+
     const std::string &resultsDir() const { return results_dir_; }
 
     /** Where the metrics snapshot lands: <spool>/metrics.json. */
     const std::string &metricsPath() const { return metrics_path_; }
+
+    /** Bound socket path; empty when the socket is disabled. */
+    const std::string &socketPath() const
+    {
+        return config_.socket_path;
+    }
 
     /** The shared store, when a cache dir is configured. */
     const store::ProfileStore *profileStore() const
@@ -144,7 +223,28 @@ class Daemon
 
     void recoverStale();
     bool stopped() const;
-    void process(const std::string &spec_name);
+
+    /** Claim one spool spec and admit it to the queue. */
+    void admitSpool(const std::string &spec_name);
+
+    /** Execute one popped request and fan out to its followers. */
+    void execute(const QueuedRequest &req);
+
+    /** Fail @p req (status, counters, spool move, board). */
+    void failRequest(const QueuedRequest &req,
+                     const std::string &message,
+                     const std::string &started_at);
+
+    /** Remove consumed specs / result dirs older than the TTL. */
+    void janitorSweep();
+
+    /** Record @p name's terminal status line and wake waiters. */
+    void publishFinal(const std::string &name,
+                      const std::string &status_line);
+
+    /** Fail every queued socket request (shutdown path). */
+    void abandonQueued();
+
     bool moveTo(const std::string &from, const std::string &subdir,
                 const std::string &name, std::string *error);
 
@@ -158,8 +258,21 @@ class Daemon
     mutable Mutex stats_mu_;
     ServeStats stats_ GUARDED_BY(stats_mu_);
 
+    /** Terminal status lines by request name, for socket waiters;
+     * bounded (oldest trimmed) since results live on disk anyway. */
+    mutable Mutex board_mu_;
+    CondVar board_cv_;
+    std::map<std::string, std::string> final_ GUARDED_BY(board_mu_);
+    std::vector<std::string> final_order_ GUARDED_BY(board_mu_);
+    bool shutting_down_ GUARDED_BY(board_mu_) = false;
+
     std::optional<store::ProfileStore> store_;
     api::detail::ThreadPool pool_;
+    RequestQueue queue_;
+
+    /** Last member: destroyed first, so connection threads are
+     * joined while the rest of the daemon is still valid. */
+    std::unique_ptr<SocketServer> socket_;
 };
 
 } // namespace lsim::serve

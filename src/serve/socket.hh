@@ -1,0 +1,129 @@
+/**
+ * @file
+ * The daemon's network front door: a Unix-domain request socket and
+ * the client functions `lsim submit` / `lsim wait` speak to it.
+ *
+ * ## Protocol
+ *
+ * One request per connection. The client sends a single JSON
+ * *header line* (newline-terminated, no newlines inside), optionally
+ * followed by a raw body, and reads newline-delimited JSON response
+ * lines shaped exactly like the daemon's status.json documents:
+ *
+ *     {"cmd": "submit", "name": "run42", "priority": 0,
+ *      "wait": false, "spec_bytes": N}\n
+ *     <N bytes: the batch-spec JSON, verbatim>
+ *
+ *     {"cmd": "wait", "name": "run42", "timeout_s": 600}\n
+ *
+ * For `submit` the daemon answers with one *ack line* — state
+ * "queued" (admitted; `coalesced_with` names the in-flight request
+ * it rides, when coalescing applied) or "rejected" (bounded queue
+ * full, invalid spec, name in use) — and, when `"wait": true` and
+ * the ack was not a rejection, a second *terminal line* once the
+ * request reaches done/error. For `wait` the daemon answers with the
+ * single terminal line (a synthesized error line on timeout).
+ *
+ * The spec body travels verbatim, but request identity is the parsed
+ * fingerprint (api::batchFingerprint), so two clients submitting the
+ * same spec with different whitespace still coalesce.
+ *
+ * The server shares the daemon's admission queue with the spool
+ * scanner: connection threads only parse, admit, and wait — every
+ * execution happens on the daemon's drain thread over the one
+ * ThreadPool and ProfileStore.
+ */
+
+#ifndef LSIM_SERVE_SOCKET_HH
+#define LSIM_SERVE_SOCKET_HH
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/mutex.hh"
+#include "common/thread_annotations.hh"
+
+namespace lsim::serve
+{
+
+class Daemon;
+
+/** Accept loop + per-connection request threads over an AF_UNIX
+ * listener. Owned by the Daemon; all admissions go through it. */
+class SocketServer
+{
+  public:
+    /**
+     * Bind @p path (unlinking a stale socket left by a dead daemon)
+     * and start accepting. Throws std::invalid_argument when the
+     * path cannot be bound (too long for sun_path, bad directory,
+     * or busy).
+     */
+    SocketServer(Daemon &daemon, const std::string &path);
+
+    ~SocketServer();
+
+    /** Stop accepting, unblock in-flight connections, join every
+     * thread, and unlink the socket path. Idempotent. */
+    void stop();
+
+    const std::string &path() const { return path_; }
+
+  private:
+    struct Connection
+    {
+        int fd = -1;
+        std::thread thread;
+        /** Set by the connection thread on exit so the accept loop
+         * can reap (join) finished connections as it goes. */
+        std::shared_ptr<std::atomic<bool>> done;
+    };
+
+    void acceptLoop();
+    void serveConnection(int fd,
+                         std::shared_ptr<std::atomic<bool>> done);
+    void reapFinished(bool join_all);
+
+    Daemon &daemon_;
+    std::string path_;
+    int listen_fd_ = -1;
+    std::atomic<bool> stopping_{false};
+    bool stopped_ = false;
+    std::thread accept_thread_;
+
+    Mutex conns_mu_;
+    std::vector<Connection> conns_ GUARDED_BY(conns_mu_);
+};
+
+/** What a client call produced: transport success plus the response
+ * lines (status.json-shaped documents) the daemon sent. */
+struct ClientResult
+{
+    bool ok = false;    ///< transport-level success
+    std::string error;  ///< connect/read/write failure detail
+    std::vector<std::string> lines; ///< ack, then terminal if waited
+};
+
+/**
+ * Submit @p spec_text as request @p name over the daemon socket at
+ * @p socket_path. With @p wait, also block (up to @p timeout_s) for
+ * the terminal line. Transport failures land in the result's error;
+ * protocol rejections come back as a "rejected" ack line.
+ */
+ClientResult socketSubmit(const std::string &socket_path,
+                          const std::string &name,
+                          const std::string &spec_text,
+                          int priority, bool wait,
+                          double timeout_s);
+
+/** Block until request @p name is terminal on the daemon at
+ * @p socket_path (up to @p timeout_s); one response line. */
+ClientResult socketWait(const std::string &socket_path,
+                        const std::string &name, double timeout_s);
+
+} // namespace lsim::serve
+
+#endif // LSIM_SERVE_SOCKET_HH

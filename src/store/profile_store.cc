@@ -22,8 +22,10 @@ namespace
 
 constexpr char kMagic[8] = {'L', 'S', 'I', 'M', 'P', 'R', 'O', 'F'};
 
+} // namespace
+
 void
-hashProfile(Fnv1a &h, const trace::WorkloadProfile &p)
+hashWorkloadProfile(Fnv1a &h, const trace::WorkloadProfile &p)
 {
     h.addString(p.name);
     h.addString(p.suite);
@@ -104,6 +106,9 @@ hashCoreConfig(Fnv1a &h, const cpu::CoreConfig &c)
     hashTlb(c.mem.dtlb);
     h.addU64(c.mem.memory_latency);
 }
+
+namespace
+{
 
 /** Keep keys filesystem-safe: [A-Za-z0-9._-], capped length. */
 std::string
@@ -223,7 +228,7 @@ SimKey::fingerprint() const
 {
     Fnv1a h;
     h.addU32(kFormatVersion);
-    hashProfile(h, profile);
+    hashWorkloadProfile(h, profile);
     h.addU32(fus);
     h.addU64(insts);
     h.addU64(seed);

@@ -63,6 +63,19 @@ struct SimKey
     std::string fingerprint() const;
 };
 
+/**
+ * @name Fingerprint field hashing
+ * The building blocks of SimKey::fingerprint(), exposed so other
+ * tiers can fingerprint configurations the same way (the serve
+ * front door hashes whole batch specs for request coalescing —
+ * api::batchFingerprint). Every field of the argument is mixed in;
+ * see SimKey for why.
+ * @{
+ */
+void hashWorkloadProfile(Fnv1a &h, const trace::WorkloadProfile &p);
+void hashCoreConfig(Fnv1a &h, const cpu::CoreConfig &c);
+/** @} */
+
 /** One store entry as listed by ProfileStore::list(). */
 struct StoreEntry
 {

@@ -1,5 +1,6 @@
 #include "store/store_index.hh"
 
+#include <algorithm>
 #include <chrono>
 #include <filesystem>
 #include <fstream>
@@ -18,7 +19,14 @@ namespace fs = std::filesystem;
 namespace
 {
 
-constexpr std::uint32_t kIndexVersion = 1;
+/** Current layout (adds "generation"); v1 files still load. */
+constexpr std::uint32_t kIndexVersion = 2;
+constexpr std::uint32_t kIndexVersionNoGeneration = 1;
+
+/** How long a flush waits for index.lock before degrading to a
+ * last-writer-wins write. Holders keep the lock for one small-file
+ * read + rewrite, so timing out means something is badly wedged. */
+constexpr unsigned kLockTimeoutMs = 10'000;
 
 /** Parse one index row; throws std::invalid_argument on shape
  * errors (the caller treats any throw as "index unusable"). */
@@ -46,6 +54,15 @@ entryFromJson(const JsonValue &v)
 StoreIndex::StoreIndex(std::string dir)
     : dir_(std::move(dir))
 {
+    loadDisk(&entries_, &generation_);
+}
+
+void
+StoreIndex::loadDisk(std::map<std::string, IndexEntry> *entries,
+                     std::uint64_t *generation) const
+{
+    entries->clear();
+    *generation = 0;
     std::ifstream in(path(), std::ios::binary);
     if (!in)
         return; // no index yet: empty, rebuilt lazily
@@ -53,16 +70,21 @@ StoreIndex::StoreIndex(std::string dir)
     ss << in.rdbuf();
     try {
         const JsonValue doc = parseJson(ss.str());
-        if (doc.at("version").asU64() != kIndexVersion)
+        const std::uint64_t version = doc.at("version").asU64();
+        if (version != kIndexVersion &&
+            version != kIndexVersionNoGeneration)
             throw std::invalid_argument(
                 "unsupported index version " +
-                std::to_string(doc.at("version").asU64()));
+                std::to_string(version));
+        if (const JsonValue *gen = doc.find("generation"))
+            *generation = gen->asU64();
         for (const JsonValue &row : doc.at("entries").items())
-            entries_.insert(entryFromJson(row));
+            entries->insert(entryFromJson(row));
     } catch (const std::invalid_argument &err) {
         warn("profile store: ignoring index '%s': %s",
              path().c_str(), err.what());
-        entries_.clear();
+        entries->clear();
+        *generation = 0;
     }
 }
 
@@ -70,6 +92,12 @@ std::string
 StoreIndex::path() const
 {
     return (fs::path(dir_) / kFileName).string();
+}
+
+std::string
+StoreIndex::lockPath() const
+{
+    return (fs::path(dir_) / kLockFileName).string();
 }
 
 const IndexEntry *
@@ -82,6 +110,11 @@ StoreIndex::find(const std::string &key) const
 void
 StoreIndex::put(const std::string &key, IndexEntry entry)
 {
+    Pending &p = pending_[key];
+    p.erased = false;
+    p.has_entry = true;
+    p.entry = entry;
+    p.has_touch = false;
     entries_[key] = std::move(entry);
 }
 
@@ -89,25 +122,74 @@ void
 StoreIndex::touch(const std::string &key, double when)
 {
     const auto it = entries_.find(key);
-    if (it != entries_.end())
-        it->second.touched = when;
+    if (it == entries_.end())
+        return;
+    it->second.touched = when;
+    Pending &p = pending_[key];
+    if (p.has_entry) {
+        p.entry.touched = when;
+    } else {
+        p.has_touch = true;
+        p.touched = when;
+    }
 }
 
 bool
 StoreIndex::erase(const std::string &key)
 {
-    return entries_.erase(key) > 0;
+    const bool existed = entries_.erase(key) > 0;
+    Pending &p = pending_[key];
+    p = Pending{};
+    p.erased = true;
+    return existed;
 }
 
 bool
-StoreIndex::save() const
+StoreIndex::save()
 {
+    // Serialize flushes across every process (and instance) sharing
+    // the directory; within the lock the cycle is read-merge-write,
+    // so no writer ever overwrites another's updates.
+    auto lock = FileLock::acquire(lockPath(), kLockTimeoutMs);
+    std::map<std::string, IndexEntry> merged;
+    std::uint64_t disk_generation = 0;
+    if (lock) {
+        loadDisk(&merged, &disk_generation);
+    } else {
+        // Degraded mode: we could not serialize, so fall back to
+        // writing our local view (the pre-protocol behavior). The
+        // index is an accelerator — a lost concurrent update is
+        // re-derived on demand, never wrong.
+        merged = entries_;
+        disk_generation = generation_;
+    }
+
+    for (const auto &[key, p] : pending_) {
+        if (p.erased) {
+            merged.erase(key);
+            continue;
+        }
+        if (p.has_entry) {
+            merged[key] = p.entry;
+        } else if (p.has_touch) {
+            // A touch asserts the entry's last-use time outright
+            // (backdating included — tests and tools rely on it);
+            // concurrent touches resolve to whichever flush runs
+            // last, which only perturbs LRU order approximately.
+            const auto it = merged.find(key);
+            if (it != merged.end())
+                it->second.touched = p.touched;
+        }
+    }
+
+    const std::uint64_t generation = disk_generation + 1;
     std::ostringstream ss;
     JsonWriter w(ss);
     w.beginObject();
     w.field("version", static_cast<std::uint64_t>(kIndexVersion));
+    w.field("generation", generation);
     w.beginArray("entries");
-    for (const auto &[key, entry] : entries_) {
+    for (const auto &[key, entry] : merged) {
         w.beginObject();
         w.field("key", key);
         w.field("bytes", entry.bytes);
@@ -123,7 +205,16 @@ StoreIndex::save() const
     w.endArray();
     w.endObject();
     ss << "\n";
-    return atomicWriteFile(path(), ss.str());
+    if (!atomicWriteFile(path(), ss.str()))
+        return false;
+
+    // Adopt the merged image: entries other writers added become
+    // visible to this instance, and the pending deltas are now on
+    // disk.
+    entries_ = std::move(merged);
+    generation_ = generation;
+    pending_.clear();
+    return true;
 }
 
 double

@@ -9,7 +9,7 @@
  * `lsim profile ls` prints — in one JSON file:
  *
  *     <dir>/index.json
- *     {"version": 1, "entries": [
+ *     {"version": 2, "generation": 17, "entries": [
  *        {"key": "gcc-<hash>", "bytes": 12345,
  *         "touched": 1753700000.25,
  *         "name": "gcc", "fus": 2, "committed": 500000,
@@ -22,9 +22,20 @@
  * The index is an accelerator, never the source of truth. Entries
  * missing from it are discovered by a directory scan and re-added;
  * index rows whose file vanished are dropped; a corrupt or deleted
- * index.json just rebuilds lazily. Concurrent processes sharing a
- * directory each rewrite the whole file atomically — the last
- * writer wins and the losers' updates are re-derived on demand.
+ * index.json just rebuilds lazily.
+ *
+ * Concurrency: N processes (serve daemons sharding one store, a gc
+ * run beside them) may flush concurrently. save() is not a blind
+ * rewrite — it runs a reload-merge-bump cycle under an flock(2) on
+ * <dir>/index.lock: re-read the on-disk image, apply only this
+ * instance's pending deltas (puts, erases, touches), stamp
+ * generation = disk + 1, and install atomically. Updates made by
+ * other writers since our load are preserved instead of clobbered,
+ * and the generation counter increments by exactly one per flush —
+ * a cheap cross-process consistency probe. A v1 index (no
+ * generation) loads as generation 0; if the lock cannot be acquired
+ * within a timeout the flush degrades to the historical
+ * last-writer-wins write rather than blocking the caller forever.
  */
 
 #ifndef LSIM_STORE_STORE_INDEX_HH
@@ -53,12 +64,16 @@ struct IndexEntry
     std::uint64_t intervals = 0;
 };
 
-/** In-memory image of <dir>/index.json. */
+/** In-memory image of <dir>/index.json plus this instance's
+ * unflushed deltas. */
 class StoreIndex
 {
   public:
     /** Index filename inside the store directory. */
     static constexpr const char *kFileName = "index.json";
+
+    /** flock(2) sentinel guarding the reload-merge-bump flush. */
+    static constexpr const char *kLockFileName = "index.lock";
 
     /**
      * Load the index of @p dir. A missing, unreadable, or malformed
@@ -84,8 +99,19 @@ class StoreIndex
     /** @return true when an entry was removed. */
     bool erase(const std::string &key);
 
-    /** Atomically persist the index to <dir>/index.json. */
-    bool save() const;
+    /**
+     * Flush to <dir>/index.json with the lock-file protocol: under
+     * <dir>/index.lock, re-read the disk image, merge this
+     * instance's pending put/erase/touch deltas into it (per-key,
+     * this writer's delta wins; untouched keys keep whatever other
+     * writers flushed), bump the generation, and install
+     * atomically. The in-memory view is replaced by the merged
+     * image, so concurrent writers' entries become visible here too.
+     */
+    bool save();
+
+    /** Generation stamp of the last image read or written. */
+    std::uint64_t generation() const { return generation_; }
 
     /** Current unix time in seconds (the `touched` clock). */
     static double now();
@@ -93,10 +119,30 @@ class StoreIndex
     const std::string &dir() const { return dir_; }
 
   private:
+    /** One key's unflushed local mutations, in application order:
+     * an erase cancels a put and vice versa; touches fold into a
+     * pending put or ride along as a timestamp override. */
+    struct Pending
+    {
+        bool erased = false;
+        bool has_entry = false;
+        IndexEntry entry;
+        bool has_touch = false;
+        double touched = 0.0;
+    };
+
     std::string path() const;
+    std::string lockPath() const;
+
+    /** Parse <dir>/index.json into @p entries / @p generation.
+     * Malformed content warns and yields an empty image. */
+    void loadDisk(std::map<std::string, IndexEntry> *entries,
+                  std::uint64_t *generation) const;
 
     std::string dir_;
     std::map<std::string, IndexEntry> entries_;
+    std::map<std::string, Pending> pending_;
+    std::uint64_t generation_ = 0;
 };
 
 } // namespace lsim::store

@@ -3,6 +3,8 @@
  * Unit and integration tests for the out-of-order core timing model.
  */
 
+#include <stdexcept>
+
 #include <gtest/gtest.h>
 
 #include "cpu/core.hh"
@@ -200,19 +202,17 @@ TEST(CoreDeath, SinkAfterRunPanics)
                  "after run");
 }
 
-TEST(CoreDeath, ConfigValidation)
+TEST(Core, ConfigValidation)
 {
     TraceGenerator gen(testProfile(), 8);
     // Subcomponents reject bad parameters during member
     // construction, before CoreConfig::validate() runs.
     CoreConfig bad;
     bad.num_int_fus = 0;
-    EXPECT_EXIT(O3Core(bad, gen), ::testing::ExitedWithCode(1),
-                "unit count");
+    EXPECT_THROW(O3Core(bad, gen), std::invalid_argument);
     CoreConfig bad2;
     bad2.int_phys_regs = 16;
-    EXPECT_EXIT(O3Core(bad2, gen), ::testing::ExitedWithCode(1),
-                "logical registers");
+    EXPECT_THROW(O3Core(bad2, gen), std::invalid_argument);
 }
 
 /** IPC responds sensibly across FU counts for every benchmark. */

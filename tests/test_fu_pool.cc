@@ -4,6 +4,8 @@
  * busy/idle run tracking.
  */
 
+#include <stdexcept>
+
 #include <gtest/gtest.h>
 
 #include <vector>
@@ -118,12 +120,10 @@ TEST(FuPoolDeath, Protocol)
     EXPECT_DEATH(pool.beginCycle(), "without endCycle");
 }
 
-TEST(FuPoolDeath, BadConfig)
+TEST(FuPool, RejectsUnitCountOutsideRange)
 {
-    EXPECT_EXIT(FuPool(0), ::testing::ExitedWithCode(1),
-                "unit count");
-    EXPECT_EXIT(FuPool(9), ::testing::ExitedWithCode(1),
-                "unit count");
+    EXPECT_THROW(FuPool(0), std::invalid_argument);
+    EXPECT_THROW(FuPool(9), std::invalid_argument);
 }
 
 TEST(FuPoolDeath, BadUnitIndex)

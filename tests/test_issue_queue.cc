@@ -3,6 +3,8 @@
  * Unit tests for the age-ordered issue queue.
  */
 
+#include <stdexcept>
+
 #include <gtest/gtest.h>
 
 #include <vector>
@@ -90,10 +92,13 @@ TEST(IssueQueue, InsertAfterIssueKeepsOrder)
     EXPECT_EQ(order, (std::vector<std::uint64_t>{2, 3}));
 }
 
+TEST(IssueQueue, RejectsZeroCapacity)
+{
+    EXPECT_THROW(IssueQueue(0), std::invalid_argument);
+}
+
 TEST(IssueQueueDeath, Misuse)
 {
-    EXPECT_EXIT(IssueQueue(0), ::testing::ExitedWithCode(1),
-                "capacity");
     IssueQueue iq(1);
     iq.insert(5);
     EXPECT_DEATH(iq.insert(6), "full");

@@ -3,6 +3,8 @@
  * Unit tests for the load/store queue.
  */
 
+#include <stdexcept>
+
 #include <gtest/gtest.h>
 
 #include "cpu/lsq.hh"
@@ -83,10 +85,14 @@ TEST(Lsq, RemoveMiddleEntry)
     EXPECT_TRUE(lsq.olderStoresReady(3));
 }
 
+TEST(Lsq, RejectsZeroCapacity)
+{
+    EXPECT_THROW(LoadStoreQueue(0, 8), std::invalid_argument);
+    EXPECT_THROW(LoadStoreQueue(8, 0), std::invalid_argument);
+}
+
 TEST(LsqDeath, Misuse)
 {
-    EXPECT_EXIT(LoadStoreQueue(0, 8), ::testing::ExitedWithCode(1),
-                "capacity");
     LoadStoreQueue lsq(1, 1);
     lsq.insert(1, 0x100, false);
     EXPECT_DEATH(lsq.insert(2, 0x200, false), "full");

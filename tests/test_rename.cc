@@ -3,6 +3,8 @@
  * Unit tests for register renaming.
  */
 
+#include <stdexcept>
+
 #include <gtest/gtest.h>
 
 #include "cpu/rename.hh"
@@ -67,11 +69,13 @@ TEST(Rename, NoPhysRegAlwaysReady)
     EXPECT_TRUE(m.isReady(kNoPhysReg));
 }
 
+TEST(Rename, RejectsFewerPhysicalThanLogicalRegisters)
+{
+    EXPECT_THROW(RenameMap(32, 16), std::invalid_argument);
+}
+
 TEST(RenameDeath, Misuse)
 {
-    EXPECT_EXIT(RenameMap(32, 16), ::testing::ExitedWithCode(1),
-                "physical");
-
     RenameMap m(32, 33);
     int prev = kNoPhysReg;
     (void)m.allocate(0, prev);

@@ -3,6 +3,8 @@
  * Unit tests for the reorder buffer.
  */
 
+#include <stdexcept>
+
 #include <gtest/gtest.h>
 
 #include "cpu/rob.hh"
@@ -69,6 +71,11 @@ TEST(Rob, FullAndEmpty)
     EXPECT_TRUE(rob.full());
     rob.popHead();
     EXPECT_FALSE(rob.full());
+}
+
+TEST(Rob, RejectsZeroCapacity)
+{
+    EXPECT_THROW(ReorderBuffer(0), std::invalid_argument);
 }
 
 TEST(RobDeath, Misuse)

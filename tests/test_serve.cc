@@ -312,8 +312,13 @@ TEST(Daemon, MetricsSnapshotMatchesStatusGroundTruth)
     auto cfg = baseConfig(spool);
     cfg.cache_dir = freshDir("metrics_cache");
     Daemon daemon(cfg);
+    // Distinct requests (different replay grids, so they do not
+    // coalesce) sharing one phase-1 simulation: the second must be
+    // served from the store, not re-simulated.
     writeFile(fs::path(spool) / "first.json", kSpec);
-    writeFile(fs::path(spool) / "second.json", kSpec);
+    writeFile(fs::path(spool) / "second.json",
+              R"({"sweeps": [{"benchmarks": ["gcc"], "steps": 3,
+                              "insts": 20000}]})");
     const ServeStats stats = daemon.run();
     ASSERT_EQ(stats.done, 2u);
 
@@ -342,7 +347,8 @@ TEST(Daemon, MetricsSnapshotMatchesStatusGroundTruth)
     EXPECT_EQ(counters.at("serve.cache_hits").asU64(), cache_hits);
     EXPECT_EQ(counters.at("serve.sims_run").asU64(), sims_run);
     EXPECT_EQ(cache_hits, 1u)
-        << "identical specs through one store must hit once";
+        << "requests sharing a phase-1 sim through one store "
+           "must hit once";
 
     // The latency histogram counts exactly the done requests.
     const JsonValue &hist =

@@ -14,6 +14,7 @@
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <thread>
 
 #include "api/batch.hh"
 #include "api/experiment.hh"
@@ -736,6 +737,138 @@ TEST(StoreIndex, SummariesDropRowsWhoseFileVanished)
     ASSERT_EQ(rows.size(), 1u);
     EXPECT_EQ(rows[0].key, "keep");
     EXPECT_EQ(StoreIndex(dir).find("gone"), nullptr);
+}
+
+IndexEntry
+namedEntry(const std::string &name)
+{
+    IndexEntry entry;
+    entry.name = name;
+    entry.bytes = 1;
+    entry.touched = StoreIndex::now();
+    return entry;
+}
+
+TEST(StoreIndex, GenerationBumpsByOnePerSave)
+{
+    const std::string dir = freshDir("index_generation");
+    StoreIndex index(dir);
+    EXPECT_EQ(index.generation(), 0u);
+    index.put("a", namedEntry("a"));
+    ASSERT_TRUE(index.save());
+    EXPECT_EQ(index.generation(), 1u);
+    index.put("b", namedEntry("b"));
+    ASSERT_TRUE(index.save());
+    EXPECT_EQ(index.generation(), 2u);
+    EXPECT_EQ(StoreIndex(dir).generation(), 2u);
+}
+
+TEST(StoreIndex, VersionOneFilesLoadAsGenerationZero)
+{
+    const std::string dir = freshDir("index_v1");
+    std::ofstream(fs::path(dir) / StoreIndex::kFileName)
+        << R"({"version": 1, "entries": [
+               {"key": "old", "bytes": 7, "touched": 5.0,
+                "name": "gcc", "fus": 2, "committed": 10,
+                "ipc": 1.0, "idle_fraction": 0.5,
+                "intervals": 3}]})";
+    StoreIndex index(dir);
+    EXPECT_EQ(index.generation(), 0u);
+    ASSERT_NE(index.find("old"), nullptr);
+    // The first protocol save upgrades the file in place.
+    ASSERT_TRUE(index.save());
+    EXPECT_EQ(StoreIndex(dir).generation(), 1u);
+    EXPECT_NE(StoreIndex(dir).find("old"), nullptr);
+}
+
+TEST(StoreIndex, SaveMergesConcurrentWritersInsteadOfClobbering)
+{
+    const std::string dir = freshDir("index_merge");
+    // Two instances load the same (empty) image, then flush
+    // disjoint entries. Under last-writer-wins the second save
+    // would erase the first writer's entry; the reload-merge-bump
+    // protocol must keep both.
+    StoreIndex a(dir);
+    StoreIndex b(dir);
+    a.put("from_a", namedEntry("a"));
+    b.put("from_b", namedEntry("b"));
+    ASSERT_TRUE(a.save());
+    ASSERT_TRUE(b.save());
+
+    StoreIndex merged(dir);
+    EXPECT_NE(merged.find("from_a"), nullptr);
+    EXPECT_NE(merged.find("from_b"), nullptr);
+    EXPECT_EQ(merged.generation(), 2u);
+
+    // b adopted the merged image at save(): a's entry is visible
+    // there too, without a reload.
+    EXPECT_NE(b.find("from_a"), nullptr);
+}
+
+TEST(StoreIndex, ErasePropagatesThroughTheMerge)
+{
+    const std::string dir = freshDir("index_erase");
+    {
+        StoreIndex seed(dir);
+        seed.put("victim", namedEntry("v"));
+        seed.put("keep", namedEntry("k"));
+        ASSERT_TRUE(seed.save());
+    }
+    // One instance erases while another flushes an unrelated put:
+    // the erase must not resurrect through the other's merge.
+    StoreIndex eraser(dir);
+    StoreIndex writer(dir);
+    EXPECT_TRUE(eraser.erase("victim"));
+    ASSERT_TRUE(eraser.save());
+    writer.put("new", namedEntry("n"));
+    ASSERT_TRUE(writer.save());
+
+    StoreIndex merged(dir);
+    EXPECT_EQ(merged.find("victim"), nullptr);
+    EXPECT_NE(merged.find("keep"), nullptr);
+    EXPECT_NE(merged.find("new"), nullptr);
+    EXPECT_EQ(merged.generation(), 3u);
+}
+
+TEST(StoreIndex, ConcurrentStoreFlushesNeverLoseEntries)
+{
+    const std::string dir = freshDir("index_concurrent");
+    const auto sim = simulateSmall("gcc");
+    // Two ProfileStore instances (two daemons sharding one cache —
+    // flock excludes between fds even inside one process) save and
+    // gc concurrently. Every save must survive, and the generation
+    // counter must count every flush exactly once.
+    constexpr int kPerWriter = 6;
+    const ProfileStore store_a(dir);
+    const ProfileStore store_b(dir);
+    std::thread writer_a([&] {
+        for (int i = 0; i < kPerWriter; ++i)
+            store_a.save("a" + std::to_string(i), sim);
+    });
+    std::thread writer_b([&] {
+        for (int i = 0; i < kPerWriter; ++i) {
+            store_b.save("b" + std::to_string(i), sim);
+            // Age-based gc with no limit set evicts nothing but
+            // still walks (and flushes) the shared index.
+            ProfileStore::GcOptions options;
+            store_b.gc(options);
+        }
+    });
+    writer_a.join();
+    writer_b.join();
+
+    const StoreIndex merged(dir);
+    for (int i = 0; i < kPerWriter; ++i) {
+        EXPECT_NE(merged.find("a" + std::to_string(i)), nullptr)
+            << "a" << i;
+        EXPECT_NE(merged.find("b" + std::to_string(i)), nullptr)
+            << "b" << i;
+    }
+    EXPECT_GE(merged.generation(),
+              static_cast<std::uint64_t>(2 * kPerWriter));
+    const ProfileStore verify(dir);
+    EXPECT_EQ(verify.summaries().size(),
+              static_cast<std::size_t>(2 * kPerWriter));
 }
 
 TEST(Exports, ExportImportRoundTripsThroughAFile)

@@ -82,6 +82,12 @@ def metrics(doc):
             serve.get("warm_request_ms")
         out[("serve", "cold_request_ms")] = \
             serve.get("cold_request_ms")
+        # Socket front-door warm latency: a full AF_UNIX
+        # submit-and-wait round trip. Report-only — it layers
+        # protocol framing and completion-board polling on top of
+        # the gated warm path.
+        out[("serve", "socket_warm_request_ms")] = \
+            serve.get("socket_warm_request_ms")
     return {k: v for k, v in out.items() if v is not None}
 
 
@@ -98,7 +104,8 @@ GATED = (("8pt", "speedup"), ("20pt", "speedup"),
 
 # Metrics where smaller values are better: the quality ratio is
 # inverted (first/last) so < 1 still means "regressed".
-LOWER_IS_BETTER = frozenset({"warm_request_ms", "cold_request_ms"})
+LOWER_IS_BETTER = frozenset({"warm_request_ms", "cold_request_ms",
+                             "socket_warm_request_ms"})
 
 
 def quality_ratio(key, first, last):

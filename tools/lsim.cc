@@ -37,6 +37,7 @@
 #include "harness/report.hh"
 #include "obs/trace.hh"
 #include "serve/daemon.hh"
+#include "serve/socket.hh"
 #include "serve/spec.hh"
 #include "sleep/policy_registry.hh"
 #include "store/profile_store.hh"
@@ -319,6 +320,17 @@ commands()
            "where results + status JSON go (default <spool>/results)"},
           {"cache-dir", "DIR",
            "profile store shared by every request"},
+          {"socket", "PATH",
+           "also accept requests on this Unix socket (use 'auto' "
+           "for <spool>/lsim.sock)"},
+          {"max-queue", "N",
+           "bounded admission: max requests queued (default 64)"},
+          {"ttl", "AGE",
+           "prune consumed specs and result dirs older than AGE "
+           "(e.g. 30d, 12h, 900s; plain numbers are days)"},
+          {"cache-ttl", "AGE",
+           "age-evict profile-store entries each drain (needs "
+           "--cache-dir)"},
           {"threads", "N",
            "persistent worker pool size (default: hardware)"},
           {"poll-ms", "N", "spool scan interval (default 500)"},
@@ -327,6 +339,27 @@ commands()
           {"trace", "FILE",
            "write Chrome-trace-format spans here (also via "
            "LSIM_TRACE=FILE)"},
+          kHelpFlag}},
+        {"submit", "<spec.json>", 1,
+         "submit a batch spec to a serve daemon over its socket",
+         {{"socket", "PATH",
+           "daemon request socket (<spool>/lsim.sock)"},
+          {"name", "NAME",
+           "request name (default: the spec filename stem)"},
+          {"priority", "N",
+           "admission priority; higher executes first (default 0)"},
+          {"wait", nullptr,
+           "block until the request finishes; print the final "
+           "status line too"},
+          {"timeout", "SECS",
+           "wait budget in seconds (default 3600)"},
+          kHelpFlag}},
+        {"wait", "<name>", 1,
+         "block until a submitted request reaches done/error",
+         {{"socket", "PATH",
+           "daemon request socket (<spool>/lsim.sock)"},
+          {"timeout", "SECS",
+           "wait budget in seconds (default 3600)"},
           kHelpFlag}},
         {"metrics", "<spool>", 1,
          "pretty-print a serve daemon's metrics.json",
@@ -1030,6 +1063,28 @@ cmdServe(const Args &args)
     cfg.poll_ms =
         poll_text.empty() ? 500 : parseU32(poll_text, "--poll-ms");
     cfg.once = args.has("once");
+    cfg.socket_path =
+        args.flagOrPositional("socket", ~std::size_t{0});
+    if (cfg.socket_path == "auto")
+        cfg.socket_path = (std::filesystem::path(cfg.spool_dir) /
+                           "lsim.sock")
+                              .string();
+    const std::string queue_text =
+        args.flagOrPositional("max-queue", ~std::size_t{0});
+    if (!queue_text.empty())
+        cfg.max_queue = parseU64(queue_text, "--max-queue");
+    const std::string ttl_text =
+        args.flagOrPositional("ttl", ~std::size_t{0});
+    if (!ttl_text.empty())
+        cfg.ttl_seconds = parseDuration(ttl_text, "--ttl");
+    const std::string cache_ttl_text =
+        args.flagOrPositional("cache-ttl", ~std::size_t{0});
+    if (!cache_ttl_text.empty()) {
+        if (cfg.cache_dir.empty())
+            die("serve: --cache-ttl needs --cache-dir");
+        cfg.cache_ttl_seconds =
+            parseDuration(cache_ttl_text, "--cache-ttl");
+    }
 
     // --trace complements the LSIM_TRACE environment variable (main
     // already consulted the latter); the flag wins when both are set.
@@ -1052,17 +1107,123 @@ cmdServe(const Args &args)
                   << (cfg.cache_dir.empty()
                           ? std::string(", no cache")
                           : ", cache: " + cfg.cache_dir)
+                  << (cfg.socket_path.empty()
+                          ? std::string()
+                          : ", socket: " + cfg.socket_path)
                   << "); SIGINT drains\n";
     const auto stats = daemon.run();
     std::cerr << "lsim: serve: " << stats.processed
               << " spec(s) processed (" << stats.done << " done, "
               << stats.failed << " failed"
+              << (stats.coalesced
+                      ? ", " + std::to_string(stats.coalesced) +
+                            " coalesced"
+                      : "")
+              << (stats.rejected
+                      ? ", " + std::to_string(stats.rejected) +
+                            " rejected"
+                      : "")
               << (stats.recovered
                       ? ", " + std::to_string(stats.recovered) +
                             " recovered"
                       : "")
               << ") over " << stats.polls << " poll(s)\n";
     return 0;
+}
+
+// -------------------------------------------- submit/wait commands
+
+/** "state" of a status-shaped response line; "" when unparsable. */
+std::string
+stateOfLine(const std::string &line)
+{
+    try {
+        return parseJson(line).at("state").asString();
+    } catch (const std::exception &) {
+        return "";
+    }
+}
+
+/**
+ * Socket client of a serve daemon: ship a spec, print the daemon's
+ * status-line responses, exit 0 only when the request was admitted
+ * (and, with --wait, finished "done").
+ */
+int
+cmdSubmit(const Args &args)
+{
+    const std::string spec_path = args.positional(0);
+    if (spec_path.empty())
+        die("submit: missing <spec.json>");
+    const std::string socket_path =
+        args.flagOrPositional("socket", ~std::size_t{0});
+    if (socket_path.empty())
+        die("submit: missing --socket PATH (the daemon's "
+            "<spool>/lsim.sock)");
+
+    std::ifstream in(spec_path, std::ios::binary);
+    if (!in)
+        die("submit: cannot read '" + spec_path + "'");
+    std::ostringstream spec;
+    spec << in.rdbuf();
+
+    std::string name =
+        args.flagOrPositional("name", ~std::size_t{0});
+    if (name.empty())
+        name = std::filesystem::path(spec_path).stem().string();
+
+    int priority = 0;
+    const std::string prio_text =
+        args.flagOrPositional("priority", ~std::size_t{0});
+    if (!prio_text.empty())
+        priority = static_cast<int>(
+            parseDouble(prio_text, "--priority"));
+    const bool wait = args.has("wait");
+    const std::string timeout_text =
+        args.flagOrPositional("timeout", ~std::size_t{0});
+    const double timeout_s =
+        timeout_text.empty()
+            ? 3600.0
+            : parseDouble(timeout_text, "--timeout");
+
+    const serve::ClientResult result = serve::socketSubmit(
+        socket_path, name, spec.str(), priority, wait, timeout_s);
+    if (!result.ok)
+        die("submit: " + result.error);
+    for (const std::string &line : result.lines)
+        std::cout << line << "\n";
+    const std::string final_state = stateOfLine(result.lines.back());
+    if (wait)
+        return final_state == "done" ? 0 : 1;
+    return final_state == "queued" ? 0 : 1;
+}
+
+/** Socket client: block until <name> is terminal on the daemon. */
+int
+cmdWait(const Args &args)
+{
+    const std::string name = args.positional(0);
+    if (name.empty())
+        die("wait: missing <name>");
+    const std::string socket_path =
+        args.flagOrPositional("socket", ~std::size_t{0});
+    if (socket_path.empty())
+        die("wait: missing --socket PATH (the daemon's "
+            "<spool>/lsim.sock)");
+    const std::string timeout_text =
+        args.flagOrPositional("timeout", ~std::size_t{0});
+    const double timeout_s =
+        timeout_text.empty()
+            ? 3600.0
+            : parseDouble(timeout_text, "--timeout");
+
+    const serve::ClientResult result =
+        serve::socketWait(socket_path, name, timeout_s);
+    if (!result.ok)
+        die("wait: " + result.error);
+    for (const std::string &line : result.lines)
+        std::cout << line << "\n";
+    return stateOfLine(result.lines.back()) == "done" ? 0 : 1;
 }
 
 // ------------------------------------------------- metrics command
@@ -1189,6 +1350,10 @@ main(int argc, char **argv)
             return cmdBatch(args);
         if (cmd == "serve")
             return cmdServe(args);
+        if (cmd == "submit")
+            return cmdSubmit(args);
+        if (cmd == "wait")
+            return cmdWait(args);
         if (cmd == "metrics")
             return cmdMetrics(args);
         if (cmd == "profile")
