@@ -73,8 +73,21 @@ BatchRunner::run() const
 BatchResult
 BatchRunner::run(const BatchEnv &env) const
 {
+    // Cooperative cancellation: checked between phases here and at
+    // task boundaries inside them, so a cancelled run abandons its
+    // remaining work quickly but never tears a task in half.
+    const auto cancelled = [&env] {
+        return env.cancel && env.cancel();
+    };
+    const auto throwIfCancelled = [&](const char *where) {
+        if (cancelled())
+            throw CancelledError(std::string("batch cancelled ") +
+                                 where);
+    };
+
     BatchResult result;
     result.sweeps.resize(runners_.size());
+    throwIfCancelled("before phase 1");
 
     // Collect the distinct phase-1 tasks across every request.
     // fingerprint() covers exactly the simulation-determining state,
@@ -148,6 +161,8 @@ BatchRunner::run(const BatchEnv &env) const
         obs::ScopedTimerMs timer(obs::histogram("batch.sim_ms"));
         detail::runOn(env.pool, unique.size(), config_.threads,
                       [&](std::size_t i) {
+            if (cancelled())
+                return; // task boundary: abandon, don't tear
             for (const auto &dir : task_dirs[i]) {
                 if (auto cached =
                         stores.at(dir)->load(unique_keys[i])) {
@@ -164,6 +179,7 @@ BatchRunner::run(const BatchEnv &env) const
     }
     result.stats.sims_run = sims_run.load();
     result.stats.cache_hits = cache_hits.load();
+    throwIfCancelled("between phases");
 
     obs::counter("batch.requested_sims")
         .add(result.stats.requested_sims);
@@ -206,7 +222,8 @@ BatchRunner::run(const BatchEnv &env) const
         obs::TraceSpan span("batch.phase2_replay", "batch");
         obs::ScopedTimerMs timer(
             obs::histogram("batch.replay_ms"));
-        driver.run(config_.threads, env.pool);
+        driver.run(config_.threads, env.pool,
+                   env.cancel ? &env.cancel : nullptr);
     }
     return result;
 }

@@ -103,6 +103,16 @@ struct BatchEnv
 
     /** Runs both phases when set; config threads are ignored. */
     detail::ThreadPool *pool = nullptr;
+
+    /**
+     * Cooperative cancel hook (per-request deadline, daemon
+     * shutdown). Polled between phases and at every simulation /
+     * replay task boundary: once it returns true, pending tasks
+     * become no-ops, in-flight tasks finish, and run() throws
+     * CancelledError instead of returning a partial result. Must be
+     * callable from any pool thread.
+     */
+    std::function<bool()> cancel;
 };
 
 /**

@@ -196,12 +196,28 @@ detail::ReplayDriver::add(SweepResult &result,
 }
 
 void
-detail::ReplayDriver::run(unsigned threads, ThreadPool *pool)
+detail::ReplayDriver::run(unsigned threads, ThreadPool *pool,
+                          const std::function<bool()> *cancel)
 {
+    // Cooperative cancellation: polled at task boundaries only, so
+    // a task in flight always completes and the pool never sees a
+    // half-executed unit. Skipped tasks leave their cells stale —
+    // throwing below tells the caller to discard the result.
+    const auto cancelled = [cancel] {
+        return cancel && *cancel && (*cancel)();
+    };
+    const auto throwIfCancelled = [&] {
+        if (cancelled())
+            throw CancelledError(
+                "replay cancelled at a task boundary");
+    };
+
     // Pre-stage: construct the engines in parallel (each writes only
     // its own slot). Policy specs were validated by the runner
     // constructors, so construction cannot throw here.
     runOn(pool, jobs_.size(), threads, [&](std::size_t j) {
+        if (cancelled())
+            return;
         EngineJob &job = jobs_[j];
         replay::ReplayOptions options;
         options.chunk_intervals = job.chunk_intervals;
@@ -211,6 +227,7 @@ detail::ReplayDriver::run(unsigned threads, ThreadPool *pool)
             job.result->technologies, job.result->policy_keys,
             options);
     });
+    throwIfCancelled();
 
     // Kernel-vs-fallback coverage, read off the engines here so the
     // replay module itself stays free of the obs registry (and of
@@ -251,6 +268,8 @@ detail::ReplayDriver::run(unsigned threads, ThreadPool *pool)
         pieces.push_back({npos, i});
 
     runOn(pool, pieces.size(), threads, [&](std::size_t i) {
+        if (cancelled())
+            return;
         const Piece &piece = pieces[i];
         if (piece.job == npos)
             fillCell(*scalar_cells_[piece.task].first,
@@ -258,6 +277,7 @@ detail::ReplayDriver::run(unsigned threads, ThreadPool *pool)
         else
             jobs_[piece.job].engine->runTask(piece.task);
     });
+    throwIfCancelled();
 
     // Merge + scatter into cells; independent per job.
     runOn(pool, jobs_.size(), threads, [&](std::size_t j) {

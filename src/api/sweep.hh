@@ -21,9 +21,11 @@
 #define LSIM_API_SWEEP_HH
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <optional>
 #include <ostream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -33,6 +35,19 @@
 
 namespace lsim::api
 {
+
+/**
+ * Thrown by the batch/replay executors when a caller-supplied
+ * cancel hook reports true (request deadline exceeded, daemon
+ * stopping). Cooperative: polled between phases and at task
+ * boundaries, so in-flight tasks finish and thread pools drain
+ * cleanly — the work is abandoned, never the workers.
+ */
+class CancelledError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
 
 /** Declarative description of a sweep. */
 struct SweepConfig
@@ -232,8 +247,13 @@ class ReplayDriver
 
     /** Execute all registered phase-2 work; call once. A non-null
      * @p pool runs the fan-out on that persistent pool instead of
-     * spawning @p threads workers. */
-    void run(unsigned threads, ThreadPool *pool = nullptr);
+     * spawning @p threads workers. A non-null @p cancel is polled
+     * at every task boundary: pending tasks become no-ops once it
+     * returns true and run() throws CancelledError after the
+     * in-flight tasks drain — cells may then be partially filled,
+     * so the caller must discard the results. */
+    void run(unsigned threads, ThreadPool *pool = nullptr,
+             const std::function<bool()> *cancel = nullptr);
 
   private:
     struct EngineJob;

@@ -1,8 +1,8 @@
 #include "cache/cache.hh"
 
 #include <bit>
-
-#include "common/logging.hh"
+#include <stdexcept>
+#include <string>
 
 namespace lsim::cache
 {
@@ -17,14 +17,17 @@ void
 CacheConfig::validate() const
 {
     if (size_bytes == 0 || assoc == 0 || line_bytes == 0)
-        fatal("cache %s: zero geometry parameter", name.c_str());
+        throw std::invalid_argument("cache " + name +
+                                    ": zero geometry parameter");
     if (!std::has_single_bit(static_cast<std::uint64_t>(line_bytes)))
-        fatal("cache %s: line size %u not a power of two",
-              name.c_str(), line_bytes);
+        throw std::invalid_argument(
+            "cache " + name + ": line size " +
+            std::to_string(line_bytes) + " not a power of two");
     const std::uint64_t sets = numSets();
     if (sets == 0 || !std::has_single_bit(sets))
-        fatal("cache %s: set count %llu not a nonzero power of two",
-              name.c_str(), static_cast<unsigned long long>(sets));
+        throw std::invalid_argument(
+            "cache " + name + ": set count " + std::to_string(sets) +
+            " not a nonzero power of two");
 }
 
 Cache::Cache(const CacheConfig &config, Cache *next,

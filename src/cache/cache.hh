@@ -31,7 +31,8 @@ struct CacheConfig
     /** Number of sets implied by the geometry. */
     std::uint64_t numSets() const;
 
-    /** Validate: power-of-two sets/lines, nonzero sizes. */
+    /** Validate: power-of-two sets/lines, nonzero sizes. Throws
+     * std::invalid_argument on bad geometry. */
     void validate() const;
 };
 

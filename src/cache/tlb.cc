@@ -1,8 +1,8 @@
 #include "cache/tlb.hh"
 
 #include <bit>
-
-#include "common/logging.hh"
+#include <stdexcept>
+#include <string>
 
 namespace lsim::cache
 {
@@ -11,12 +11,17 @@ void
 TlbConfig::validate() const
 {
     if (entries == 0 || assoc == 0 || entries % assoc != 0)
-        fatal("tlb %s: entries (%u) must be a multiple of assoc (%u)",
-              name.c_str(), entries, assoc);
-    if (!std::has_single_bit(static_cast<std::uint64_t>(entries / assoc)))
-        fatal("tlb %s: set count not a power of two", name.c_str());
+        throw std::invalid_argument(
+            "tlb " + name + ": entries (" + std::to_string(entries) +
+            ") must be a multiple of assoc (" +
+            std::to_string(assoc) + ")");
+    if (!std::has_single_bit(
+            static_cast<std::uint64_t>(entries / assoc)))
+        throw std::invalid_argument(
+            "tlb " + name + ": set count not a power of two");
     if (!std::has_single_bit(page_bytes))
-        fatal("tlb %s: page size not a power of two", name.c_str());
+        throw std::invalid_argument(
+            "tlb " + name + ": page size not a power of two");
 }
 
 Tlb::Tlb(const TlbConfig &config)

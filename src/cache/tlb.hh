@@ -26,6 +26,7 @@ struct TlbConfig
     std::uint64_t page_bytes = 8 * 1024;
     Cycle miss_latency = 30;
 
+    /** Throws std::invalid_argument on bad geometry. */
     void validate() const;
 };
 

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Bounded retry with exponential backoff + jitter, for transient
+ * failures on shared resources (store writes, the index lock).
+ * The jitter decorrelates N daemons retrying against one store so a
+ * contended flush does not re-collide on every attempt; it is drawn
+ * from a process-local counter, not wall-clock state, and the
+ * deterministic subsystems (replay/sleep) never touch this header.
+ *
+ *     Backoff backoff(3, 2);           // 3 retries, 2 ms base
+ *     for (;;) {
+ *         if (tryTheThing())
+ *             break;
+ *         if (!backoff.next())         // sleeps ~2, ~4, ~8 ms
+ *             return reportFailure();  // budget exhausted
+ *     }
+ */
+
+#ifndef LSIM_COMMON_BACKOFF_HH
+#define LSIM_COMMON_BACKOFF_HH
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <thread>
+
+namespace lsim
+{
+
+class Backoff
+{
+  public:
+    /** @p retries sleeps of @p base_ms * 2^k plus jitter in
+     * [0, delay/2]. */
+    Backoff(unsigned retries, unsigned base_ms)
+        : retries_(retries), base_ms_(base_ms)
+    {
+        static std::atomic<std::uint64_t> salt{0};
+        seed_ = salt.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    /** Sleep for the next backoff delay. @return false (without
+     * sleeping) once the retry budget is exhausted. */
+    bool next()
+    {
+        if (used_ >= retries_)
+            return false;
+        const std::uint64_t delay_ms =
+            static_cast<std::uint64_t>(base_ms_) << used_;
+        ++used_;
+        std::this_thread::sleep_for(std::chrono::milliseconds(
+            delay_ms + jitter(delay_ms / 2)));
+        return true;
+    }
+
+    /** Retries consumed so far. */
+    unsigned used() const { return used_; }
+
+  private:
+    std::uint64_t jitter(std::uint64_t bound)
+    {
+        if (bound == 0)
+            return 0;
+        // splitmix64 step over the per-instance seed.
+        std::uint64_t z =
+            (seed_ += 0x9e3779b97f4a7c15ull + used_);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return (z ^ (z >> 31)) % (bound + 1);
+    }
+
+    unsigned retries_;
+    unsigned base_ms_;
+    unsigned used_ = 0;
+    std::uint64_t seed_;
+};
+
+} // namespace lsim
+
+#endif // LSIM_COMMON_BACKOFF_HH

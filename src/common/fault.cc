@@ -1,0 +1,291 @@
+#include "common/fault.hh"
+
+#include <cerrno>
+#include <cstdlib>
+#include <map>
+#include <stdexcept>
+#include <vector>
+
+#include "common/mutex.hh"
+#include "common/thread_annotations.hh"
+#include "obs/metrics.hh"
+
+namespace lsim::fault
+{
+
+namespace
+{
+
+/** One parsed trigger. `remaining` is mutated as it fires. */
+struct Trigger
+{
+    std::uint64_t after = 0;
+    std::uint64_t remaining = ~std::uint64_t{0}; ///< count budget
+    std::uint64_t every = 1;
+    double prob = 0.0; ///< 0 = unconditional
+    std::uint64_t seed = 0;
+    int error_code = EIO;
+};
+
+/** Per-point trigger list plus hit/fired accounting. */
+struct PointState
+{
+    std::vector<Trigger> triggers;
+    std::uint64_t hits = 0;
+    std::uint64_t fired = 0;
+};
+
+/** Registry guard. The slow path only runs while faults are armed
+ * (tests and chaos runs), so a plain mutex is plenty. */
+Mutex &
+registryMu()
+{
+    static Mutex mu;
+    return mu;
+}
+
+std::map<std::string, PointState> &
+registry()
+{
+    static std::map<std::string, PointState> points;
+    return points;
+}
+
+/** Stateless per-hit draw: same (seed, n) -> same value, so a prob
+ * schedule replays identically for a given hit sequence. */
+double
+drawUniform(std::uint64_t seed, std::uint64_t n)
+{
+    std::uint64_t z = seed + 0x9e3779b97f4a7c15ull * (n + 1);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    z ^= z >> 31;
+    return static_cast<double>(z >> 11) /
+           static_cast<double>(1ull << 53);
+}
+
+int
+errnoFromName(const std::string &name, const std::string &token)
+{
+    static const std::map<std::string, int> known = {
+        {"EIO", EIO},           {"ENOSPC", ENOSPC},
+        {"EACCES", EACCES},     {"EPIPE", EPIPE},
+        {"ECONNRESET", ECONNRESET}, {"EAGAIN", EAGAIN},
+        {"ETIMEDOUT", ETIMEDOUT},
+    };
+    const auto it = known.find(name);
+    if (it != known.end())
+        return it->second;
+    try {
+        std::size_t used = 0;
+        const int code = std::stoi(name, &used);
+        if (used == name.size() && code > 0)
+            return code;
+    } catch (const std::exception &) {
+        // fall through to the diagnostic
+    }
+    throw std::invalid_argument("fault spec '" + token +
+                                "': unknown error '" + name + "'");
+}
+
+std::uint64_t
+parseU64Value(const std::string &value, const std::string &token)
+{
+    try {
+        std::size_t used = 0;
+        const std::uint64_t n = std::stoull(value, &used);
+        if (used == value.size())
+            return n;
+    } catch (const std::exception &) {
+        // fall through
+    }
+    throw std::invalid_argument("fault spec '" + token +
+                                "': bad number '" + value + "'");
+}
+
+bool
+validPointName(const std::string &name)
+{
+    if (name.empty())
+        return false;
+    for (const char c : name) {
+        const bool ok = (c >= 'a' && c <= 'z') ||
+                        (c >= '0' && c <= '9') || c == '.' ||
+                        c == '_' || c == '-';
+        if (!ok)
+            return false;
+    }
+    return true;
+}
+
+/** Parse one "<point>:key=value:..." token into the registry. */
+void
+installOne(const std::string &token)
+{
+    std::vector<std::string> parts;
+    std::size_t start = 0;
+    for (;;) {
+        const std::size_t colon = token.find(':', start);
+        parts.push_back(token.substr(
+            start, colon == std::string::npos ? colon
+                                              : colon - start));
+        if (colon == std::string::npos)
+            break;
+        start = colon + 1;
+    }
+    const std::string point = parts.front();
+    if (!validPointName(point))
+        throw std::invalid_argument("fault spec '" + token +
+                                    "': bad point name '" + point +
+                                    "'");
+    Trigger trigger;
+    for (std::size_t i = 1; i < parts.size(); ++i) {
+        const std::string &kv = parts[i];
+        const std::size_t eq = kv.find('=');
+        if (eq == std::string::npos)
+            throw std::invalid_argument(
+                "fault spec '" + token + "': expected key=value, "
+                "got '" + kv + "'");
+        const std::string key = kv.substr(0, eq);
+        const std::string value = kv.substr(eq + 1);
+        if (key == "after") {
+            trigger.after = parseU64Value(value, token);
+        } else if (key == "count") {
+            trigger.remaining = parseU64Value(value, token);
+            if (trigger.remaining == 0)
+                throw std::invalid_argument(
+                    "fault spec '" + token + "': count must be > 0");
+        } else if (key == "every") {
+            trigger.every = parseU64Value(value, token);
+            if (trigger.every == 0)
+                throw std::invalid_argument(
+                    "fault spec '" + token + "': every must be > 0");
+        } else if (key == "prob") {
+            try {
+                std::size_t used = 0;
+                trigger.prob = std::stod(value, &used);
+                if (used != value.size())
+                    throw std::invalid_argument(value);
+            } catch (const std::exception &) {
+                throw std::invalid_argument(
+                    "fault spec '" + token + "': bad probability '" +
+                    value + "'");
+            }
+            if (trigger.prob <= 0.0 || trigger.prob > 1.0)
+                throw std::invalid_argument(
+                    "fault spec '" + token +
+                    "': prob must be in (0, 1]");
+        } else if (key == "seed") {
+            trigger.seed = parseU64Value(value, token);
+        } else if (key == "error") {
+            trigger.error_code = errnoFromName(value, token);
+        } else {
+            throw std::invalid_argument("fault spec '" + token +
+                                        "': unknown key '" + key +
+                                        "'");
+        }
+    }
+    registry()[point].triggers.push_back(trigger);
+}
+
+} // namespace
+
+namespace detail
+{
+
+std::atomic<bool> g_armed{false};
+
+bool
+shouldFail(const char *point, int *error_code)
+{
+    MutexLock lock(registryMu());
+    auto &points = registry();
+    auto it = points.find(point);
+    if (it == points.end()) {
+        // Unregistered points still count hits so tests can assert
+        // a site was reached even with no trigger on it.
+        points[point].hits += 1;
+        return false;
+    }
+    PointState &state = it->second;
+    state.hits += 1;
+    for (Trigger &trigger : state.triggers) {
+        if (trigger.remaining == 0)
+            continue;
+        if (state.hits <= trigger.after)
+            continue;
+        const std::uint64_t eligible = state.hits - trigger.after;
+        if (eligible % trigger.every != 0)
+            continue;
+        if (trigger.prob > 0.0 &&
+            drawUniform(trigger.seed, state.hits) >= trigger.prob)
+            continue;
+        if (trigger.remaining != ~std::uint64_t{0})
+            trigger.remaining -= 1;
+        state.fired += 1;
+        if (error_code)
+            *error_code = trigger.error_code;
+        obs::counter("fault.injected").add();
+        return true;
+    }
+    return false;
+}
+
+} // namespace detail
+
+void
+configure(const std::string &specs)
+{
+    // Validate-and-install token by token; a throw leaves earlier
+    // tokens installed, which configure()'s additive contract allows
+    // (callers treat any throw as fatal configuration anyway).
+    MutexLock lock(registryMu());
+    std::size_t start = 0;
+    bool installed = false;
+    while (start <= specs.size()) {
+        std::size_t end = specs.find_first_of(", \t\n", start);
+        if (end == std::string::npos)
+            end = specs.size();
+        if (end > start) {
+            installOne(specs.substr(start, end - start));
+            installed = true;
+        }
+        start = end + 1;
+    }
+    if (installed)
+        detail::g_armed.store(true, std::memory_order_relaxed);
+}
+
+void
+configureFromEnv()
+{
+    const char *env = std::getenv("LSIM_FAULTS");
+    if (env && *env)
+        configure(env);
+}
+
+void
+reset()
+{
+    MutexLock lock(registryMu());
+    registry().clear();
+    detail::g_armed.store(false, std::memory_order_relaxed);
+}
+
+std::uint64_t
+hits(const std::string &point)
+{
+    MutexLock lock(registryMu());
+    const auto it = registry().find(point);
+    return it == registry().end() ? 0 : it->second.hits;
+}
+
+std::uint64_t
+fired(const std::string &point)
+{
+    MutexLock lock(registryMu());
+    const auto it = registry().find(point);
+    return it == registry().end() ? 0 : it->second.fired;
+}
+
+} // namespace lsim::fault

@@ -12,6 +12,7 @@
 #include <fstream>
 #include <thread>
 
+#include "common/fault.hh"
 #include "common/logging.hh"
 
 namespace lsim
@@ -22,6 +23,12 @@ namespace fs = std::filesystem;
 bool
 atomicWriteFile(const std::string &path, const std::string &data)
 {
+    int injected = 0;
+    if (LSIM_FAULT_ERRNO("file.write", &injected)) {
+        warn("atomicWriteFile: cannot write '%s': %s [injected]",
+             path.c_str(), std::strerror(injected));
+        return false;
+    }
     // Unique temp name per process x call so concurrent writers
     // (threads or separate processes sharing a directory) never
     // collide; rename() within one directory is atomic on POSIX.
@@ -61,6 +68,12 @@ atomicWriteFile(const std::string &path, const std::string &data)
 std::optional<FileLock>
 FileLock::acquire(const std::string &path, unsigned timeout_ms)
 {
+    if (LSIM_FAULT("file.lock")) {
+        warn("FileLock: timed out after %u ms waiting for '%s' "
+             "[injected]",
+             timeout_ms, path.c_str());
+        return std::nullopt;
+    }
     const int fd =
         ::open(path.c_str(), O_CREAT | O_RDWR | O_CLOEXEC, 0666);
     if (fd < 0) {

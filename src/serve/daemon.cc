@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "api/batch.hh"
+#include "common/fault.hh"
 #include "common/files.hh"
 #include "common/json.hh"
 #include "common/logging.hh"
@@ -165,13 +166,17 @@ struct Daemon::Request
     }
 
     /** Atomically (re)write <result_dir>/status.json; @return the
-     * document written. */
+     * document written. A lost status write (injected or real) is
+     * survivable: the in-process completion board carries the same
+     * line to waiters, and disk pollers see the previous state. */
     std::string writeStatus(const char *state,
                             const std::string &error = "") const
     {
         std::string doc = statusJson(state, error);
-        atomicWriteFile(
-            (fs::path(result_dir) / kStatusFile).string(), doc);
+        if (!LSIM_FAULT("serve.status"))
+            atomicWriteFile(
+                (fs::path(result_dir) / kStatusFile).string(),
+                doc);
         return doc;
     }
 };
@@ -319,6 +324,9 @@ Daemon::admitSpool(const std::string &spec_name)
     const std::string stem = fs::path(spec_name).stem().string();
     if (queue_.live(stem))
         return; // a live request owns this name; retry next drain
+    if (LSIM_FAULT("serve.claim"))
+        return; // injected lost claim: spec survives for a later
+                // drain (or another daemon), exactly like a race
 
     Request req;
     req.spec_label = spec_name;
@@ -463,6 +471,8 @@ Daemon::submitRequest(const std::string &name,
     if (queue_.live(name))
         return reject("request name '" + name + "' is in use",
                       false);
+    if (LSIM_FAULT("serve.admit"))
+        return reject("injected admission fault", false);
 
     QueuedRequest qr;
     qr.name = name;
@@ -600,6 +610,19 @@ Daemon::failRequest(const QueuedRequest &req,
     r.started_at = started_at;
     r.total_ms = msSince(req.admitted);
     r.finished_at = obs::isoTimestampNow();
+    // `error` status guarantees no result files: remove anything a
+    // partially delivered (or prior same-named) run left behind, so
+    // a poller never pairs stale sweeps with a failed status.
+    {
+        std::error_code ec;
+        for (const auto &de :
+             fs::directory_iterator(r.result_dir, ec)) {
+            const std::string fname =
+                de.path().filename().string();
+            if (fname.rfind("sweep_", 0) == 0)
+                fs::remove(de.path(), ec);
+        }
+    }
     const std::string line = r.writeStatus("error", message);
     publishFinal(req.name, line);
     obs::counter("serve.requests_failed").add();
@@ -649,8 +672,33 @@ Daemon::execute(const QueuedRequest &qr)
         api::BatchEnv env;
         env.store = store_ ? &*store_ : nullptr;
         env.pool = &pool_;
+        if (config_.request_timeout_s > 0.0) {
+            // Per-request deadline: the batch layer polls this
+            // between phases and at task boundaries, so an expired
+            // request lands in `error` without tearing a task.
+            const auto deadline =
+                run_start +
+                std::chrono::duration_cast<
+                    std::chrono::steady_clock::duration>(
+                    std::chrono::duration<double>(
+                        config_.request_timeout_s));
+            env.cancel = [deadline] {
+                return std::chrono::steady_clock::now() >= deadline;
+            };
+        }
+        if (LSIM_FAULT("serve.execute"))
+            throw std::runtime_error("injected execute fault");
         result = runner.run(env);
         req.run_ms = msSince(run_start);
+    } catch (const api::CancelledError &) {
+        obs::counter("serve.deadline_exceeded").add();
+        const std::string message =
+            "deadline exceeded: request ran past " +
+            std::to_string(config_.request_timeout_s) + " s";
+        failRequest(qr, message, req.started_at);
+        for (const QueuedRequest &f : queue_.finish(qr.name))
+            failRequest(f, message, req.started_at);
+        return;
     } catch (const std::exception &err) {
         failRequest(qr, err.what(), req.started_at);
         for (const QueuedRequest &f : queue_.finish(qr.name))
@@ -677,7 +725,8 @@ Daemon::execute(const QueuedRequest &qr)
                 (fs::path(r.result_dir) /
                  ("sweep_" + std::to_string(i)))
                     .string();
-            if (!atomicWriteFile(stem_i + ".csv",
+            if (LSIM_FAULT("serve.deliver") ||
+                !atomicWriteFile(stem_i + ".csv",
                                  rendered[i].first) ||
                 !atomicWriteFile(stem_i + ".json",
                                  rendered[i].second)) {

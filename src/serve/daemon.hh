@@ -114,6 +114,15 @@ struct ServeConfig
      * 0 disables (requires a cache_dir). */
     double cache_ttl_seconds = 0.0;
 
+    /**
+     * Per-request execution deadline, seconds; 0 = none. Checked
+     * cooperatively between batch phases and at replay task
+     * boundaries, so an exceeded deadline lands the request in
+     * `error` status (partial work discarded, waiters woken) without
+     * tearing a task or wedging the pool.
+     */
+    double request_timeout_s = 0.0;
+
     /** Process the specs present at startup, then return. */
     bool once = false;
 

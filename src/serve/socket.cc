@@ -10,6 +10,7 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include "common/fault.hh"
 #include "common/json.hh"
 #include "common/logging.hh"
 #include "serve/daemon.hh"
@@ -34,6 +35,13 @@ constexpr std::size_t kMaxSpecBytes = 16 * 1024 * 1024;
 bool
 sendAll(int fd, const std::string &data)
 {
+    // Shared by daemon and clients, so one fault point covers every
+    // direction a write can break mid-stream.
+    int injected = 0;
+    if (LSIM_FAULT_ERRNO("socket.write", &injected)) {
+        errno = injected;
+        return false;
+    }
     std::size_t sent = 0;
     while (sent < data.size()) {
         const ssize_t n = ::send(fd, data.data() + sent,
@@ -58,6 +66,11 @@ sendLine(int fd, const std::string &line)
 bool
 recvExactly(int fd, std::size_t want, std::string *out)
 {
+    int injected = 0;
+    if (LSIM_FAULT_ERRNO("socket.read", &injected)) {
+        errno = injected;
+        return false;
+    }
     out->clear();
     out->reserve(want);
     char buf[4096];
@@ -82,6 +95,11 @@ recvExactly(int fd, std::size_t want, std::string *out)
 bool
 recvLine(int fd, std::string *out)
 {
+    int injected = 0;
+    if (LSIM_FAULT_ERRNO("socket.read", &injected)) {
+        errno = injected;
+        return false;
+    }
     out->clear();
     char c = 0;
     while (out->size() < kMaxHeaderBytes) {
@@ -264,6 +282,12 @@ SocketServer::acceptLoop()
             ::accept4(listen_fd_, nullptr, nullptr, SOCK_CLOEXEC);
         if (fd < 0)
             continue;
+        if (LSIM_FAULT("socket.accept")) {
+            // Injected accept failure: drop the connection exactly
+            // as a transient accept4() error would.
+            ::close(fd);
+            continue;
+        }
         auto done = std::make_shared<std::atomic<bool>>(false);
         Connection conn;
         conn.fd = fd;

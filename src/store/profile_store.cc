@@ -9,8 +9,11 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "common/backoff.hh"
+#include "common/fault.hh"
 #include "common/files.hh"
 #include "common/logging.hh"
+#include "obs/metrics.hh"
 
 namespace lsim::store
 {
@@ -21,6 +24,12 @@ namespace
 {
 
 constexpr char kMagic[8] = {'L', 'S', 'I', 'M', 'P', 'R', 'O', 'F'};
+
+/** Entry-write retry budget: transient failures (a brief ENOSPC, an
+ * injected fault) resolve within a couple of short sleeps; anything
+ * longer-lived degrades the instance instead of stalling sweeps. */
+constexpr unsigned kSaveRetries = 2;
+constexpr unsigned kSaveBackoffBaseMs = 1;
 
 } // namespace
 
@@ -268,13 +277,16 @@ ProfileStore::pathFor(const std::string &key) const
 }
 
 std::optional<harness::WorkloadSim>
-ProfileStore::loadEntry(const std::string &key) const
+ProfileStore::loadEntry(const std::string &key,
+                        bool *corrupt) const
 {
     const std::string path = pathFor(key);
     std::ifstream in(path, std::ios::binary);
     if (!in)
         return std::nullopt; // plain miss, not worth a warning
     try {
+        if (LSIM_FAULT("store.read"))
+            throw StoreError(path + ": injected read fault");
         ImportedSim entry = readEntry(in, path);
         if (entry.key != key)
             throw StoreError(path + ": embedded key '" + entry.key +
@@ -282,14 +294,37 @@ ProfileStore::loadEntry(const std::string &key) const
         return std::move(entry.sim);
     } catch (const StoreError &err) {
         warn("profile store: %s; re-simulating", err.what());
+        if (corrupt)
+            *corrupt = true;
         return std::nullopt;
     }
+}
+
+void
+ProfileStore::quarantineLocked(const std::string &key,
+                               const std::string &why) const
+{
+    const fs::path dir = fs::path(dir_) / kQuarantineDir;
+    std::error_code ec;
+    fs::create_directories(dir, ec);
+    if (!ec)
+        fs::rename(pathFor(key), dir / (key + kExtension), ec);
+    if (ec) {
+        // Unmovable (read-only dir?): delete rather than leave a
+        // poison pill that re-warns on every future hit.
+        fs::remove(pathFor(key), ec);
+    }
+    index_dirty_ |= index_.erase(key);
+    obs::counter("store.quarantined").add();
+    warn("profile store: quarantined entry '%s' (%s)", key.c_str(),
+         why.c_str());
 }
 
 std::optional<harness::WorkloadSim>
 ProfileStore::load(const std::string &key) const
 {
-    auto sim = loadEntry(key);
+    bool corrupt = false;
+    auto sim = loadEntry(key, &corrupt);
     if (sim) {
         // A hit is a use: refresh the LRU signal so gc() never
         // evicts what a warm daemon is actively serving. In memory
@@ -301,19 +336,51 @@ ProfileStore::load(const std::string &key) const
             index_.touch(key, StoreIndex::now());
             index_dirty_ = true;
         }
+    } else if (corrupt) {
+        MutexLock lock(index_mu_);
+        quarantineLocked(key, "failed checksum/version on load");
     }
     return sim;
+}
+
+void
+ProfileStore::markDegraded(const std::string &why) const
+{
+    if (degraded_.exchange(true))
+        return;
+    obs::gauge("store.degraded").set(1);
+    warn("profile store: %s; degrading '%s' to compute-without-"
+         "cache (reads still served, writes disabled for this "
+         "instance)",
+         why.c_str(), dir_.c_str());
 }
 
 void
 ProfileStore::save(const std::string &key,
                    const harness::WorkloadSim &sim) const
 {
+    if (degraded_.load(std::memory_order_relaxed))
+        return; // compute-without-cache: the result is still used
     std::ostringstream ss;
     writeEntry(ss, key, sim);
     const std::string bytes = ss.str();
-    if (!atomicWriteFile(pathFor(key), bytes))
+    bool written = false;
+    Backoff backoff(kSaveRetries, kSaveBackoffBaseMs);
+    for (;;) {
+        if (!LSIM_FAULT("store.write") &&
+            atomicWriteFile(pathFor(key), bytes)) {
+            written = true;
+            break;
+        }
+        if (!backoff.next())
+            break;
+        obs::counter("store.retries").add();
+    }
+    if (!written) {
+        markDegraded("cannot write entry '" + key + "' after " +
+                     std::to_string(kSaveRetries) + " retries");
         return;
+    }
     MutexLock lock(index_mu_);
     index_.put(key, indexEntryFor(sim, bytes.size(),
                                   StoreIndex::now()));
@@ -330,8 +397,13 @@ ProfileStore::list() const
             de.path().extension() != kExtension)
             continue;
         const std::string key = de.path().stem().string();
-        if (auto sim = loadEntry(key))
+        bool corrupt = false;
+        if (auto sim = loadEntry(key, &corrupt)) {
             out.push_back({key, std::move(*sim)});
+        } else if (corrupt) {
+            MutexLock lock(index_mu_);
+            quarantineLocked(key, "failed checksum/version on list");
+        }
     }
     std::sort(out.begin(), out.end(),
               [](const StoreEntry &a, const StoreEntry &b) {
@@ -358,9 +430,14 @@ ProfileStore::summaries() const
         }
         // Unindexed (pre-index store, or a lost concurrent-writer
         // race): one full read adopts it into the index.
-        const auto sim = loadEntry(key);
-        if (!sim)
+        bool corrupt = false;
+        const auto sim = loadEntry(key, &corrupt);
+        if (!sim) {
+            if (corrupt)
+                quarantineLocked(
+                    key, "failed checksum/version on summaries");
             continue; // unreadable; loadEntry() warned
+        }
         std::error_code ec;
         const std::uint64_t bytes = de.file_size(ec);
         auto mtime = fs::last_write_time(de.path(), ec);
@@ -492,7 +569,8 @@ exportSim(const std::string &path, const std::string &key,
     // in a watched directory must never be readable half-written.
     std::ostringstream ss;
     writeEntry(ss, key, sim);
-    if (!atomicWriteFile(path, ss.str()))
+    if (LSIM_FAULT("store.export") ||
+        !atomicWriteFile(path, ss.str()))
         throw StoreError("cannot write '" + path + "'");
 }
 

@@ -22,13 +22,24 @@
  * winning — both files carried identical bytes.
  *
  * Load failures (corruption, truncation, version mismatch) are
- * reported as a miss and warn()ed, never trusted: the caller
- * re-simulates and overwrites the bad entry.
+ * reported as a miss and warn()ed, never trusted — and the bad
+ * entry is moved to <dir>/quarantine/ (index row erased) so it is
+ * inspected at most once instead of being re-read and re-warned on
+ * every hit. The caller re-simulates; the fresh save overwrites
+ * nothing (the poisoned file is gone from the key's path).
+ *
+ * Failure hardening: save() retries transient write failures with
+ * bounded exponential backoff + jitter (`store.retries` counts
+ * them); when the directory stays unwritable (read-only, disk
+ * full), the instance degrades to compute-without-cache — loads
+ * still serve hits, writes become no-ops — instead of failing
+ * requests (`store.degraded` gauge, warn()ed once).
  */
 
 #ifndef LSIM_STORE_PROFILE_STORE_HH
 #define LSIM_STORE_PROFILE_STORE_HH
 
+#include <atomic>
 #include <cstdint>
 #include <optional>
 #include <string>
@@ -103,6 +114,9 @@ class ProfileStore
     /** Filename extension of store entries (includes the dot). */
     static constexpr const char *kExtension = ".lsimprof";
 
+    /** Subdirectory entries failing checksum/version move into. */
+    static constexpr const char *kQuarantineDir = "quarantine";
+
     /**
      * @param dir Cache directory; created (with parents) when
      * missing. Throws std::invalid_argument when the path exists but
@@ -119,18 +133,34 @@ class ProfileStore
     /**
      * Fetch the entry stored under @p key. Returns std::nullopt —
      * after a warn() — when the entry is absent, truncated,
-     * corrupted, or written by a different format version. A hit
-     * refreshes the key's index touch-time (the gc LRU signal) in
-     * memory; the index file is persisted lazily — by the next
-     * mutating call (save/remove/gc/summaries) or the destructor —
-     * so the warm path never pays a whole-index rewrite per hit.
+     * corrupted, or written by a different format version; a
+     * corrupt entry is additionally quarantined (moved under
+     * <dir>/quarantine/, index row erased) so it never warns twice.
+     * A hit refreshes the key's index touch-time (the gc LRU
+     * signal) in memory; the index file is persisted lazily — by
+     * the next mutating call (save/remove/gc/summaries) or the
+     * destructor — so the warm path never pays a whole-index
+     * rewrite per hit.
      */
     std::optional<harness::WorkloadSim>
     load(const std::string &key) const;
 
-    /** Atomically persist @p sim under @p key (index updated). */
+    /**
+     * Atomically persist @p sim under @p key (index updated).
+     * Transient write failures retry with bounded backoff; a
+     * persistent failure flips the instance into degraded
+     * (compute-without-cache) mode and the save becomes a no-op.
+     */
     void save(const std::string &key,
               const harness::WorkloadSim &sim) const;
+
+    /** True once a persistent write failure disabled caching for
+     * this instance (reads still work). Sticky for the instance's
+     * lifetime; a fresh instance probes the directory again. */
+    bool degraded() const
+    {
+        return degraded_.load(std::memory_order_relaxed);
+    }
 
     /** All readable entries, sorted by key; unreadable files warn. */
     std::vector<StoreEntry> list() const;
@@ -193,9 +223,23 @@ class ProfileStore
   private:
     std::string pathFor(const std::string &key) const;
 
-    /** load() minus the index touch (for internal bulk walks). */
+    /** load() minus the index touch (for internal bulk walks).
+     * @p corrupt, when non-null, is set when the miss was a
+     * corrupted entry (vs simply absent) — the caller quarantines
+     * it under the index lock. */
     std::optional<harness::WorkloadSim>
-    loadEntry(const std::string &key) const;
+    loadEntry(const std::string &key,
+              bool *corrupt = nullptr) const;
+
+    /** Move @p key's entry file into quarantine/ and erase its
+     * index row; warns with @p why. At most one warn per entry:
+     * after the move the key's path is simply absent. */
+    void quarantineLocked(const std::string &key,
+                          const std::string &why) const
+        REQUIRES(index_mu_);
+
+    /** Flip into compute-without-cache mode (first call warns). */
+    void markDegraded(const std::string &why) const;
 
     /** Persist the index iff a deferred update is pending. */
     void flushIndexLocked() const REQUIRES(index_mu_);
@@ -210,6 +254,10 @@ class ProfileStore
     mutable Mutex index_mu_;
     mutable StoreIndex index_ GUARDED_BY(index_mu_);
     mutable bool index_dirty_ GUARDED_BY(index_mu_) = false;
+
+    /** Compute-without-cache switch; atomic so pool threads read it
+     * without the index lock. */
+    mutable std::atomic<bool> degraded_{false};
 };
 
 /**

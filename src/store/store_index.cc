@@ -1,15 +1,19 @@
 #include "store/store_index.hh"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <limits>
 #include <sstream>
 
+#include "common/backoff.hh"
+#include "common/fault.hh"
 #include "common/files.hh"
 #include "common/json.hh"
 #include "common/logging.hh"
+#include "obs/metrics.hh"
 
 namespace lsim::store
 {
@@ -23,10 +27,35 @@ namespace
 constexpr std::uint32_t kIndexVersion = 2;
 constexpr std::uint32_t kIndexVersionNoGeneration = 1;
 
-/** How long a flush waits for index.lock before degrading to a
- * last-writer-wins write. Holders keep the lock for one small-file
- * read + rewrite, so timing out means something is badly wedged. */
-constexpr unsigned kLockTimeoutMs = 10'000;
+/** How long one flush attempt waits for index.lock. Holders keep
+ * the lock for one small-file read + rewrite, so timing out means
+ * contention or a wedged holder; the flush retries with backoff
+ * (kLockRetries extra attempts) before degrading to a
+ * last-writer-wins write. */
+constexpr unsigned kLockTimeoutMs = 2'000;
+constexpr unsigned kLockRetries = 3;
+constexpr unsigned kLockBackoffBaseMs = 2;
+
+/**
+ * Acquire the index lock with bounded retry + backoff. Transient
+ * contention (another daemon mid-flush) resolves on a later
+ * attempt; each retry bumps `store.retries`. The fault point
+ * simulates an acquisition timeout per attempt.
+ */
+std::optional<FileLock>
+acquireIndexLock(const std::string &path)
+{
+    Backoff backoff(kLockRetries, kLockBackoffBaseMs);
+    for (;;) {
+        if (!LSIM_FAULT("store.index.lock")) {
+            if (auto lock = FileLock::acquire(path, kLockTimeoutMs))
+                return lock;
+        }
+        if (!backoff.next())
+            return std::nullopt;
+        obs::counter("store.retries").add();
+    }
+}
 
 /** Parse one index row; throws std::invalid_argument on shape
  * errors (the caller treats any throw as "index unusable"). */
@@ -150,7 +179,7 @@ StoreIndex::save()
     // Serialize flushes across every process (and instance) sharing
     // the directory; within the lock the cycle is read-merge-write,
     // so no writer ever overwrites another's updates.
-    auto lock = FileLock::acquire(lockPath(), kLockTimeoutMs);
+    auto lock = acquireIndexLock(lockPath());
     std::map<std::string, IndexEntry> merged;
     std::uint64_t disk_generation = 0;
     if (lock) {
@@ -159,7 +188,16 @@ StoreIndex::save()
         // Degraded mode: we could not serialize, so fall back to
         // writing our local view (the pre-protocol behavior). The
         // index is an accelerator — a lost concurrent update is
-        // re-derived on demand, never wrong.
+        // re-derived on demand, never wrong. Loud once per process,
+        // counted always: silent last-writer-wins hid real
+        // contention problems.
+        static std::atomic<bool> logged{false};
+        if (!logged.exchange(true))
+            warn("profile store: index lock '%s' timed out after "
+                 "%u attempt(s); flushing last-writer-wins (logged "
+                 "once per process; see store.lock_timeouts)",
+                 lockPath().c_str(), kLockRetries + 1);
+        obs::counter("store.lock_timeouts").add();
         merged = entries_;
         disk_generation = generation_;
     }
@@ -205,7 +243,8 @@ StoreIndex::save()
     w.endArray();
     w.endObject();
     ss << "\n";
-    if (!atomicWriteFile(path(), ss.str()))
+    if (LSIM_FAULT("store.index.write") ||
+        !atomicWriteFile(path(), ss.str()))
         return false;
 
     // Adopt the merged image: entries other writers added become

@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 #include "cache/cache.hh"
 
 namespace
@@ -38,20 +40,17 @@ TEST(CacheConfig, GeometryDerivation)
     EXPECT_EQ(l2.numSets(), 2048u);
 }
 
-TEST(CacheConfigDeath, Validation)
+TEST(CacheConfig, Validation)
 {
     CacheConfig bad = smallConfig();
     bad.line_bytes = 48;
-    EXPECT_EXIT(bad.validate(), ::testing::ExitedWithCode(1),
-                "power of two");
+    EXPECT_THROW(bad.validate(), std::invalid_argument);
     CacheConfig bad2 = smallConfig();
     bad2.size_bytes = 0;
-    EXPECT_EXIT(bad2.validate(), ::testing::ExitedWithCode(1),
-                "zero geometry");
+    EXPECT_THROW(bad2.validate(), std::invalid_argument);
     CacheConfig bad3 = smallConfig();
     bad3.size_bytes = 384; // 3 sets
-    EXPECT_EXIT(bad3.validate(), ::testing::ExitedWithCode(1),
-                "set count");
+    EXPECT_THROW(bad3.validate(), std::invalid_argument);
 }
 
 TEST(Cache, ColdMissThenHit)

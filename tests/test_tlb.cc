@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 #include "cache/tlb.hh"
 
 namespace
@@ -67,20 +69,17 @@ TEST(Tlb, MissRate)
     EXPECT_DOUBLE_EQ(t.stats().missRate(), 0.5);
 }
 
-TEST(TlbDeath, Validation)
+TEST(TlbConfig, Validation)
 {
     TlbConfig bad = smallConfig();
     bad.entries = 6; // 3 sets
-    EXPECT_EXIT(bad.validate(), ::testing::ExitedWithCode(1),
-                "power of two");
+    EXPECT_THROW(bad.validate(), std::invalid_argument);
     TlbConfig bad2 = smallConfig();
     bad2.assoc = 3;
-    EXPECT_EXIT(bad2.validate(), ::testing::ExitedWithCode(1),
-                "multiple");
+    EXPECT_THROW(bad2.validate(), std::invalid_argument);
     TlbConfig bad3 = smallConfig();
     bad3.page_bytes = 5000;
-    EXPECT_EXIT(bad3.validate(), ::testing::ExitedWithCode(1),
-                "page size");
+    EXPECT_THROW(bad3.validate(), std::invalid_argument);
 }
 
 } // namespace

@@ -34,6 +34,20 @@ otherwise live only in comments and review memory:
                   never #pragma once, so a moved header cannot
                   silently shadow another.
 
+  fault-point     Every I/O call site in the serve/store tier
+                  (atomicWriteFile, FileLock::acquire, raw socket
+                  recv/send/accept4 under src/store and src/serve)
+                  must sit in the shadow of a registered LSIM_FAULT
+                  point, so the fault-injection layer's coverage of
+                  failure domains stays complete by construction —
+                  new I/O cannot land without deciding how it fails.
+
+  fault-macro     Fault points are consulted only through the
+                  LSIM_FAULT / LSIM_FAULT_ERRNO macros; calling
+                  fault::detail::shouldFail directly bypasses the
+                  armed() fast path that keeps disabled runs at a
+                  single relaxed atomic load.
+
   determinism     Replay and kernel code (src/replay, src/sleep) is
                   bit-reproducible by contract: no rand()/srand(),
                   no std::random_device, no wall-clock reads.
@@ -252,6 +266,43 @@ class Linter:
                         f"#ifndef {expected} without a matching "
                         "#define")
 
+    # ----------------------------------------------- rule: fault-point
+
+    FAULT_IO_PATTERN = re.compile(
+        r"\batomicWriteFile\s*\(|\bFileLock\s*::\s*acquire\b"
+        r"|::recv\s*\(|::send\s*\(|::accept4\s*\(")
+
+    # An LSIM_FAULT check must appear this many lines (or fewer)
+    # before the I/O call it guards; a few lines after also count,
+    # for sites (accept4) where the fault decision needs the fd.
+    FAULT_WINDOW_BEFORE = 25
+    FAULT_WINDOW_AFTER = 5
+
+    def check_fault_points(self, path, code):
+        lines = code.split("\n")
+        for m in self.FAULT_IO_PATTERN.finditer(code):
+            line = line_of(code, m.start())
+            lo = max(0, line - 1 - self.FAULT_WINDOW_BEFORE)
+            hi = min(len(lines), line + self.FAULT_WINDOW_AFTER)
+            if "LSIM_FAULT" in "\n".join(lines[lo:hi]):
+                continue
+            call = m.group(0).rstrip("(").strip()
+            self.report(
+                path, line, "fault-point",
+                f"I/O call '{call}' has no LSIM_FAULT point within "
+                f"{self.FAULT_WINDOW_BEFORE} preceding lines; "
+                "register a named fault point (common/fault.hh) so "
+                "the chaos suite can reach this failure path")
+
+    def check_fault_macro(self, path, code):
+        for m in re.finditer(r"\bdetail\s*::\s*shouldFail\s*\(",
+                             code):
+            self.report(
+                path, line_of(code, m.start()), "fault-macro",
+                "direct fault::detail::shouldFail call; go through "
+                "LSIM_FAULT / LSIM_FAULT_ERRNO so disabled runs keep "
+                "the single-atomic-load fast path")
+
     # ----------------------------------------------- rule: determinism
 
     DETERMINISM_PATTERNS = [
@@ -340,6 +391,11 @@ def main():
             linter.check_include_guard(path, code, text)
         if rel.startswith(("src/replay/", "src/sleep/")):
             linter.check_determinism(path, code)
+        if (rel.startswith(("src/store/", "src/serve/"))
+                and path.suffix == ".cc"):
+            linter.check_fault_points(path, code)
+        if not rel.startswith("src/common/fault"):
+            linter.check_fault_macro(path, code)
 
     for path in sorted(REPO.glob("bench/**/*")) + sorted(
             REPO.glob("tools/**/*")):

@@ -30,6 +30,7 @@
 #include "api/experiment.hh"
 #include "api/sweep.hh"
 #include "circuit/fu_circuit.hh"
+#include "common/fault.hh"
 #include "common/json.hh"
 #include "common/logging.hh"
 #include "common/table.hh"
@@ -69,6 +70,7 @@ struct CommandSpec
     std::size_t max_positionals; ///< operands beyond this are errors
     const char *help;
     std::vector<FlagSpec> flags;
+    const char *epilog = nullptr; ///< extra --help text (exit codes)
 };
 
 /** Exit-worthy user error: print, show usage hint, exit 2. */
@@ -336,6 +338,13 @@ commands()
           {"poll-ms", "N", "spool scan interval (default 500)"},
           {"once", nullptr,
            "process the specs currently spooled, then exit"},
+          {"request-timeout", "SECS",
+           "per-request execution deadline; an exceeded request "
+           "finishes in error status (default: none)"},
+          {"faults", "SPECS",
+           "install deterministic fault triggers, e.g. "
+           "'store.write:after=3:error=EIO' (same grammar as "
+           "LSIM_FAULTS; see README)"},
           {"trace", "FILE",
            "write Chrome-trace-format spans here (also via "
            "LSIM_TRACE=FILE)"},
@@ -353,14 +362,22 @@ commands()
            "status line too"},
           {"timeout", "SECS",
            "wait budget in seconds (default 3600)"},
-          kHelpFlag}},
+          kHelpFlag},
+         "exit status: 0 admitted (with --wait: finished done), "
+         "2 finished\nerror (incl. deadline exceeded), 3 rejected "
+         "at admission, 1 unreadable\nresponse; the failure detail "
+         "is echoed on stderr"},
         {"wait", "<name>", 1,
          "block until a submitted request reaches done/error",
          {{"socket", "PATH",
            "daemon request socket (<spool>/lsim.sock)"},
           {"timeout", "SECS",
            "wait budget in seconds (default 3600)"},
-          kHelpFlag}},
+          kHelpFlag},
+         "exit status: 0 finished done, 2 finished error (incl. "
+         "deadline\nexceeded or wait timeout), 3 rejected at "
+         "admission, 1 unreadable\nresponse; the failure detail is "
+         "echoed on stderr"},
         {"metrics", "<spool>", 1,
          "pretty-print a serve daemon's metrics.json",
          {{"json", nullptr, "print the raw JSON document instead"},
@@ -421,6 +438,8 @@ printCommandHelp(const CommandSpec &spec)
             head.size() < 24 ? 24 - head.size() : 1, ' ');
         std::cout << head << f.help << "\n";
     }
+    if (spec.epilog)
+        std::cout << "\n" << spec.epilog << "\n";
 }
 
 // ---------------------------------------------------------- commands
@@ -1085,6 +1104,17 @@ cmdServe(const Args &args)
         cfg.cache_ttl_seconds =
             parseDuration(cache_ttl_text, "--cache-ttl");
     }
+    const std::string request_timeout_text =
+        args.flagOrPositional("request-timeout", ~std::size_t{0});
+    if (!request_timeout_text.empty())
+        cfg.request_timeout_s = parseDouble(request_timeout_text,
+                                            "--request-timeout");
+    // Additive with LSIM_FAULTS (already installed by main), so a
+    // wrapper script's environment and a flag can compose.
+    const std::string faults_text =
+        args.flagOrPositional("faults", ~std::size_t{0});
+    if (!faults_text.empty())
+        fault::configure(faults_text);
 
     // --trace complements the LSIM_TRACE environment variable (main
     // already consulted the latter); the flag wins when both are set.
@@ -1133,15 +1163,36 @@ cmdServe(const Args &args)
 
 // -------------------------------------------- submit/wait commands
 
-/** "state" of a status-shaped response line; "" when unparsable. */
-std::string
-stateOfLine(const std::string &line)
+/**
+ * Map the daemon's final status line to the documented exit code —
+ * 0 done/queued, 2 error, 3 rejected, 1 unreadable — and echo the
+ * failure detail (the status line's "error" field) on stderr so
+ * scripts get a human-readable reason without parsing JSON.
+ */
+int
+exitCodeForLine(const std::string &line, const char *cmd_name)
 {
+    std::string state, detail;
     try {
-        return parseJson(line).at("state").asString();
+        const JsonValue doc = parseJson(line);
+        state = doc.at("state").asString();
+        if (const JsonValue *e = doc.find("error"))
+            detail = e->asString();
     } catch (const std::exception &) {
-        return "";
+        std::cerr << "lsim: " << cmd_name
+                  << ": unreadable response: " << line << "\n";
+        return 1;
     }
+    if (state == "done" || state == "queued")
+        return 0;
+    if (!detail.empty())
+        std::cerr << "lsim: " << cmd_name << ": " << state << ": "
+                  << detail << "\n";
+    if (state == "error")
+        return 2;
+    if (state == "rejected")
+        return 3;
+    return 1;
 }
 
 /**
@@ -1192,10 +1243,7 @@ cmdSubmit(const Args &args)
         die("submit: " + result.error);
     for (const std::string &line : result.lines)
         std::cout << line << "\n";
-    const std::string final_state = stateOfLine(result.lines.back());
-    if (wait)
-        return final_state == "done" ? 0 : 1;
-    return final_state == "queued" ? 0 : 1;
+    return exitCodeForLine(result.lines.back(), "submit");
 }
 
 /** Socket client: block until <name> is terminal on the daemon. */
@@ -1223,7 +1271,7 @@ cmdWait(const Args &args)
         die("wait: " + result.error);
     for (const std::string &line : result.lines)
         std::cout << line << "\n";
-    return stateOfLine(result.lines.back()) == "done" ? 0 : 1;
+    return exitCodeForLine(result.lines.back(), "wait");
 }
 
 // ------------------------------------------------- metrics command
@@ -1299,6 +1347,14 @@ int
 main(int argc, char **argv)
 {
     setInformEnabled(false);
+
+    // LSIM_FAULTS installs deterministic fault triggers for any
+    // command (grammar in src/common/fault.hh); free when unset.
+    try {
+        fault::configureFromEnv();
+    } catch (const std::exception &err) {
+        die(std::string("bad LSIM_FAULTS: ") + err.what());
+    }
 
     // LSIM_TRACE=out.json enables span collection for any command;
     // the flusher writes the trace on every normal return path.
