@@ -6,7 +6,6 @@
 #include "api/parallel.hh"
 #include "common/csv.hh"
 #include "common/json.hh"
-#include "common/logging.hh"
 #include "harness/report.hh"
 #include "obs/metrics.hh"
 #include "replay/engine.hh"
@@ -51,10 +50,11 @@ SweepResult::averagesAt(std::size_t technology) const
             if (r.name == "NoOverhead")
                 no_overhead = r.energy;
         if (no_overhead <= 0.0)
-            fatal("SweepResult::averagesAt: needs a positive "
-                  "NoOverhead energy for '%s' (include the "
-                  "'no-overhead' policy)",
-                  workloads[w].c_str());
+            throw std::invalid_argument(
+                "SweepResult::averagesAt: needs a positive "
+                "NoOverhead energy for '" +
+                workloads[w] +
+                "' (include the 'no-overhead' policy)");
         if (first) {
             for (const auto &r : results) {
                 avg.names.push_back(r.name);

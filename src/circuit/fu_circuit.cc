@@ -1,6 +1,7 @@
 #include "circuit/fu_circuit.hh"
 
-#include "common/logging.hh"
+#include <stdexcept>
+#include <string>
 
 namespace lsim::circuit
 {
@@ -15,8 +16,10 @@ FunctionalUnitCircuit::FunctionalUnitCircuit(const Technology &tech,
     : gate_(tech, DominoStyle::DualVtSleep), shape_(shape)
 {
     if (shape_.rows == 0 || shape_.cascade_depth == 0)
-        fatal("FunctionalUnitCircuit: degenerate shape %ux%u",
-              shape_.rows, shape_.cascade_depth);
+        throw std::invalid_argument(
+            "FunctionalUnitCircuit: degenerate shape " +
+            std::to_string(shape_.rows) + "x" +
+            std::to_string(shape_.cascade_depth));
 }
 
 FemtoJoule

@@ -1,0 +1,54 @@
+// Analyzer fixture: blocking primitives reached while a mutex is
+// held — once directly (a recv(2) syscall) and once transitively
+// (a helper that ends in atomicWriteFile).
+//
+// NOT compiled (the test glob is non-recursive); consumed by
+// tools/analyze/analyze.py --selftest.
+//
+// EXPECT-FINDING: blocking-under-lock
+// EXPECT-FINDING: blocking-under-lock
+
+#include <string>
+
+#include "common/files.hh"
+#include "common/mutex.hh"
+
+namespace fx
+{
+
+using lsim::Mutex;
+using lsim::MutexLock;
+
+class Pump
+{
+  public:
+    void drain(int fd);
+    void persist();
+
+  private:
+    void writeSide();
+
+    Mutex mu_;
+    char buf_[64] = {};
+    std::string path_;
+    std::string data_;
+};
+
+void Pump::drain(int fd)
+{
+    MutexLock lock(mu_);
+    ::recv(fd, buf_, sizeof(buf_), 0); // parks the thread under mu_
+}
+
+void Pump::persist()
+{
+    MutexLock lock(mu_);
+    writeSide(); // blocks transitively through the helper
+}
+
+void Pump::writeSide()
+{
+    lsim::atomicWriteFile(path_, data_);
+}
+
+} // namespace fx

@@ -1,0 +1,71 @@
+// Analyzer fixture: a correctly-locked translation unit. Exercises
+// the safe patterns the real tree relies on — scoped snapshot blocks
+// that release the guard before blocking I/O (obs::MetricsRegistry::
+// exportFile, obs::TraceSession::flush), condition-variable waits
+// (which park with the lock released), and consistent nesting. The
+// analyzer must report nothing here.
+//
+// NOT compiled (the test glob is non-recursive); consumed by
+// tools/analyze/analyze.py --selftest.
+
+#include <string>
+
+#include "common/files.hh"
+#include "common/mutex.hh"
+
+namespace fx
+{
+
+using lsim::CondVar;
+using lsim::Mutex;
+using lsim::MutexLock;
+
+class Journal
+{
+  public:
+    void append(int v);
+    void flush();
+    int waitNonEmpty();
+    int total();
+
+  private:
+    Mutex mu_;
+    CondVar cv_;
+    int pending_ GUARDED_BY(mu_) = 0;
+    std::string path_;
+};
+
+void Journal::append(int v)
+{
+    MutexLock lock(mu_);
+    pending_ += v;
+    cv_.notify_all();
+}
+
+void Journal::flush()
+{
+    int snapshot = 0;
+    {
+        MutexLock lock(mu_);
+        snapshot = pending_;
+        pending_ = 0;
+    } // guard released here — the write below runs unlocked
+    lsim::atomicWriteFile(path_, std::to_string(snapshot));
+}
+
+int Journal::waitNonEmpty()
+{
+    MutexLock lock(mu_);
+    while (pending_ == 0) {
+        cv_.wait(lock); // parks with mu_ released: not a finding
+    }
+    return pending_;
+}
+
+int Journal::total()
+{
+    MutexLock lock(mu_);
+    return pending_; // by value: a copy, not an escape
+}
+
+} // namespace fx

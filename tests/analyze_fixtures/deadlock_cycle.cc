@@ -1,0 +1,53 @@
+// Analyzer fixture: classic AB/BA lock-order inversion, one leg
+// direct and one leg hidden behind a call, so the cycle only shows
+// up after cross-function acquisition sets propagate.
+//
+// NOT compiled (the test glob is non-recursive); consumed by
+// tools/analyze/analyze.py --selftest.
+//
+// EXPECT-FINDING: deadlock-cycle
+
+#include "common/mutex.hh"
+
+namespace fx
+{
+
+using lsim::Mutex;
+using lsim::MutexLock;
+
+class Pair
+{
+  public:
+    void forward();
+    void backward();
+
+  private:
+    void grabA();
+
+    Mutex a_mu_;
+    Mutex b_mu_;
+    int a_state_ GUARDED_BY(a_mu_) = 0;
+    int b_state_ GUARDED_BY(b_mu_) = 0;
+};
+
+void Pair::forward()
+{
+    MutexLock a(a_mu_);
+    MutexLock b(b_mu_); // order: a -> b
+    b_state_ += a_state_;
+}
+
+void Pair::grabA()
+{
+    MutexLock a(a_mu_);
+    ++a_state_;
+}
+
+void Pair::backward()
+{
+    MutexLock b(b_mu_);
+    ++b_state_;
+    grabA(); // order: b -> a, through the call graph
+}
+
+} // namespace fx

@@ -1,0 +1,42 @@
+// Analyzer fixture: guard-scope bugs — an unnamed guard temporary
+// that releases on the same statement, and a reference to guarded
+// state escaping its critical section.
+//
+// NOT compiled (the test glob is non-recursive); consumed by
+// tools/analyze/analyze.py --selftest.
+//
+// EXPECT-FINDING: guard-temporary
+// EXPECT-FINDING: guard-escape
+
+#include "common/mutex.hh"
+
+namespace fx
+{
+
+using lsim::Mutex;
+using lsim::MutexLock;
+
+class Cell
+{
+  public:
+    void bump();
+    int &value();
+
+  private:
+    Mutex mu_;
+    int value_ GUARDED_BY(mu_) = 0;
+};
+
+void Cell::bump()
+{
+    MutexLock(mu_); // unnamed: the lock is gone before ++ runs
+    ++value_;
+}
+
+int &Cell::value()
+{
+    MutexLock lock(mu_);
+    return value_; // the reference outlives the guard
+}
+
+} // namespace fx

@@ -12,7 +12,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstddef>
+#include <cstdint>
 #include <filesystem>
 #include <fstream>
 #include <optional>
@@ -23,8 +25,10 @@
 
 #include "api/experiment.hh"
 #include "api/parallel.hh"
+#include "common/fault.hh"
 #include "common/json.hh"
 #include "serve/daemon.hh"
+#include "serve/queue.hh"
 #include "store/profile_store.hh"
 
 namespace
@@ -223,6 +227,128 @@ TEST(StoreStress, ConcurrentSaveAndLoadOnOneInstance)
     EXPECT_EQ(torn.load(), 0) << "a load returned a torn entry";
     EXPECT_EQ(store.summaries().size(),
               static_cast<std::size_t>(kThreads * kIters + 1));
+}
+
+/*
+ * Hammer the admission queue from eight submitters plus two
+ * executors with fault injection armed, so the TSan lane exercises
+ * the same lock interleavings (queue mutex, fault registry, metrics
+ * registry) the static lock-order analyzer reasons about.  Every
+ * admitted request must be executed exactly once and every coalesced
+ * follower must come back from exactly one finish().
+ */
+TEST(QueueStress, SubmitCoalesceFinishUnderFaults)
+{
+    constexpr int kThreads = 8;
+    constexpr int kIters = 48;
+    constexpr const char *kPoint = "stress.queue.submit";
+
+    fault::reset();
+    fault::configure(std::string(kPoint) + ":prob=0.25:seed=11");
+
+    serve::RequestQueue queue(16);
+
+    std::atomic<int> enqueued{0};
+    std::atomic<int> coalesced{0};
+    std::atomic<int> rejected_full{0};
+    std::atomic<int> rejected_name{0};
+    std::atomic<int> faulted{0};
+    std::atomic<int> executed{0};
+    std::atomic<int> fanned{0};
+    std::atomic<bool> done_submitting{false};
+
+    std::vector<std::thread> executors;
+    for (int e = 0; e < 2; ++e) {
+        executors.emplace_back([&] {
+            for (;;) {
+                if (!queue.waitForWork(std::chrono::milliseconds(1))) {
+                    if (done_submitting.load() && queue.depth() == 0)
+                        return;
+                    continue;
+                }
+                auto req = queue.pop();
+                if (!req)
+                    continue;
+                const auto followers = queue.finish(req->name);
+                executed.fetch_add(1);
+                fanned.fetch_add(static_cast<int>(followers.size()));
+            }
+        });
+    }
+
+    std::vector<std::thread> submitters;
+    for (int t = 0; t < kThreads; ++t) {
+        submitters.emplace_back([&, t] {
+            for (int i = 0; i < kIters; ++i) {
+                // An ingress that dies before admission: the queue
+                // must never learn about this request.
+                if (LSIM_FAULT(kPoint)) {
+                    faulted.fetch_add(1);
+                    continue;
+                }
+                serve::QueuedRequest req;
+                if (i % 8 == 7) {
+                    // Shared name, unique fingerprint: collides with
+                    // a live namesake as RejectedName.
+                    req.name = "dup-" + std::to_string(t % 2);
+                    req.fingerprint = "fp-uniq-" +
+                        std::to_string(t * kIters + i);
+                } else {
+                    // Unique name, fingerprint drawn from a small
+                    // pool: collides with in-flight work as
+                    // Coalesced.
+                    req.name = "s" + std::to_string(t) + "-" +
+                        std::to_string(i);
+                    req.fingerprint =
+                        "fp-" + std::to_string((t * kIters + i) % 6);
+                }
+                req.spec_text = "{}";
+                req.priority = i % 3;
+                req.ingress = serve::Ingress::Socket;
+                std::string primary;
+                switch (queue.submit(std::move(req), &primary)) {
+                case serve::Admission::Enqueued:
+                    enqueued.fetch_add(1);
+                    break;
+                case serve::Admission::Coalesced:
+                    coalesced.fetch_add(1);
+                    EXPECT_FALSE(primary.empty());
+                    break;
+                case serve::Admission::RejectedFull:
+                    rejected_full.fetch_add(1);
+                    break;
+                case serve::Admission::RejectedName:
+                    rejected_name.fetch_add(1);
+                    break;
+                }
+            }
+        });
+    }
+    for (auto &t : submitters)
+        t.join();
+    done_submitting.store(true);
+    for (auto &t : executors)
+        t.join();
+
+    // Every attempt is accounted for exactly once.
+    EXPECT_EQ(enqueued.load() + coalesced.load() + rejected_full.load() +
+                  rejected_name.load() + faulted.load(),
+              kThreads * kIters);
+    // Exactly-once execution: each admitted primary finishes once...
+    EXPECT_EQ(executed.load(), enqueued.load());
+    // ...and each coalesced follower is fanned out by one finish().
+    EXPECT_EQ(fanned.load(), coalesced.load());
+    EXPECT_EQ(queue.depth(), 0u);
+    EXPECT_TRUE(queue.drainPending().empty());
+
+    // The fault point was consulted on every attempt and actually
+    // fired (faulted counts exactly the fired attempts).
+    EXPECT_EQ(fault::hits(kPoint),
+              static_cast<std::uint64_t>(kThreads * kIters));
+    EXPECT_EQ(fault::fired(kPoint),
+              static_cast<std::uint64_t>(faulted.load()));
+    EXPECT_GT(faulted.load(), 0);
+    fault::reset();
 }
 
 } // namespace

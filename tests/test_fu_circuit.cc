@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 #include "circuit/fu_circuit.hh"
 
 namespace
@@ -111,8 +113,8 @@ TEST(FuCircuitDeath, DegenerateShape)
 {
     FunctionalUnitCircuit::Shape shape;
     shape.rows = 0;
-    EXPECT_EXIT(FunctionalUnitCircuit(Technology{}, shape),
-                ::testing::ExitedWithCode(1), "degenerate");
+    EXPECT_THROW(FunctionalUnitCircuit(Technology{}, shape),
+                 std::invalid_argument);
 }
 
 } // namespace

@@ -23,6 +23,16 @@ otherwise live only in comments and review memory:
                   per-file counts may only decrease (run with
                   --update after converting a site to an exception).
 
+  no-raw-mutex    Library code locks through the annotated
+                  lsim::Mutex / MutexLock / CondVar wrappers
+                  (common/mutex.hh) — never raw std::mutex,
+                  std::condition_variable, or std:: lock guards.
+                  The wrappers carry the clang thread-safety
+                  capability annotations and give tools/analyze a
+                  uniform acquisition syntax; a raw std::mutex is
+                  invisible to both. Only common/mutex.hh itself may
+                  touch <mutex>.
+
   signal-safety   Signal handlers may only set lock-free atomic
                   flags: no calls, no locks, no allocation (all
                   undefined behavior in async-signal context), and
@@ -167,6 +177,30 @@ class Linter:
 
     def count_fatal(self, code):
         return len(re.findall(r"\b(?:fatal|die)\s*\(", code))
+
+    # --------------------------------------------- rule: no-raw-mutex
+
+    RAW_MUTEX_PATTERN = re.compile(
+        r"\bstd\s*::\s*(mutex|recursive_mutex|timed_mutex|"
+        r"recursive_timed_mutex|shared_mutex|shared_timed_mutex|"
+        r"condition_variable|condition_variable_any|lock_guard|"
+        r"unique_lock|scoped_lock|shared_lock)\b")
+    RAW_MUTEX_INCLUDES = re.compile(
+        r"#\s*include\s*<(mutex|condition_variable|shared_mutex)>")
+
+    def check_raw_mutex(self, path, code):
+        for m in self.RAW_MUTEX_PATTERN.finditer(code):
+            self.report(
+                path, line_of(code, m.start()), "no-raw-mutex",
+                f"raw std::{m.group(1)}; use the annotated "
+                "lsim::Mutex / MutexLock / CondVar wrappers "
+                "(common/mutex.hh) so clang thread-safety analysis "
+                "and tools/analyze can see the lock")
+        for m in self.RAW_MUTEX_INCLUDES.finditer(code):
+            self.report(
+                path, line_of(code, m.start()), "no-raw-mutex",
+                f"#include <{m.group(1)}> outside common/mutex.hh; "
+                "include common/mutex.hh instead")
 
     # --------------------------------------------- rule: signal-safety
 
@@ -387,6 +421,8 @@ def main():
             if count:
                 fatal_counts[rel] = count
         linter.check_signal_safety(path, code)
+        if rel != "src/common/mutex.hh":
+            linter.check_raw_mutex(path, code)
         if path.suffix in (".hh", ".h"):
             linter.check_include_guard(path, code, text)
         if rel.startswith(("src/replay/", "src/sleep/")):
